@@ -1,0 +1,54 @@
+// Ablation: GQA group size vs memory-system locality (paper §6.3.3:
+// "Cache hits and MSHR hits ... are mostly a result of GQA, since non-GQA
+// operators do not share activation across heads"). Sweeps G at constant
+// KV volume - H*L fixed - from GEMV-like (G=1, no sharing) to 405b-like
+// (G=16), plus a true GEMV of the same weight volume as the no-sharing
+// anchor.
+#include "bench_util.hpp"
+
+using namespace llamcat;
+using namespace llamcat::bench;
+
+int main() {
+  print_header("Ablation: GQA group size -> cache/MSHR locality");
+
+  const std::uint64_t L = quick_scale() ? 2048 : 8192;
+
+  std::vector<ExperimentSpec> specs;
+  // G sweep at fixed H=8 and fixed L: the K tensor (and so the compulsory
+  // DRAM floor) is identical across rows; only the sharing degree changes.
+  for (const std::uint32_t g : {1u, 2u, 4u, 8u, 16u}) {
+    ModelShape m = ModelShape::llama3_70b();
+    m.name = "H8/G" + std::to_string(g);
+    m.group_size = g;
+    SimConfig cfg = mha_bound_config();
+    specs.push_back(
+        {"G=" + std::to_string(g), cfg, Workload::logit(m, L, cfg)});
+  }
+  {
+    // GEMV anchor: the same KV byte volume as one H=8 head sweep.
+    SimConfig cfg = mha_bound_config();
+    specs.push_back(
+        {"gemv (no heads)", cfg, Workload::gemv(8 * L, 128, cfg)});
+  }
+  const auto results = run_experiments(specs, 0, /*verbose=*/true);
+
+  TextTable t("GQA locality sweep (H=8, L=" + seq_label(L) +
+              ", MHA-bound regime)");
+  t.set_header({"shape", "l2_hit_rate", "mshr_hit_rate",
+                "locality(l2+mshr)", "dram_reads", "cycles"});
+  for (const auto& r : results) {
+    const SimStats& s = r.stats;
+    const double locality = s.l2_hit_rate + s.mshr_hit_rate;
+    t.add_row({r.name, TextTable::num(s.l2_hit_rate),
+               TextTable::num(s.mshr_hit_rate), TextTable::num(locality),
+               std::to_string(s.dram_reads), std::to_string(s.cycles)});
+  }
+  t.print(std::cout);
+
+  std::cout << "\nexpected: locality rises monotonically with G while the "
+               "DRAM-read floor\nstays flat; G=1 and the GEMV anchor sit "
+               "at (near) zero locality - the\npaper's claim that GQA "
+               "sharing is what the CAT policies harvest.\n";
+  return 0;
+}

@@ -1,0 +1,129 @@
+// Ablation: dynmg controller parameters (paper Tables 2-4 are swept
+// optima; this bench is the sweep, run in the regime where the gear
+// engages - capacity pressure, Fig 9's machine).
+//
+//   part 1: in-core C_mem thresholds (Table 4 degree dimension)
+//   part 2: gear ceiling (Table 1/2 spatial dimension)
+//   part 3: Table 3 contention bands - shows why the shipped bands are
+//           re-swept upward from the paper's 0.1/0.2/0.375: with the
+//           paper's bands the gear would also engage in the miss-handling-
+//           bound regime (wave dispatch), where throttling costs
+//           performance because bandwidth is MSHR-concurrency-limited.
+#include "bench_util.hpp"
+
+using namespace llamcat;
+using namespace llamcat::bench;
+
+namespace {
+
+struct ParamPoint {
+  std::string name;
+  std::uint32_t c_mem_upper;
+  std::uint32_t c_mem_lower;
+};
+
+}  // namespace
+
+int main() {
+  print_header("Ablation: dynmg throttle parameters");
+
+  const std::uint64_t L = quick_scale() ? 4096 : 16384;
+  const ModelShape model = ModelShape::llama3_70b();
+
+  // --- part 1: in-core C_mem window (capacity regime) ---------------------
+  const std::vector<ParamPoint> points = {
+      {"paper(250/180)", 250, 180},
+      {"300/220", 300, 220},
+      {"350/300", 350, 300},
+      {"inert(398/390)", 398, 390},
+  };
+
+  std::vector<ExperimentSpec> specs;
+  {
+    SimConfig cfg = base_config();
+    specs.push_back({"unopt", cfg, Workload::logit(model, L, cfg)});
+  }
+  for (const auto& p : points) {
+    SimConfig cfg = with_policies(base_config(), ThrottlePolicy::kDynMg,
+                                  ArbPolicy::kFcfs);
+    cfg.throttle.c_mem_upper = p.c_mem_upper;
+    cfg.throttle.c_mem_lower = p.c_mem_lower;
+    specs.push_back({p.name, cfg, Workload::logit(model, L, cfg)});
+  }
+  const auto results = run_experiments(specs, 0, /*verbose=*/true);
+
+  TextTable t("dynmg in-core C_mem thresholds (llama3-70b " + seq_label(L) +
+              ", 16MB, capacity regime)");
+  t.set_header({"c_mem hi/lo", "speedup", "mshr_hit_rate", "l2_hit_rate",
+                "t_cs"});
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    const SimStats& s = results[i].stats;
+    t.add_row({results[i].name, TextTable::num(s.speedup_vs(results[0].stats)),
+               TextTable::num(s.mshr_hit_rate), TextTable::num(s.l2_hit_rate),
+               TextTable::num(s.t_cs)});
+  }
+  t.print(std::cout);
+
+  // --- part 2: gear ceiling ------------------------------------------------
+  std::vector<ExperimentSpec> gear_specs;
+  for (std::uint32_t max_gear : {0u, 1u, 2u, 3u, 4u}) {
+    SimConfig cfg = with_policies(base_config(), ThrottlePolicy::kDynMg,
+                                  ArbPolicy::kFcfs);
+    cfg.throttle.max_gear = max_gear;
+    gear_specs.push_back({"max_gear=" + std::to_string(max_gear), cfg,
+                          Workload::logit(model, L, cfg)});
+  }
+  const auto gear_results = run_experiments(gear_specs, 0, /*verbose=*/true);
+
+  TextTable tg("dynmg gear ceiling (Table 2 spatial optimum: gear 4)");
+  tg.set_header({"config", "speedup", "mshr_hit_rate", "t_cs"});
+  for (const auto& r : gear_results) {
+    tg.add_row({r.name, TextTable::num(r.stats.speedup_vs(results[0].stats)),
+                TextTable::num(r.stats.mshr_hit_rate),
+                TextTable::num(r.stats.t_cs)});
+  }
+  tg.print(std::cout);
+
+  // --- part 3: Table 3 bands in the miss-handling-bound regime -------------
+  const std::uint64_t L_wave = quick_scale() ? 2048 : 8192;
+  std::vector<ExperimentSpec> band_specs;
+  {
+    SimConfig cfg = mha_bound_config();
+    band_specs.push_back(
+        {"wave/unopt", cfg, Workload::logit(model, L_wave, cfg)});
+  }
+  {
+    SimConfig cfg = with_policies(mha_bound_config(), ThrottlePolicy::kDynMg,
+                                  ArbPolicy::kFcfs);
+    band_specs.push_back(
+        {"wave/dynmg(re-swept)", cfg, Workload::logit(model, L_wave, cfg)});
+  }
+  {
+    SimConfig cfg = with_policies(mha_bound_config(), ThrottlePolicy::kDynMg,
+                                  ArbPolicy::kFcfs);
+    cfg.throttle.tcs_low = 0.1;
+    cfg.throttle.tcs_normal = 0.2;
+    cfg.throttle.tcs_high = 0.375;
+    band_specs.push_back(
+        {"wave/dynmg(paper bands)", cfg, Workload::logit(model, L_wave, cfg)});
+  }
+  const auto band_results = run_experiments(band_specs, 0, /*verbose=*/true);
+
+  TextTable tb("Table 3 bands, miss-handling-bound regime (llama3-70b " +
+               seq_label(L_wave) + ", wave dispatch)");
+  tb.set_header({"config", "speedup vs unopt", "mshr_hit_rate", "t_cs"});
+  for (const auto& r : band_results) {
+    tb.add_row({r.name,
+                TextTable::num(r.stats.speedup_vs(band_results[0].stats)),
+                TextTable::num(r.stats.mshr_hit_rate),
+                TextTable::num(r.stats.t_cs)});
+  }
+  tb.print(std::cout);
+
+  std::cout << "\nexpected: part 1 - the paper's 250/180 window is the "
+               "optimum; part 2 -\nhigher gear ceilings monotonically help "
+               "under capacity pressure; part 3 -\nthe paper's bands would "
+               "engage the gear where throttling only hurts, the\nre-swept "
+               "bands keep it parked.\n";
+  return 0;
+}

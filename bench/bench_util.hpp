@@ -1,0 +1,106 @@
+// Shared helpers for the figure-reproduction benches.
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/math_util.hpp"
+#include "common/table.hpp"
+#include "sim/experiment.hpp"
+
+namespace llamcat::bench {
+
+/// True when LLAMCAT_PAPER_SCALE=1: run the paper's full problem sizes
+/// (32K sequences, both models everywhere). The default is a reduced scale
+/// that preserves every regime/shape but keeps the whole bench suite to
+/// minutes; each binary prints which scale it used.
+inline bool paper_scale() {
+  const char* v = std::getenv("LLAMCAT_PAPER_SCALE");
+  return v != nullptr && std::string(v) == "1";
+}
+
+inline bool quick_scale() {
+  const char* v = std::getenv("LLAMCAT_QUICK");
+  return v != nullptr && std::string(v) == "1";
+}
+
+struct NamedPolicy {
+  std::string name;
+  ThrottlePolicy thr;
+  ArbPolicy arb;
+};
+
+/// The paper's baseline machine (Table 5).
+///
+/// The paper splits its evaluation into two regimes (§6.2.1): Fig 7/8 study
+/// a system "mainly bottlenecked by miss handling throughput" while Fig 9
+/// adds cache-capacity pressure. Thread-block dispatch selects the regime:
+/// wave-preserving round-robin keeps the concurrently-running thread blocks
+/// inside one GQA wave, so the MSHR pool (not cache capacity) is the
+/// limiter; the static per-core-chunk dispatch spreads in-flight blocks
+/// over a wide address span and recreates the capacity-pressure regime.
+inline SimConfig base_config(
+    std::uint64_t llc_mb = 16,
+    TbDispatch dispatch = TbDispatch::kStaticBlocked) {
+  SimConfig cfg = SimConfig::table5();
+  cfg.llc.size_bytes = llc_mb << 20;
+  cfg.core.tb_dispatch = dispatch;
+  return cfg;
+}
+
+/// Machine configured for the miss-handling-throughput-bound regime of
+/// Fig 7 / Fig 8 (§6.3).
+inline SimConfig mha_bound_config(std::uint64_t llc_mb = 16) {
+  return base_config(llc_mb, TbDispatch::kPartitionedStealing);
+}
+
+inline ModelShape model_by_name(const std::string& name) {
+  return name == "405b" ? ModelShape::llama3_405b()
+                        : ModelShape::llama3_70b();
+}
+
+/// Runs all (policy x seq) experiments for one model and returns the
+/// results, indexed [policy][seq].
+inline std::vector<std::vector<SimStats>> run_grid(
+    const ModelShape& model, const std::vector<std::uint64_t>& seqs,
+    const std::vector<NamedPolicy>& policies, std::uint64_t llc_mb = 16,
+    TbDispatch dispatch = TbDispatch::kStaticBlocked) {
+  std::vector<ExperimentSpec> specs;
+  for (const auto& p : policies) {
+    for (std::uint64_t L : seqs) {
+      SimConfig cfg =
+          with_policies(base_config(llc_mb, dispatch), p.thr, p.arb);
+      specs.push_back(ExperimentSpec{
+          p.name + "/" + std::to_string(L), cfg,
+          Workload::logit(model, L, cfg)});
+    }
+  }
+  const auto results = run_experiments(specs, 0, /*verbose=*/true);
+  std::vector<std::vector<SimStats>> grid(policies.size());
+  std::size_t k = 0;
+  for (std::size_t p = 0; p < policies.size(); ++p) {
+    for (std::size_t s = 0; s < seqs.size(); ++s) grid[p].push_back(
+        results[k++].stats);
+  }
+  return grid;
+}
+
+inline std::string seq_label(std::uint64_t L) {
+  if (L % 1024 == 0) return std::to_string(L / 1024) + "K";
+  return std::to_string(L);
+}
+
+inline void print_header(const std::string& what) {
+  std::cout << "\n==========================================================\n"
+            << what << "\n"
+            << "scale: "
+            << (paper_scale() ? "paper (LLAMCAT_PAPER_SCALE=1)"
+                              : "default (set LLAMCAT_PAPER_SCALE=1 for the "
+                                "paper's full sizes)")
+            << "\n"
+            << "==========================================================\n";
+}
+
+}  // namespace llamcat::bench

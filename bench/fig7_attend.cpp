@@ -1,0 +1,67 @@
+// Extension figure: the Fig 7 policy comparison repeated on the Attend
+// operator (S.V) - the other half of the decode attention step. The paper
+// evaluates Logit only and argues broad applicability from operator-shape
+// variety (§6.2.2); Attend reads the same V volume as Logit reads K but
+// streams S instead of broadcasting Q, so GQA sharing is still present on
+// the V side.
+#include "bench_util.hpp"
+
+using namespace llamcat;
+using namespace llamcat::bench;
+
+int main() {
+  print_header("Extension: policy speedups on the Attend operator (S.V)");
+
+  const std::vector<std::uint64_t> seqs =
+      quick_scale() ? std::vector<std::uint64_t>{1024, 2048}
+                    : std::vector<std::uint64_t>{4096, 8192, 16384};
+
+  const std::vector<NamedPolicy> policies = {
+      {"unopt", ThrottlePolicy::kNone, ArbPolicy::kFcfs},
+      {"dyncta", ThrottlePolicy::kDyncta, ArbPolicy::kFcfs},
+      {"lcs", ThrottlePolicy::kLcs, ArbPolicy::kFcfs},
+      {"dynmg", ThrottlePolicy::kDynMg, ArbPolicy::kFcfs},
+      {"dynmg+BMA", ThrottlePolicy::kDynMg, ArbPolicy::kBma},
+  };
+
+  for (const std::string model_name : {"70b", "405b"}) {
+    const ModelShape model = model_by_name(model_name);
+    std::vector<ExperimentSpec> specs;
+    for (const auto& p : policies) {
+      for (const std::uint64_t L : seqs) {
+        SimConfig cfg = with_policies(
+            mha_bound_config(), p.thr, p.arb);
+        specs.push_back({p.name + "/" + std::to_string(L), cfg,
+                         Workload::attend(model, L, cfg)});
+      }
+    }
+    const auto results = run_experiments(specs, 0, /*verbose=*/true);
+
+    TextTable t("Attend, llama3-" + model_name +
+                ": speedup vs unoptimized (MHA-bound regime)");
+    std::vector<std::string> head{"policy"};
+    for (const std::uint64_t L : seqs) head.push_back(seq_label(L));
+    head.push_back("geomean");
+    t.set_header(head);
+    for (std::size_t p = 1; p < policies.size(); ++p) {
+      std::vector<std::string> row{policies[p].name};
+      std::vector<double> acc;
+      for (std::size_t s = 0; s < seqs.size(); ++s) {
+        const double sp = results[p * seqs.size() + s].stats.speedup_vs(
+            results[s].stats);
+        acc.push_back(sp);
+        row.push_back(TextTable::num(sp));
+      }
+      row.push_back(TextTable::num(geomean(acc)));
+      t.add_row(row);
+    }
+    t.print(std::cout);
+  }
+
+  std::cout << "\nexpected: the same qualitative picture as Fig 7 - "
+               "baseline throttling\npolicies sit at or below 1.0, BMA adds "
+               "a mid-single-digit gain on top of\ndynmg - validating the "
+               "paper's broad-applicability argument beyond the\nLogit "
+               "operator it reports.\n";
+  return 0;
+}

@@ -1,0 +1,60 @@
+#include "cache/bypass.hpp"
+
+namespace llamcat {
+
+BypassManager::BypassManager(const BypassConfig& cfg, std::uint64_t seed)
+    : cfg_(cfg), rng_(seed) {
+  if (cfg_.policy == BypassPolicy::kReuseHistory) {
+    // Counters start at the keep threshold: unknown regions are cached
+    // until proven streaming, so a cold predictor behaves like kNone.
+    table_.assign(cfg_.table_entries,
+                  static_cast<std::uint8_t>(cfg_.keep_threshold));
+  }
+}
+
+std::size_t BypassManager::region_index(Addr line_addr) const {
+  return static_cast<std::size_t>((line_addr >> cfg_.region_log2) %
+                                  cfg_.table_entries);
+}
+
+std::uint32_t BypassManager::region_counter(Addr line_addr) const {
+  if (table_.empty()) return 0;
+  return table_[region_index(line_addr)];
+}
+
+bool BypassManager::should_bypass(Addr line_addr) {
+  bool bypass = false;
+  switch (cfg_.policy) {
+    case BypassPolicy::kNone:
+      break;
+    case BypassPolicy::kAll:
+      bypass = true;
+      break;
+    case BypassPolicy::kProbabilistic:
+      bypass = rng_.uniform() >= cfg_.keep_probability;
+      break;
+    case BypassPolicy::kReuseHistory:
+      bypass = table_[region_index(line_addr)] < cfg_.keep_threshold;
+      break;
+  }
+  if (bypass) {
+    ++bypassed_;
+  } else {
+    ++kept_;
+  }
+  return bypass;
+}
+
+void BypassManager::on_cache_hit(Addr line_addr) {
+  if (cfg_.policy != BypassPolicy::kReuseHistory) return;
+  std::uint8_t& c = table_[region_index(line_addr)];
+  if (c < 3) ++c;
+}
+
+void BypassManager::on_cache_miss(Addr line_addr) {
+  if (cfg_.policy != BypassPolicy::kReuseHistory) return;
+  std::uint8_t& c = table_[region_index(line_addr)];
+  if (c > 0) --c;
+}
+
+}  // namespace llamcat

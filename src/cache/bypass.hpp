@@ -1,0 +1,63 @@
+// Cache-fill bypass manager (paper Fig 4 step 5: "a bypass manager decides
+// whether to keep the cache line. If not, the data will not be written into
+// cache storage"). The paper disables bypassing in its evaluation for
+// fairness against COBRRA's arbitration component (§3.2), but the unit is
+// part of the modeled LLC slice; this module implements it so the claim can
+// be tested rather than assumed (see bench/ablation_bypass).
+//
+// Policies:
+//   kNone         - keep every fill (the paper's evaluation setting)
+//   kAll          - never install fills (degenerate control: the LLC acts as
+//                   a miss-merging buffer only)
+//   kProbabilistic- keep a fill with fixed probability (bimodal insertion)
+//   kReuseHistory - COBRRA-flavored reuse predictor: per-region saturating
+//                   counters learn whether lines from a region see L2 hits;
+//                   fills from regions with no observed reuse are bypassed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace llamcat {
+
+/// Decides, per DRAM fill, whether the line is installed in cache storage.
+/// One instance per LLC slice; learning is local to the slice, mirroring a
+/// per-slice hardware table.
+class BypassManager {
+ public:
+  BypassManager(const BypassConfig& cfg, std::uint64_t seed);
+
+  /// Called on the fill path. True = do NOT install the line.
+  [[nodiscard]] bool should_bypass(Addr line_addr);
+
+  /// Feedback: a lookup hit this line in cache storage (reuse observed).
+  void on_cache_hit(Addr line_addr);
+
+  /// Feedback: a lookup missed (either compulsory or a consequence of an
+  /// earlier eviction/bypass). Used to decay stale reuse confidence.
+  void on_cache_miss(Addr line_addr);
+
+  [[nodiscard]] BypassPolicy policy() const { return cfg_.policy; }
+  [[nodiscard]] std::uint64_t bypassed() const { return bypassed_; }
+  [[nodiscard]] std::uint64_t kept() const { return kept_; }
+
+  /// Current reuse-counter value for the region of `line_addr` (tests).
+  [[nodiscard]] std::uint32_t region_counter(Addr line_addr) const;
+
+ private:
+  [[nodiscard]] std::size_t region_index(Addr line_addr) const;
+
+  BypassConfig cfg_;
+  Xoshiro256 rng_;
+  /// kReuseHistory: 2-bit saturating reuse counters, direct-mapped by
+  /// region (line_addr >> region_bits) % table_entries.
+  std::vector<std::uint8_t> table_;
+  std::uint64_t bypassed_ = 0;
+  std::uint64_t kept_ = 0;
+};
+
+}  // namespace llamcat

@@ -1,0 +1,98 @@
+#include "cache/l1_cache.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace llamcat {
+
+L1Cache::L1Cache(const L1Config& cfg, CoreId core, std::uint64_t seed)
+    : cfg_(cfg),
+      core_(core),
+      num_sets_(static_cast<std::uint32_t>(cfg.size_bytes /
+                                           (cfg.assoc * kLineBytes))),
+      array_(num_sets_, cfg.assoc, cfg.repl, cfg.insert, seed) {
+  misses_.reserve(cfg_.miss_queue_entries);
+}
+
+L1Cache::PendingMiss* L1Cache::find_miss(Addr line_addr) {
+  for (auto& m : misses_) {
+    if (m.line_addr == line_addr) return &m;
+  }
+  return nullptr;
+}
+
+L1Cache::LoadResult L1Cache::access_load(Addr line_addr,
+                                         std::uint32_t req_id) {
+  assert(line_addr == line_align(line_addr));
+  if (array_.touch(set_of(line_addr), line_addr)) {
+    ++counters_.load_hits;
+    return LoadResult::kHit;
+  }
+  if (PendingMiss* m = find_miss(line_addr)) {
+    m->waiters.push_back(req_id);
+    ++counters_.load_merges;
+    return LoadResult::kMissMerged;
+  }
+  if (miss_queue_full()) {
+    ++counters_.load_blocked;
+    return LoadResult::kBlocked;
+  }
+  misses_.push_back(PendingMiss{line_addr, {req_id}});
+  outbox_.push_back(line_addr);
+  ++counters_.load_misses;
+  return LoadResult::kMissNew;
+}
+
+bool L1Cache::access_store(Addr line_addr) {
+  assert(line_addr == line_align(line_addr));
+  // Write-through: the line stays clean in L1; write-no-allocate: a store
+  // miss does not allocate. Either way the store is forwarded by the core.
+  const bool hit = array_.touch(set_of(line_addr), line_addr);
+  if (hit) {
+    ++counters_.store_hits;
+  } else {
+    ++counters_.store_misses;
+  }
+  return hit;
+}
+
+std::vector<std::uint32_t> L1Cache::on_fill(Addr line_addr) {
+  const std::uint32_t set = set_of(line_addr);
+  if (!array_.probe(set, line_addr)) {
+    // Allocate-on-fill; L1 lines are never dirty (write-through), so the
+    // victim needs no writeback.
+    array_.fill(set, line_addr, /*dirty=*/false);
+    ++counters_.fills;
+  }
+  auto it = std::find_if(
+      misses_.begin(), misses_.end(),
+      [&](const PendingMiss& m) { return m.line_addr == line_addr; });
+  if (it == misses_.end()) return {};
+  std::vector<std::uint32_t> waiters = std::move(it->waiters);
+  misses_.erase(it);
+  return waiters;
+}
+
+StatSet L1Cache::stats() const {
+  StatSet s;
+  s.set("l1.load_hits", counters_.load_hits);
+  s.set("l1.load_merges", counters_.load_merges);
+  s.set("l1.load_misses", counters_.load_misses);
+  s.set("l1.load_blocked", counters_.load_blocked);
+  s.set("l1.store_hits", counters_.store_hits);
+  s.set("l1.store_misses", counters_.store_misses);
+  s.set("l1.fills", counters_.fills);
+  return s;
+}
+
+std::optional<Addr> L1Cache::peek_outbox() const {
+  if (outbox_.empty()) return std::nullopt;
+  return outbox_.front();
+}
+
+void L1Cache::pop_outbox() {
+  assert(!outbox_.empty());
+  outbox_.pop_front();
+}
+
+}  // namespace llamcat

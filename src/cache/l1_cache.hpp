@@ -1,0 +1,87 @@
+// Private per-core L1: streaming-insert, write-through, write-no-allocate,
+// allocate-on-fill (Table 5). Misses are merged line-granular in a small
+// miss queue whose capacity bounds each core's outstanding misses.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "cache/cache_array.hpp"
+#include "common/config.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+
+namespace llamcat {
+
+class L1Cache {
+ public:
+  L1Cache(const L1Config& cfg, CoreId core, std::uint64_t seed);
+
+  enum class LoadResult : std::uint8_t {
+    kHit,         // completes after cfg.latency cycles
+    kMissMerged,  // joined an outstanding miss to the same line
+    kMissNew,     // new miss; a request was placed in the outbox
+    kBlocked,     // miss queue full: the load cannot issue this cycle
+  };
+
+  /// Issues a line-granular load tagged `req_id` (core-local).
+  LoadResult access_load(Addr line_addr, std::uint32_t req_id);
+
+  /// Write-through / write-no-allocate store probe: updates the line when
+  /// present; the caller always forwards the store toward the LLC.
+  /// Returns true when the store hit in L1 (stats only).
+  bool access_store(Addr line_addr);
+
+  /// Fill from the LLC: installs the line (allocate-on-fill, streaming
+  /// insert) and returns the req_ids of every load waiting on it.
+  std::vector<std::uint32_t> on_fill(Addr line_addr);
+
+  /// Line requests that must be forwarded to the LLC, FIFO.
+  [[nodiscard]] std::optional<Addr> peek_outbox() const;
+  void pop_outbox();
+
+  [[nodiscard]] std::size_t outstanding_misses() const {
+    return misses_.size();
+  }
+  [[nodiscard]] bool miss_queue_full() const {
+    return misses_.size() >= cfg_.miss_queue_entries;
+  }
+
+  /// Hot-path counters (plain fields; converted to a StatSet on demand).
+  struct Counters {
+    std::uint64_t load_hits = 0;
+    std::uint64_t load_merges = 0;
+    std::uint64_t load_misses = 0;
+    std::uint64_t load_blocked = 0;
+    std::uint64_t store_hits = 0;
+    std::uint64_t store_misses = 0;
+    std::uint64_t fills = 0;
+  };
+  [[nodiscard]] const Counters& counters() const { return counters_; }
+  [[nodiscard]] StatSet stats() const;
+  [[nodiscard]] std::uint32_t latency() const { return cfg_.latency; }
+
+ private:
+  struct PendingMiss {
+    Addr line_addr = 0;
+    std::vector<std::uint32_t> waiters;
+  };
+
+  std::uint32_t set_of(Addr line_addr) const {
+    return static_cast<std::uint32_t>(line_index(line_addr) &
+                                      (num_sets_ - 1));
+  }
+  PendingMiss* find_miss(Addr line_addr);
+
+  L1Config cfg_;
+  CoreId core_;
+  std::uint32_t num_sets_;
+  CacheArray array_;
+  std::vector<PendingMiss> misses_;
+  std::deque<Addr> outbox_;
+  Counters counters_;
+};
+
+}  // namespace llamcat

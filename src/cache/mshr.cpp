@@ -1,0 +1,50 @@
+#include "cache/mshr.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace llamcat {
+
+Mshr::Mshr(std::uint32_t num_entries, std::uint32_t num_targets)
+    : num_entries_(num_entries), num_targets_(num_targets) {
+  assert(num_entries_ > 0 && num_targets_ > 0);
+  entries_.reserve(num_entries_);
+}
+
+Mshr::Entry* Mshr::find(Addr line_addr) {
+  for (auto& e : entries_) {
+    if (e.line_addr == line_addr) return &e;
+  }
+  return nullptr;
+}
+
+const Mshr::Entry* Mshr::find(Addr line_addr) const {
+  return const_cast<Mshr*>(this)->find(line_addr);
+}
+
+Mshr::AddResult Mshr::add(Addr line_addr, const MshrTarget& target,
+                          Cycle now) {
+  if (Entry* e = find(line_addr)) {
+    if (e->targets.size() >= num_targets_) return AddResult::kNoTargetFree;
+    e->targets.push_back(target);
+    return AddResult::kMerged;
+  }
+  if (!entry_available()) return AddResult::kNoEntryFree;
+  Entry e;
+  e.line_addr = line_addr;
+  e.targets.push_back(target);
+  e.alloc_cycle = now;
+  entries_.push_back(std::move(e));
+  return AddResult::kNewEntry;
+}
+
+std::vector<MshrTarget> Mshr::release(Addr line_addr) {
+  auto it = std::find_if(entries_.begin(), entries_.end(),
+                         [&](const Entry& e) { return e.line_addr == line_addr; });
+  assert(it != entries_.end() && "release of unknown MSHR entry");
+  std::vector<MshrTarget> targets = std::move(it->targets);
+  entries_.erase(it);
+  return targets;
+}
+
+}  // namespace llamcat

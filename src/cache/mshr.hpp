@@ -1,0 +1,73 @@
+// Miss Status Holding Registers. Two dimensions (paper §2.4): numEntry
+// (distinct outstanding line misses) and numTarget (requests merged into one
+// entry). Exhaustion of either dimension stalls the owning cache pipeline.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/math_util.hpp"
+#include "common/types.hpp"
+
+namespace llamcat {
+
+struct MshrTarget {
+  CoreId core = 0;
+  std::uint32_t req_id = 0;
+  bool is_store = false;
+};
+
+class Mshr {
+ public:
+  Mshr(std::uint32_t num_entries, std::uint32_t num_targets);
+
+  struct Entry {
+    Addr line_addr = 0;
+    std::vector<MshrTarget> targets;
+    bool issued_to_dram = false;
+    Cycle alloc_cycle = 0;
+  };
+
+  enum class AddResult : std::uint8_t {
+    kNewEntry,     // allocated a fresh entry (caller must fetch from DRAM)
+    kMerged,       // MSHR hit: appended to an existing entry
+    kNoEntryFree,  // numEntry exhausted -> pipeline stall
+    kNoTargetFree, // numTarget exhausted on the matching entry -> stall
+  };
+
+  /// Core operation: find-or-allocate for `line_addr` and attach `target`.
+  AddResult add(Addr line_addr, const MshrTarget& target, Cycle now);
+
+  [[nodiscard]] const Entry* find(Addr line_addr) const;
+  Entry* find(Addr line_addr);
+
+  /// Fill return: removes the entry and hands back its merged targets.
+  /// Precondition: the entry exists.
+  std::vector<MshrTarget> release(Addr line_addr);
+
+  [[nodiscard]] bool entry_available() const {
+    return entries_.size() < num_entries_;
+  }
+  [[nodiscard]] std::size_t occupancy() const { return entries_.size(); }
+  [[nodiscard]] std::uint32_t capacity() const { return num_entries_; }
+  [[nodiscard]] std::uint32_t target_capacity() const { return num_targets_; }
+
+  /// Live view for the arbiter's MSHR_snapshot (paper Fig 5: a direct wire).
+  [[nodiscard]] const std::vector<Entry>& entries() const { return entries_; }
+
+  /// Per-cycle stats hook: accumulates numEntry occupancy.
+  void sample_occupancy() {
+    occ_.add(static_cast<double>(entries_.size()) /
+             static_cast<double>(num_entries_));
+  }
+  [[nodiscard]] double avg_entry_utilization() const { return occ_.mean(); }
+
+ private:
+  std::uint32_t num_entries_;
+  std::uint32_t num_targets_;
+  std::vector<Entry> entries_;  // <= num_entries_, linear scan (6 per slice)
+  OccupancyAverage occ_;
+};
+
+}  // namespace llamcat

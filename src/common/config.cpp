@@ -1,0 +1,125 @@
+#include "common/config.hpp"
+
+#include <sstream>
+
+#include "common/math_util.hpp"
+
+namespace llamcat {
+
+std::string to_string(ArbPolicy p) {
+  switch (p) {
+    case ArbPolicy::kFcfs: return "fcfs";
+    case ArbPolicy::kBalanced: return "B";
+    case ArbPolicy::kMa: return "MA";
+    case ArbPolicy::kBma: return "BMA";
+    case ArbPolicy::kCobrra: return "cobrra";
+    case ArbPolicy::kMrpb: return "mrpb";
+    case ArbPolicy::kOracle: return "oracle";
+    case ArbPolicy::kRandom: return "random";
+  }
+  return "?";
+}
+
+std::string to_string(BypassPolicy p) {
+  switch (p) {
+    case BypassPolicy::kNone: return "none";
+    case BypassPolicy::kAll: return "all";
+    case BypassPolicy::kProbabilistic: return "probabilistic";
+    case BypassPolicy::kReuseHistory: return "reuse-history";
+  }
+  return "?";
+}
+
+std::string to_string(ReplPolicy p) {
+  switch (p) {
+    case ReplPolicy::kLru: return "lru";
+    case ReplPolicy::kTreePlru: return "tree-plru";
+    case ReplPolicy::kRandom: return "random";
+    case ReplPolicy::kSrrip: return "srrip";
+    case ReplPolicy::kFifo: return "fifo";
+  }
+  return "?";
+}
+
+std::string to_string(InsertPolicy p) {
+  switch (p) {
+    case InsertPolicy::kMru: return "mru";
+    case InsertPolicy::kStreaming: return "streaming";
+  }
+  return "?";
+}
+
+std::string to_string(RespArbPolicy p) {
+  switch (p) {
+    case RespArbPolicy::kResponseFirst: return "response-first";
+    case RespArbPolicy::kRequestFirst: return "request-first";
+  }
+  return "?";
+}
+
+std::string to_string(ThrottlePolicy p) {
+  switch (p) {
+    case ThrottlePolicy::kNone: return "unopt";
+    case ThrottlePolicy::kDyncta: return "dyncta";
+    case ThrottlePolicy::kLcs: return "lcs";
+    case ThrottlePolicy::kDynMg: return "dynmg";
+  }
+  return "?";
+}
+
+SimConfig SimConfig::table5() {
+  SimConfig cfg;  // defaults in the struct definitions *are* Table 5
+  cfg.validate();
+  return cfg;
+}
+
+void SimConfig::validate() const {
+  auto fail = [](const std::string& msg) {
+    throw std::invalid_argument("SimConfig: " + msg);
+  };
+  if (core.num_cores == 0) fail("num_cores == 0");
+  if (core.num_inst_windows == 0) fail("num_inst_windows == 0");
+  if (core.inst_window_depth == 0) fail("inst_window_depth == 0");
+  if (!is_pow2(l1.size_bytes) || l1.size_bytes % (l1.assoc * kLineBytes) != 0)
+    fail("L1 geometry not a power-of-two set count");
+  if (!is_pow2(llc.num_slices)) fail("num_slices must be a power of two");
+  const std::uint64_t llc_sets = llc.size_bytes / (llc.assoc * kLineBytes);
+  if (llc_sets % llc.num_slices != 0) fail("LLC sets not divisible by slices");
+  if (llc.mshr_entries == 0 || llc.mshr_targets == 0) fail("MSHR dims == 0");
+  if (llc.req_q_size == 0 || llc.resp_q_size == 0) fail("LLC queue size == 0");
+  if (llc.bypass.keep_probability < 0.0 || llc.bypass.keep_probability > 1.0)
+    fail("bypass keep_probability outside [0, 1]");
+  if (llc.bypass.policy == BypassPolicy::kReuseHistory &&
+      llc.bypass.table_entries == 0)
+    fail("bypass table_entries == 0");
+  if (llc.bypass.region_log2 < 6 || llc.bypass.region_log2 > 30)
+    fail("bypass region_log2 outside [6, 30]");
+  if (llc.bypass.keep_threshold > 3)
+    fail("bypass keep_threshold > 3 (2-bit counters)");
+  if (dram.num_channels == 0 || !is_pow2(dram.num_channels))
+    fail("channels must be a power of two");
+  if (!is_pow2(dram.ranks_per_channel) || !is_pow2(dram.bankgroups_per_rank) ||
+      !is_pow2(dram.banks_per_bankgroup) || !is_pow2(dram.rows_per_bank))
+    fail("DRAM geometry must be powers of two");
+  if (dram.row_bytes % kLineBytes != 0) fail("row_bytes not line-aligned");
+  if (dram.dram_hz <= 0 || core_hz <= 0) fail("clock <= 0");
+  if (dram.dram_hz > core_hz) fail("model assumes dram_hz <= core_hz");
+  if (throttle.max_gear > 4) fail("max_gear > 4 (Table 1 defines 5 gears)");
+  if (!(throttle.tcs_low < throttle.tcs_normal &&
+        throttle.tcs_normal < throttle.tcs_high && throttle.tcs_high <= 1.0))
+    fail("t_cs thresholds must be increasing and <= 1");
+  if (throttle.sub_period == 0 || throttle.sampling_period == 0)
+    fail("throttle periods == 0");
+  if (throttle.sampling_period % throttle.sub_period != 0)
+    fail("sampling_period must be a multiple of sub_period");
+}
+
+std::string SimConfig::summary() const {
+  std::ostringstream os;
+  os << core.num_cores << "c/" << (llc.size_bytes >> 20) << "MB/"
+     << llc.num_slices << "sl/arb=" << to_string(arb.policy)
+     << "/thr=" << to_string(throttle.policy);
+  return os.str();
+}
+
+}  // namespace llamcat

@@ -1,0 +1,33 @@
+// Sampling records exchanged between the cores, the LLC and the throttling
+// controllers (paper §2.5/§4.2).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace llamcat {
+
+/// Per-core counters over one sub-period: C_mem counts cycles where every
+/// active thread block waits on memory, C_idle cycles with no work at all.
+struct CoreSample {
+  Cycle c_mem = 0;
+  Cycle c_idle = 0;
+};
+
+/// Observed execution of a core's first thread block (consumed by LCS).
+struct FirstTbReport {
+  Cycle duration = 0;
+  double mem_stall_frac = 0.0;  // C_mem during the first TB / duration
+};
+
+/// Global state over one sampling period: t_cs is the proportion of cache
+/// stall cycles (Table 3), progress the per-core served-request counters.
+struct GlobalSample {
+  double t_cs = 0.0;
+  std::vector<std::uint64_t> progress;
+};
+
+}  // namespace llamcat

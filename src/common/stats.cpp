@@ -1,0 +1,19 @@
+#include "common/stats.hpp"
+
+#include <iomanip>
+
+namespace llamcat {
+
+void StatSet::merge(const StatSet& other) {
+  for (const auto& [k, v] : other.counters_) counters_[k] += v;
+  for (const auto& [k, v] : other.reals_) reals_[k] = v;
+}
+
+void StatSet::print(std::ostream& os, const std::string& prefix) const {
+  for (const auto& [k, v] : counters_) os << prefix << k << " = " << v << "\n";
+  for (const auto& [k, v] : reals_)
+    os << prefix << k << " = " << std::fixed << std::setprecision(4) << v
+       << "\n";
+}
+
+}  // namespace llamcat

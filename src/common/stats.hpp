@@ -1,0 +1,52 @@
+// Lightweight named-counter registry for per-component statistics.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+
+namespace llamcat {
+
+/// A flat bag of named integer counters and named doubles. Components own a
+/// StatSet; the simulator merges them into a report at the end of a run.
+class StatSet {
+ public:
+  void inc(const std::string& name, std::uint64_t by = 1) {
+    counters_[name] += by;
+  }
+  void set(const std::string& name, std::uint64_t v) { counters_[name] = v; }
+  void set_real(const std::string& name, double v) { reals_[name] = v; }
+
+  [[nodiscard]] std::uint64_t get(const std::string& name) const {
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+  }
+  [[nodiscard]] double get_real(const std::string& name) const {
+    auto it = reals_.find(name);
+    return it == reals_.end() ? 0.0 : it->second;
+  }
+
+  /// Adds all counters from `other` into this set (reals are overwritten).
+  void merge(const StatSet& other);
+
+  [[nodiscard]] const std::map<std::string, std::uint64_t>& counters() const {
+    return counters_;
+  }
+  [[nodiscard]] const std::map<std::string, double>& reals() const {
+    return reals_;
+  }
+
+  void clear() {
+    counters_.clear();
+    reals_.clear();
+  }
+
+  void print(std::ostream& os, const std::string& prefix = "") const;
+
+ private:
+  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, double> reals_;
+};
+
+}  // namespace llamcat

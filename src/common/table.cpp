@@ -1,0 +1,55 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace llamcat {
+
+std::string TextTable::num(double v, int prec) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(prec) << v;
+  return os.str();
+}
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> widths;
+  auto grow = [&](const std::vector<std::string>& row) {
+    if (widths.size() < row.size()) widths.resize(row.size(), 0);
+    for (std::size_t i = 0; i < row.size(); ++i)
+      widths[i] = std::max(widths[i], row[i].size());
+  };
+  grow(header_);
+  for (const auto& r : rows_) grow(r);
+
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < row.size() ? row[i] : "";
+      os << std::left << std::setw(static_cast<int>(widths[i]) + 2) << cell;
+    }
+    os << "\n";
+  };
+
+  if (!title_.empty()) os << "== " << title_ << " ==\n";
+  if (!header_.empty()) {
+    emit(header_);
+    std::size_t total = 0;
+    for (auto w : widths) total += w + 2;
+    os << std::string(total, '-') << "\n";
+  }
+  for (const auto& r : rows_) emit(r);
+}
+
+void TextTable::print_csv(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) os << ",";
+      os << row[i];
+    }
+    os << "\n";
+  };
+  if (!header_.empty()) emit(header_);
+  for (const auto& r : rows_) emit(r);
+}
+
+}  // namespace llamcat

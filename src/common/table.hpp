@@ -1,0 +1,35 @@
+// ASCII table / CSV emission for benchmark reports.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace llamcat {
+
+/// Column-aligned text table with an optional title, used by every bench
+/// binary to print paper-style rows.
+class TextTable {
+ public:
+  explicit TextTable(std::string title = "") : title_(std::move(title)) {}
+
+  void set_header(std::vector<std::string> cols) { header_ = std::move(cols); }
+  void add_row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  /// Formats a double with `prec` digits after the point.
+  static std::string num(double v, int prec = 3);
+
+  void print(std::ostream& os) const;
+  void print_csv(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace llamcat

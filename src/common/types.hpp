@@ -1,0 +1,54 @@
+// Core value types shared by every subsystem.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace llamcat {
+
+/// Byte address in the simulated physical address space.
+using Addr = std::uint64_t;
+/// Simulation time in core clock cycles (1.96 GHz by default).
+using Cycle = std::uint64_t;
+/// Core identifier (0 .. num_cores-1).
+using CoreId = std::uint16_t;
+/// Thread-block identifier, unique within one operator execution.
+using TbId = std::uint32_t;
+
+inline constexpr Cycle kNeverCycle = std::numeric_limits<Cycle>::max();
+inline constexpr std::uint32_t kInvalidCore = 0xFFFF;
+
+/// All caches in the modeled system use 64-byte lines (paper Table 5).
+inline constexpr std::uint32_t kLineBytes = 64;
+
+/// Rounds a byte address down to its cache-line base.
+constexpr Addr line_align(Addr a) { return a & ~static_cast<Addr>(kLineBytes - 1); }
+/// Line index of a byte address (address / 64).
+constexpr Addr line_index(Addr a) { return a / kLineBytes; }
+
+enum class AccessType : std::uint8_t { kLoad, kStore };
+
+/// One line-granular memory request travelling core -> L1 -> NoC -> LLC.
+///
+/// `req_id` is a core-local tag the issuing core uses to wake the right
+/// instruction-window slot when the response comes back; stores carry
+/// req_id == kStoreReqId and produce no response.
+struct MemRequest {
+  Addr line_addr = 0;  // line-aligned byte address
+  AccessType type = AccessType::kLoad;
+  CoreId core = 0;
+  std::uint32_t req_id = 0;
+  std::uint64_t seq = 0;     // global arrival order, FCFS tie-break
+  Cycle issue_cycle = 0;     // cycle the core issued it
+};
+
+inline constexpr std::uint32_t kStoreReqId = 0xFFFFFFFF;
+
+/// Response delivered back to a core for a completed load.
+struct MemResponse {
+  Addr line_addr = 0;
+  CoreId core = 0;
+  std::uint32_t req_id = 0;
+};
+
+}  // namespace llamcat

@@ -1,0 +1,41 @@
+#include "core/speculation.hpp"
+
+#include <cassert>
+
+namespace llamcat {
+
+void HitBuffer::record_hit(Addr line_addr) {
+  if (depth_ == 0) return;
+  fifo_.push_back(line_addr);
+  ++counts_[line_addr];
+  if (fifo_.size() > depth_) {
+    const Addr old = fifo_.front();
+    fifo_.pop_front();
+    auto it = counts_.find(old);
+    assert(it != counts_.end());
+    if (--it->second == 0) counts_.erase(it);
+  }
+}
+
+void SentReqs::push(Addr line_addr, bool spec_hit, Cycle now) {
+  // The FIFO depth is a hardware bound; the lookup pipeline can only hold
+  // lifetime_ requests, so overflow indicates a misconfiguration.
+  assert(fifo_.size() < depth_ || depth_ == 0);
+  if (depth_ == 0) return;
+  fifo_.push_back(Entry{line_addr, spec_hit, now});
+  if (!spec_hit) ++mshr_bound_[line_addr];
+}
+
+void SentReqs::expire(Cycle now) {
+  while (!fifo_.empty() && fifo_.front().pushed_at + lifetime_ <= now) {
+    const Entry& e = fifo_.front();
+    if (!e.spec_hit) {
+      auto it = mshr_bound_.find(e.line_addr);
+      assert(it != mshr_bound_.end());
+      if (--it->second == 0) mshr_bound_.erase(it);
+    }
+    fifo_.pop_front();
+  }
+}
+
+}  // namespace llamcat

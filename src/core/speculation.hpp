@@ -1,0 +1,74 @@
+// Hardware structures the arbiter uses to *predict* request outcomes before
+// the actual cache/MSHR lookup (paper §4.3.1, Fig 4/5 red items):
+//   hit_buffer   - FIFO of recent cache-hit line addresses
+//   sent_reqs    - FIFO of requests inside the lookup pipeline; entries
+//                  expire after hit_latency + mshr_latency, exactly when the
+//                  real MSHR has been updated. The spec_hit bit masks out
+//                  requests speculated to be cache hits (MSHR uninvolved).
+// MSHR_snapshot is a direct wire to the live MSHR and needs no structure.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+
+#include "common/types.hpp"
+
+namespace llamcat {
+
+/// Bounded FIFO of recent cache-hit lines with O(1) membership tests.
+class HitBuffer {
+ public:
+  explicit HitBuffer(std::uint32_t depth) : depth_(depth) {}
+
+  void record_hit(Addr line_addr);
+  [[nodiscard]] bool contains(Addr line_addr) const {
+    return counts_.find(line_addr) != counts_.end();
+  }
+  [[nodiscard]] std::size_t size() const { return fifo_.size(); }
+  [[nodiscard]] std::uint32_t depth() const { return depth_; }
+
+ private:
+  std::uint32_t depth_;
+  std::deque<Addr> fifo_;
+  std::unordered_map<Addr, std::uint32_t> counts_;
+};
+
+/// Requests chosen by the arbiter but not yet visible in the MSHR.
+class SentReqs {
+ public:
+  /// `lifetime` = hit_latency + mshr_latency (paper §4.3.1).
+  SentReqs(std::uint32_t depth, std::uint32_t lifetime)
+      : depth_(depth), lifetime_(lifetime) {}
+
+  /// Records a selected request. `spec_hit` is its speculated-cache-hit bit.
+  void push(Addr line_addr, bool spec_hit, Cycle now);
+
+  /// Drops entries older than the lifetime (call once per cycle).
+  void expire(Cycle now);
+
+  /// True when the address is tracked by an entry whose spec_hit bit is 0,
+  /// i.e. it is expected to appear in the MSHR shortly.
+  [[nodiscard]] bool contains_mshr_bound(Addr line_addr) const {
+    auto it = mshr_bound_.find(line_addr);
+    return it != mshr_bound_.end() && it->second > 0;
+  }
+
+  [[nodiscard]] std::size_t size() const { return fifo_.size(); }
+  [[nodiscard]] bool full() const { return fifo_.size() >= depth_; }
+  [[nodiscard]] std::uint32_t depth() const { return depth_; }
+  [[nodiscard]] std::uint32_t lifetime() const { return lifetime_; }
+
+ private:
+  struct Entry {
+    Addr line_addr;
+    bool spec_hit;
+    Cycle pushed_at;
+  };
+  std::uint32_t depth_;
+  std::uint32_t lifetime_;
+  std::deque<Entry> fifo_;
+  std::unordered_map<Addr, std::uint32_t> mshr_bound_;  // count of spec_hit==0
+};
+
+}  // namespace llamcat

@@ -1,0 +1,166 @@
+#include "core/throttle.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace llamcat {
+
+Contention classify_contention(double t_cs, const ThrottleConfig& cfg) {
+  if (t_cs < cfg.tcs_low) return Contention::kLow;
+  if (t_cs < cfg.tcs_normal) return Contention::kNormal;
+  if (t_cs < cfg.tcs_high) return Contention::kHigh;
+  return Contention::kExtreme;
+}
+
+std::unique_ptr<IThrottleController> make_throttle_controller(
+    const ThrottleConfig& cfg, const CoreConfig& cores) {
+  switch (cfg.policy) {
+    case ThrottlePolicy::kNone:
+      return std::make_unique<NoThrottle>(cores);
+    case ThrottlePolicy::kDyncta:
+      return std::make_unique<Dyncta>(cfg, cores);
+    case ThrottlePolicy::kLcs:
+      return std::make_unique<Lcs>(cfg, cores);
+    case ThrottlePolicy::kDynMg:
+      return std::make_unique<DynMg>(cfg, cores);
+  }
+  return std::make_unique<NoThrottle>(cores);
+}
+
+// ---------------------------------------------------------------- Dyncta --
+
+Dyncta::Dyncta(const ThrottleConfig& cfg, const CoreConfig& cores)
+    : cfg_(cfg),
+      windows_(cores.num_inst_windows),
+      max_tb_(cores.num_cores, cores.num_inst_windows),
+      acc_(cores.num_cores) {}
+
+void Dyncta::on_sub_period(
+    std::span<const CoreSample> samples,
+    std::span<const std::optional<FirstTbReport>> /*first_tb*/) {
+  assert(samples.size() == acc_.size());
+  for (std::size_t c = 0; c < samples.size(); ++c) {
+    acc_[c].c_mem += samples[c].c_mem;
+    acc_[c].c_idle += samples[c].c_idle;
+  }
+  acc_cycles_ += cfg_.sub_period;
+  if (acc_cycles_ < cfg_.dyncta_period) return;
+  for (std::size_t c = 0; c < acc_.size(); ++c) {
+    std::uint32_t& tb = max_tb_[c];
+    // DYNCTA [11]: excessive idleness relaxes throttling; heavy memory
+    // contention tightens it; low contention relaxes it.
+    if (acc_[c].c_idle > cfg_.dyncta_c_idle_upper) {
+      tb = std::min(tb + 1, windows_);
+    } else if (acc_[c].c_mem > cfg_.dyncta_c_mem_upper) {
+      tb = std::max<std::uint32_t>(tb, 2) - 1;
+    } else if (acc_[c].c_mem < cfg_.dyncta_c_mem_lower) {
+      tb = std::min(tb + 1, windows_);
+    }
+    acc_[c] = CoreSample{};
+  }
+  acc_cycles_ = 0;
+}
+
+// ------------------------------------------------------------------- Lcs --
+
+Lcs::Lcs(const ThrottleConfig& cfg, const CoreConfig& cores)
+    : cfg_(cfg),
+      windows_(cores.num_inst_windows),
+      max_tb_(cores.num_cores, cores.num_inst_windows),
+      decided_(cores.num_cores, false) {}
+
+void Lcs::on_sub_period(
+    std::span<const CoreSample> /*samples*/,
+    std::span<const std::optional<FirstTbReport>> first_tb) {
+  for (std::size_t c = 0; c < decided_.size(); ++c) {
+    if (decided_[c] || !first_tb[c].has_value()) continue;
+    const double frac =
+        std::clamp(first_tb[c]->mem_stall_frac * cfg_.lcs_scale, 0.0, 1.0);
+    const auto tb = static_cast<std::uint32_t>(
+        std::lround(static_cast<double>(windows_) * (1.0 - frac)));
+    max_tb_[c] = std::clamp<std::uint32_t>(tb, 1, windows_);
+    decided_[c] = true;
+  }
+}
+
+// ----------------------------------------------------------------- DynMg --
+
+DynMg::DynMg(const ThrottleConfig& cfg, const CoreConfig& cores)
+    : cfg_(cfg),
+      windows_(cores.num_inst_windows),
+      num_cores_(cores.num_cores),
+      throttled_(cores.num_cores, false),
+      max_tb_(cores.num_cores, cores.num_inst_windows) {}
+
+std::uint32_t DynMg::cores_for_gear(std::uint32_t gear) const {
+  assert(gear <= cfg_.max_gear);
+  return num_cores_ * cfg_.gear_eighths[gear] / 8;
+}
+
+std::uint32_t DynMg::throttled_count() const {
+  return static_cast<std::uint32_t>(
+      std::count(throttled_.begin(), throttled_.end(), true));
+}
+
+void DynMg::on_global_period(const GlobalSample& sample) {
+  // Algorithm 1: gear adjustment from the contention class.
+  switch (classify_contention(sample.t_cs, cfg_)) {
+    case Contention::kHigh:
+      if (gear_ < cfg_.max_gear) ++gear_;
+      break;
+    case Contention::kLow:
+      if (gear_ > 0) --gear_;
+      break;
+    case Contention::kExtreme:
+      if (gear_ + 2 <= cfg_.max_gear) {
+        gear_ += 2;
+      } else {
+        gear_ = cfg_.max_gear;
+      }
+      break;
+    case Contention::kNormal:
+      break;  // hold
+  }
+
+  // Throttle the fastest cores: largest progress counters (Table 1).
+  const std::uint32_t k = cores_for_gear(gear_);
+  std::vector<std::uint32_t> order(num_cores_);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return sample.progress[a] > sample.progress[b];
+                   });
+  std::fill(throttled_.begin(), throttled_.end(), false);
+  for (std::uint32_t i = 0; i < k; ++i) throttled_[order[i]] = true;
+  // Un-throttled cores run at full parallelism again.
+  for (std::uint32_t c = 0; c < num_cores_; ++c) {
+    if (!throttled_[c]) max_tb_[c] = windows_;
+  }
+}
+
+void DynMg::on_sub_period(
+    std::span<const CoreSample> samples,
+    std::span<const std::optional<FirstTbReport>> /*first_tb*/) {
+  // In-core controller, only on throttled cores (paper §4.2: DYNCTA as a
+  // local logic; two-level periods with Table 4 thresholds).
+  for (std::size_t c = 0; c < samples.size(); ++c) {
+    if (!throttled_[c]) continue;
+    std::uint32_t& tb = max_tb_[c];
+    if (samples[c].c_mem > cfg_.c_mem_upper) {
+      tb = std::max<std::uint32_t>(tb, 2) - 1;
+    } else if (samples[c].c_mem < cfg_.c_mem_lower) {
+      tb = std::min(tb + 1, windows_);
+    }
+    if (samples[c].c_idle > cfg_.c_idle_upper) {
+      tb = std::min(tb + 1, windows_);
+    }
+  }
+}
+
+std::uint32_t DynMg::max_tb(CoreId core) const {
+  return throttled_[core] ? max_tb_[core] : windows_;
+}
+
+}  // namespace llamcat

@@ -1,0 +1,143 @@
+// Thread-throttling controllers (paper §4.2). All controllers expose the
+// same cadence interface; the simulator invokes on_sub_period() every
+// cfg.sub_period cycles and on_global_period() every cfg.sampling_period
+// cycles, then reads max_tb(core) back into the cores.
+//
+//   NoThrottle - "unoptimized": max_tb = num_inst_windows always
+//   Dyncta     - baseline [11]: per-core DYNCTA applied to ALL cores on a
+//                single-level period
+//   Lcs        - baseline [15]: fixes max_tb per core after observing the
+//                core's first thread block
+//   DynMg      - ours: two-level dynamic multi-gear throttling; a global
+//                gear (Algorithm 1, Tables 1&3) picks how many of the
+//                fastest cores are throttled; throttled cores run a DYNCTA-
+//                like in-core controller per sub-period (Table 4).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/samples.hpp"
+
+namespace llamcat {
+
+/// Contention classes on t_cs (Table 3).
+enum class Contention : std::uint8_t { kLow, kNormal, kHigh, kExtreme };
+
+Contention classify_contention(double t_cs, const ThrottleConfig& cfg);
+
+class IThrottleController {
+ public:
+  virtual ~IThrottleController() = default;
+
+  /// Per-core samples accumulated over the last sub-period, indexed by core.
+  /// `first_tb` carries each core's first-thread-block report once known.
+  virtual void on_sub_period(
+      std::span<const CoreSample> samples,
+      std::span<const std::optional<FirstTbReport>> first_tb) = 0;
+
+  /// Global sample over the last sampling period.
+  virtual void on_global_period(const GlobalSample& sample) = 0;
+
+  [[nodiscard]] virtual std::uint32_t max_tb(CoreId core) const = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Factory for the configured policy.
+std::unique_ptr<IThrottleController> make_throttle_controller(
+    const ThrottleConfig& cfg, const CoreConfig& cores);
+
+// ---------------------------------------------------------------------------
+
+class NoThrottle final : public IThrottleController {
+ public:
+  explicit NoThrottle(const CoreConfig& cores)
+      : windows_(cores.num_inst_windows) {}
+  void on_sub_period(std::span<const CoreSample>,
+                     std::span<const std::optional<FirstTbReport>>) override {}
+  void on_global_period(const GlobalSample&) override {}
+  [[nodiscard]] std::uint32_t max_tb(CoreId) const override {
+    return windows_;
+  }
+  [[nodiscard]] std::string name() const override { return "unopt"; }
+
+ private:
+  std::uint32_t windows_;
+};
+
+/// DYNCTA baseline: every dyncta_period cycles, each core independently
+/// adjusts its own max_tb from its C_idle / C_mem counters.
+class Dyncta final : public IThrottleController {
+ public:
+  Dyncta(const ThrottleConfig& cfg, const CoreConfig& cores);
+  void on_sub_period(
+      std::span<const CoreSample> samples,
+      std::span<const std::optional<FirstTbReport>> first_tb) override;
+  void on_global_period(const GlobalSample&) override {}
+  [[nodiscard]] std::uint32_t max_tb(CoreId core) const override {
+    return max_tb_[core];
+  }
+  [[nodiscard]] std::string name() const override { return "dyncta"; }
+
+ private:
+  ThrottleConfig cfg_;
+  std::uint32_t windows_;
+  std::vector<std::uint32_t> max_tb_;
+  std::vector<CoreSample> acc_;     // accumulated toward dyncta_period
+  Cycle acc_cycles_ = 0;
+};
+
+/// LCS baseline: max_tb fixed per core from the first thread block's
+/// memory-stall fraction.
+class Lcs final : public IThrottleController {
+ public:
+  Lcs(const ThrottleConfig& cfg, const CoreConfig& cores);
+  void on_sub_period(
+      std::span<const CoreSample> samples,
+      std::span<const std::optional<FirstTbReport>> first_tb) override;
+  void on_global_period(const GlobalSample&) override {}
+  [[nodiscard]] std::uint32_t max_tb(CoreId core) const override {
+    return max_tb_[core];
+  }
+  [[nodiscard]] std::string name() const override { return "lcs"; }
+  [[nodiscard]] bool decided(CoreId core) const { return decided_[core]; }
+
+ private:
+  ThrottleConfig cfg_;
+  std::uint32_t windows_;
+  std::vector<std::uint32_t> max_tb_;
+  std::vector<bool> decided_;
+};
+
+/// Two-level dynamic multi-gear throttling (ours).
+class DynMg final : public IThrottleController {
+ public:
+  DynMg(const ThrottleConfig& cfg, const CoreConfig& cores);
+  void on_sub_period(
+      std::span<const CoreSample> samples,
+      std::span<const std::optional<FirstTbReport>> first_tb) override;
+  void on_global_period(const GlobalSample& sample) override;
+  [[nodiscard]] std::uint32_t max_tb(CoreId core) const override;
+  [[nodiscard]] std::string name() const override { return "dynmg"; }
+
+  // Introspection (tests / Fig 8 style analysis).
+  [[nodiscard]] std::uint32_t gear() const { return gear_; }
+  [[nodiscard]] bool throttled(CoreId core) const { return throttled_[core]; }
+  [[nodiscard]] std::uint32_t throttled_count() const;
+  /// Cores to throttle at `gear` out of `num_cores` (Table 1 fractions).
+  [[nodiscard]] std::uint32_t cores_for_gear(std::uint32_t gear) const;
+
+ private:
+  ThrottleConfig cfg_;
+  std::uint32_t windows_;
+  std::uint32_t num_cores_;
+  std::uint32_t gear_ = 0;
+  std::vector<bool> throttled_;
+  std::vector<std::uint32_t> max_tb_;  // in-core controller state
+};
+
+}  // namespace llamcat

@@ -1,0 +1,201 @@
+#include "dram/controller.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace llamcat {
+
+DramController::DramController(const DramConfig& cfg, const DramTiming& timing,
+                               const AddressMap& map, std::uint32_t channel_id)
+    : cfg_(cfg), timing_(timing), map_(map), channel_id_(channel_id) {
+  const std::uint32_t nbanks = cfg_.ranks_per_channel *
+                               cfg_.bankgroups_per_rank *
+                               cfg_.banks_per_bankgroup;
+  banks_.resize(nbanks);
+  bankgroups_.resize(cfg_.ranks_per_channel * cfg_.bankgroups_per_rank);
+  ranks_.resize(cfg_.ranks_per_channel);
+  next_refresh_ = timing_.tREFI;
+  read_q_.reserve(cfg_.read_q_size);
+  write_q_.reserve(cfg_.write_q_size);
+}
+
+void DramController::enqueue(const DramRequest& r, DramTick now) {
+  assert(can_accept(r));
+  Entry e;
+  e.req = r;
+  e.coord = map_.decode(r.line_addr);
+  assert(e.coord.channel == channel_id_);
+  e.arrival = now;
+  if (r.is_write) {
+    // Forward any pending read to the same line first? Reads probe the write
+    // queue at enqueue time instead (simpler and equivalent here because the
+    // LLC never issues a read while a write-back to the same line is queued).
+    write_q_.push_back(e);
+    ++counters_.writes_enq;
+  } else {
+    read_q_.push_back(e);
+    ++counters_.reads_enq;
+  }
+}
+
+bool DramController::maybe_refresh(DramTick now) {
+  if (!cfg_.enable_refresh) return false;
+  if (now < next_refresh_) return false;
+  // All-bank refresh of one rank per tREFI, round-robin across ranks.
+  const std::uint32_t rank = refresh_rank_rr_;
+  refresh_rank_rr_ = (refresh_rank_rr_ + 1) % cfg_.ranks_per_channel;
+  next_refresh_ += timing_.tREFI;
+  for (std::uint32_t bg = 0; bg < cfg_.bankgroups_per_rank; ++bg) {
+    for (std::uint32_t b = 0; b < cfg_.banks_per_bankgroup; ++b) {
+      DramCoord c{channel_id_, rank, bg, b, 0, 0};
+      bank_of(c).do_refresh(now, timing_);
+    }
+  }
+  ranks_[rank].begin_refresh(now, now + timing_.tRFC);
+  ++counters_.refreshes;
+  return true;
+}
+
+bool DramController::ready_for_data(const Entry& e, bool is_write,
+                                    DramTick now) {
+  const Bank& bank = const_cast<DramController*>(this)->bank_of(e.coord);
+  const BankGroupState& bg = const_cast<DramController*>(this)->bg_of(e.coord);
+  const RankState& rank = ranks_[e.coord.rank];
+  if (rank.refreshing(now)) return false;
+  if (is_write) {
+    return bank.can_write(now, e.coord.row) && now >= bg.wr_allowed &&
+           now >= bus_.wr_allowed;
+  }
+  return bank.can_read(now, e.coord.row) && now >= bg.rd_allowed &&
+         now >= bus_.rd_allowed && now >= rank.rd_allowed();
+}
+
+void DramController::issue_data(Entry& e, bool is_write, DramTick now,
+                                std::vector<DramCompletion>& done) {
+  Bank& bank = bank_of(e.coord);
+  BankGroupState& bg = bg_of(e.coord);
+  if (is_write) {
+    bank.do_write(now, timing_);
+    bg.on_write(now, timing_);
+    ranks_[e.coord.rank].on_write(now, timing_);
+    bus_.on_write(now, timing_);
+    ++counters_.writes;
+    if (e.activated_for) {
+      ++counters_.row_misses;
+    } else {
+      ++counters_.row_hits;
+    }
+  } else {
+    bank.do_read(now, timing_);
+    bg.on_read(now, timing_);
+    bus_.on_read(now, timing_);
+    ++counters_.reads;
+    if (e.activated_for) {
+      ++counters_.row_misses;
+    } else {
+      ++counters_.row_hits;
+    }
+    inflight_reads_.push_back(
+        DramCompletion{e.req.line_addr, e.req.payload,
+                       now + timing_.read_latency() + cfg_.ctrl_latency});
+  }
+  (void)done;
+}
+
+bool DramController::schedule_from(std::vector<Entry>& q, bool is_write,
+                                   DramTick now,
+                                   std::vector<DramCompletion>& done) {
+  if (q.empty()) return false;
+
+  // Pass 1 (FR): oldest request whose row is open and data command ready.
+  for (std::size_t i = 0; i < q.size(); ++i) {
+    if (ready_for_data(q[i], is_write, now)) {
+      issue_data(q[i], is_write, now, done);
+      q.erase(q.begin() + static_cast<std::ptrdiff_t>(i));
+      return true;
+    }
+  }
+
+  // Pass 2 (FCFS): advance the oldest request's bank state.
+  for (std::size_t i = 0; i < q.size(); ++i) {
+    Entry& e = q[i];
+    Bank& bank = bank_of(e.coord);
+    RankState& rank = ranks_[e.coord.rank];
+    BankGroupState& bg = bg_of(e.coord);
+    if (rank.refreshing(now)) continue;
+    if (!bank.row_open()) {
+      if (bank.can_activate(now) && now >= bg.act_allowed &&
+          rank.can_activate(now, timing_)) {
+        bank.do_activate(now, e.coord.row, timing_);
+        bg.on_activate(now, timing_);
+        rank.on_activate(now, timing_);
+        e.activated_for = true;
+        ++counters_.activates;
+        return true;
+      }
+    } else if (bank.open_row() != e.coord.row) {
+      if (bank.can_precharge(now)) {
+        bank.do_precharge(now, timing_);
+        ++counters_.precharges;
+        ++counters_.row_conflicts;
+        return true;
+      }
+    }
+    // Only attempt row management on behalf of the oldest blocked request
+    // per bank; scanning further entries to the same bank would reorder the
+    // open-row decision. Continue to other banks' requests.
+  }
+  return false;
+}
+
+StatSet DramController::stats() const {
+  StatSet s;
+  s.set("dram.reads_enq", counters_.reads_enq);
+  s.set("dram.writes_enq", counters_.writes_enq);
+  s.set("dram.reads", counters_.reads);
+  s.set("dram.writes", counters_.writes);
+  s.set("dram.activates", counters_.activates);
+  s.set("dram.precharges", counters_.precharges);
+  s.set("dram.row_hits", counters_.row_hits);
+  s.set("dram.row_misses", counters_.row_misses);
+  s.set("dram.row_conflicts", counters_.row_conflicts);
+  s.set("dram.refreshes", counters_.refreshes);
+  return s;
+}
+
+void DramController::tick(DramTick now, std::vector<DramCompletion>& done) {
+  // Deliver finished reads.
+  for (std::size_t i = 0; i < inflight_reads_.size();) {
+    if (inflight_reads_[i].finish_tick <= now) {
+      done.push_back(inflight_reads_[i]);
+      inflight_reads_.erase(inflight_reads_.begin() +
+                            static_cast<std::ptrdiff_t>(i));
+    } else {
+      ++i;
+    }
+  }
+
+  read_q_occ_.add(static_cast<double>(read_q_.size()));
+
+  if (maybe_refresh(now)) return;
+
+  // Write drain hysteresis.
+  const double occ = static_cast<double>(write_q_.size()) /
+                     static_cast<double>(cfg_.write_q_size);
+  if (!draining_writes_ && occ >= cfg_.write_drain_high)
+    draining_writes_ = true;
+  if (draining_writes_ &&
+      (occ <= cfg_.write_drain_low || write_q_.empty()))
+    draining_writes_ = false;
+
+  const bool prefer_writes = draining_writes_ || read_q_.empty();
+  if (prefer_writes) {
+    if (schedule_from(write_q_, /*is_write=*/true, now, done)) return;
+    if (schedule_from(read_q_, /*is_write=*/false, now, done)) return;
+  } else {
+    if (schedule_from(read_q_, /*is_write=*/false, now, done)) return;
+    if (schedule_from(write_q_, /*is_write=*/true, now, done)) return;
+  }
+}
+
+}  // namespace llamcat

@@ -1,0 +1,122 @@
+// Per-channel FR-FCFS memory controller with open-page policy, write
+// draining and all-bank refresh.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/math_util.hpp"
+#include "common/stats.hpp"
+#include "dram/bank.hpp"
+#include "dram/timing.hpp"
+
+namespace llamcat {
+
+/// A line-granular request as seen by the DRAM system. `payload` is opaque to
+/// the controller and returned with the completion callback (the LLC encodes
+/// the owning slice / MSHR entry there).
+struct DramRequest {
+  Addr line_addr = 0;
+  bool is_write = false;
+  std::uint64_t payload = 0;
+};
+
+struct DramCompletion {
+  Addr line_addr = 0;
+  std::uint64_t payload = 0;
+  DramTick finish_tick = 0;
+};
+
+/// One DDR5 channel: request queues + scheduler + bank state.
+class DramController {
+ public:
+  DramController(const DramConfig& cfg, const DramTiming& timing,
+                 const AddressMap& map, std::uint32_t channel_id);
+
+  [[nodiscard]] bool can_accept_read() const {
+    return read_q_.size() < cfg_.read_q_size;
+  }
+  [[nodiscard]] bool can_accept_write() const {
+    return write_q_.size() < cfg_.write_q_size;
+  }
+  [[nodiscard]] bool can_accept(const DramRequest& r) const {
+    return r.is_write ? can_accept_write() : can_accept_read();
+  }
+
+  /// Precondition: can_accept(r).
+  void enqueue(const DramRequest& r, DramTick now);
+
+  /// Advances one DRAM cycle; completed reads are appended to `done`.
+  void tick(DramTick now, std::vector<DramCompletion>& done);
+
+  [[nodiscard]] bool idle() const {
+    return read_q_.empty() && write_q_.empty() && inflight_reads_.empty();
+  }
+
+  /// Hot-path counters (plain fields; converted to a StatSet on demand).
+  struct Counters {
+    std::uint64_t reads_enq = 0;
+    std::uint64_t writes_enq = 0;
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t activates = 0;
+    std::uint64_t precharges = 0;
+    std::uint64_t row_hits = 0;
+    std::uint64_t row_misses = 0;
+    std::uint64_t row_conflicts = 0;
+    std::uint64_t refreshes = 0;
+  };
+  [[nodiscard]] const Counters& counters() const { return counters_; }
+  [[nodiscard]] StatSet stats() const;
+  /// Time-weighted average read-queue occupancy.
+  [[nodiscard]] double avg_read_q() const { return read_q_occ_.mean(); }
+
+ private:
+  struct Entry {
+    DramRequest req;
+    DramCoord coord;
+    DramTick arrival = 0;
+    bool activated_for = false;  // an ACT was issued on behalf of this entry
+  };
+
+  Bank& bank_of(const DramCoord& c) {
+    return banks_[(c.rank * cfg_.bankgroups_per_rank + c.bankgroup) *
+                      cfg_.banks_per_bankgroup +
+                  c.bank];
+  }
+  BankGroupState& bg_of(const DramCoord& c) {
+    return bankgroups_[c.rank * cfg_.bankgroups_per_rank + c.bankgroup];
+  }
+
+  bool maybe_refresh(DramTick now);
+  /// Returns true if a command was issued this cycle.
+  bool schedule_from(std::vector<Entry>& q, bool is_write, DramTick now,
+                     std::vector<DramCompletion>& done);
+  bool ready_for_data(const Entry& e, bool is_write, DramTick now);
+  void issue_data(Entry& e, bool is_write, DramTick now,
+                  std::vector<DramCompletion>& done);
+
+  const DramConfig cfg_;
+  const DramTiming timing_;
+  const AddressMap map_;
+  const std::uint32_t channel_id_;
+
+  std::vector<Bank> banks_;
+  std::vector<BankGroupState> bankgroups_;
+  std::vector<RankState> ranks_;
+  ChannelBusState bus_;
+
+  std::vector<Entry> read_q_;
+  std::vector<Entry> write_q_;
+  std::vector<DramCompletion> inflight_reads_;  // waiting for data latency
+  bool draining_writes_ = false;
+  DramTick next_refresh_ = 0;
+  std::uint32_t refresh_rank_rr_ = 0;
+
+  Counters counters_;
+  OccupancyAverage read_q_occ_;
+};
+
+}  // namespace llamcat

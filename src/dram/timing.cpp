@@ -1,0 +1,65 @@
+#include "dram/timing.hpp"
+
+#include "common/math_util.hpp"
+
+namespace llamcat {
+
+DramTiming::DramTiming(const DramConfig& c)
+    : tCL(c.tCL),
+      tCWL(c.tCWL),
+      tRCD(c.tRCD),
+      tRP(c.tRP),
+      tRAS(c.tRAS),
+      tRC(c.tRC),
+      tCCD_S(c.tCCD_S),
+      tCCD_L(c.tCCD_L),
+      tRRD_S(c.tRRD_S),
+      tRRD_L(c.tRRD_L),
+      tFAW(c.tFAW),
+      tWR(c.tWR),
+      tRTP(c.tRTP),
+      tWTR_S(c.tWTR_S),
+      tWTR_L(c.tWTR_L),
+      tRTW(c.tRTW),
+      tRFC(c.tRFC),
+      tREFI(c.tREFI),
+      tBurst(c.burst_length / 2) {}
+
+AddressMap::AddressMap(const DramConfig& cfg)
+    : ch_bits_(log2_floor(cfg.num_channels)),
+      col_bits_(log2_floor(cfg.row_bytes / kLineBytes)),
+      bg_bits_(log2_floor(cfg.bankgroups_per_rank)),
+      bank_bits_(log2_floor(cfg.banks_per_bankgroup)),
+      rank_bits_(log2_floor(cfg.ranks_per_channel)),
+      row_bits_(log2_floor(cfg.rows_per_bank)) {}
+
+DramCoord AddressMap::decode(Addr line_addr) const {
+  Addr x = line_index(line_addr);
+  auto take = [&x](std::uint32_t bits) {
+    const Addr v = x & ((Addr{1} << bits) - 1);
+    x >>= bits;
+    return static_cast<std::uint32_t>(v);
+  };
+  DramCoord c;
+  c.channel = take(ch_bits_);
+  c.col = take(col_bits_);
+  c.bankgroup = take(bg_bits_);
+  c.bank = take(bank_bits_);
+  c.rank = take(rank_bits_);
+  // Row takes the remaining bits, wrapped to the configured row count so any
+  // 64-bit address is mappable.
+  c.row = static_cast<std::uint32_t>(x & ((Addr{1} << row_bits_) - 1));
+  return c;
+}
+
+Addr AddressMap::encode(const DramCoord& c) const {
+  Addr x = c.row;
+  x = (x << rank_bits_) | c.rank;
+  x = (x << bank_bits_) | c.bank;
+  x = (x << bg_bits_) | c.bankgroup;
+  x = (x << col_bits_) | c.col;
+  x = (x << ch_bits_) | c.channel;
+  return x * kLineBytes;
+}
+
+}  // namespace llamcat

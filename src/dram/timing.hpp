@@ -1,0 +1,60 @@
+// DDR5 command vocabulary and derived timing bundle.
+#pragma once
+
+#include <cstdint>
+
+#include "common/config.hpp"
+
+namespace llamcat {
+
+enum class DramCommand : std::uint8_t { kAct, kPre, kRead, kWrite, kRefresh };
+
+/// All DRAM-clock timing constraints used by the controller, derived from a
+/// DramConfig. Values are in DRAM cycles (tCK = 1/dram_hz).
+struct DramTiming {
+  std::uint32_t tCL, tCWL, tRCD, tRP, tRAS, tRC;
+  std::uint32_t tCCD_S, tCCD_L, tRRD_S, tRRD_L, tFAW;
+  std::uint32_t tWR, tRTP, tWTR_S, tWTR_L, tRTW;
+  std::uint32_t tRFC, tREFI;
+  std::uint32_t tBurst;  // data-bus cycles per access: burst_length / 2 (DDR)
+
+  explicit DramTiming(const DramConfig& cfg);
+
+  /// Read data is fully on the bus tCL + tBurst after the READ command.
+  [[nodiscard]] std::uint32_t read_latency() const { return tCL + tBurst; }
+  /// Write data finishes tCWL + tBurst after the WRITE command.
+  [[nodiscard]] std::uint32_t write_latency() const { return tCWL + tBurst; }
+};
+
+/// Physical location of a cache line inside the DRAM system.
+struct DramCoord {
+  std::uint32_t channel = 0;
+  std::uint32_t rank = 0;
+  std::uint32_t bankgroup = 0;
+  std::uint32_t bank = 0;
+  std::uint32_t row = 0;
+  std::uint32_t col = 0;  // line-granular column within the row
+};
+
+/// Line-interleaved address mapping, LSB-first field order:
+///   channel | column | bankgroup | bank | rank | row
+/// Consecutive lines stripe across channels; a contiguous stream then fills a
+/// 2 KB row per channel before moving to the next bank group, giving streams
+/// high row-buffer locality while distinct streams land in distinct bank
+/// groups.
+class AddressMap {
+ public:
+  explicit AddressMap(const DramConfig& cfg);
+
+  [[nodiscard]] DramCoord decode(Addr line_addr) const;
+  /// Inverse of decode (used by tests to prove bijectivity).
+  [[nodiscard]] Addr encode(const DramCoord& c) const;
+
+  [[nodiscard]] std::uint32_t channel_bits() const { return ch_bits_; }
+
+ private:
+  std::uint32_t ch_bits_, col_bits_, bg_bits_, bank_bits_, rank_bits_,
+      row_bits_;
+};
+
+}  // namespace llamcat

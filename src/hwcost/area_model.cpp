@@ -1,0 +1,57 @@
+#include "hwcost/area_model.hpp"
+
+#include <cmath>
+
+#include "common/math_util.hpp"
+
+namespace llamcat {
+
+AreaBreakdown hit_buffer_area(const ArbConfig& arb, const AreaParams& p) {
+  AreaBreakdown a;
+  const double bits_per_entry = p.addr_bits + 1;  // tag + valid
+  // Storage flops.
+  a.add("storage", arb.hit_buffer_depth * bits_per_entry * p.flop_um2);
+  // CAM match logic: every entry compares against the probe address.
+  a.add("cam_match", arb.hit_buffer_depth * p.addr_bits * p.cam_bit_um2);
+  // FIFO head/tail pointers.
+  const double ptr_bits = 2.0 * (log2_floor(arb.hit_buffer_depth) + 1);
+  a.add("pointers", ptr_bits * p.flop_um2);
+  a.total_um2 *= p.overhead;
+  return a;
+}
+
+AreaBreakdown arbiter_area(const LlcConfig& llc, const ArbConfig& arb,
+                           std::uint32_t num_cores, const AreaParams& p) {
+  AreaBreakdown a;
+  const double core_bits = log2_floor(num_cores) + 1;
+
+  // Request queue storage (addr + core id + type + age tag).
+  const double req_bits = p.addr_bits + core_bits + 1 + 8;
+  a.add("req_queue", llc.req_q_size * req_bits * p.flop_um2);
+
+  // Progress counters, one per core (§4.1).
+  const double counter_bits = 24;
+  a.add("progress_counters",
+        num_cores * counter_bits * (p.flop_um2 + p.adder_bit_um2));
+
+  // sent_reqs FIFO (addr + spec bit + timestamp) (§4.3.1).
+  const double sent_bits = p.addr_bits + 1 + 4;
+  a.add("sent_reqs", arb.sent_reqs_depth * sent_bits * p.flop_um2);
+
+  // Speculation lookup: each queued request probes the combined list
+  // (MSHR snapshot entries + sent_reqs) - one probe port is time-shared,
+  // realized as a CAM over (mshr entries + sent_reqs depth) entries.
+  const double spec_entries = llc.mshr_entries + arb.sent_reqs_depth;
+  a.add("spec_cam", spec_entries * p.addr_bits * p.cam_bit_um2 *
+                        2.0 /* dual query: hit_buffer + MSHR sections */);
+
+  // Selection tree: (req_q_size - 1) comparators over (class, progress).
+  const double sel_bits = 2 + counter_bits;
+  a.add("select_tree", (llc.req_q_size - 1) * sel_bits * p.cmp_bit_um2 *
+                           std::max(1.0, std::log2(llc.req_q_size)));
+
+  a.total_um2 *= p.overhead;
+  return a;
+}
+
+}  // namespace llamcat

@@ -1,0 +1,56 @@
+// Analytical area model for the CAT hardware additions (paper §6.1).
+//
+// Substitution note: the paper synthesizes a Chisel implementation with
+// Synopsys DC on the 15nm NanGate open cell library at 1.96 GHz and reports
+//   arbiter (incl. request queue) : 7312.93 um^2
+//   hit buffer                    : 3088.61 um^2
+// No synthesis toolchain is available offline, so this model estimates area
+// structurally (storage bits, CAM comparators, counters, selection logic)
+// with per-bit constants in the range of 15nm standard cells, plus a fitted
+// layout/control overhead factor. Absolute accuracy is not needed: no
+// speedup result depends on these numbers; the model exists to reproduce
+// the order of magnitude and the arbiter:hit-buffer ratio of Table §6.1.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+
+namespace llamcat {
+
+struct AreaParams {
+  double flop_um2 = 1.8;        // DFF incl. local clocking, 15nm
+  double cam_bit_um2 = 1.0;     // XNOR+AND per compared bit
+  double cmp_bit_um2 = 0.9;     // magnitude comparator per bit
+  double adder_bit_um2 = 1.2;   // incrementer per counter bit
+  double overhead = 1.15;       // control / mux / layout overhead (fitted)
+  std::uint32_t addr_bits = 34; // physical line-address tag width
+};
+
+struct AreaBreakdown {
+  struct Item {
+    std::string name;
+    double um2 = 0.0;
+  };
+  std::vector<Item> items;
+  double total_um2 = 0.0;
+
+  void add(std::string name, double um2) {
+    items.push_back({std::move(name), um2});
+    total_um2 += um2;
+  }
+};
+
+/// Area of the hit buffer: `depth` CAM entries of addr_bits (+valid).
+AreaBreakdown hit_buffer_area(const ArbConfig& arb,
+                              const AreaParams& p = AreaParams{});
+
+/// Area of the arbiter, including the request queue (the paper counts the
+/// queue as part of the arbiter since they are logically indivisible).
+AreaBreakdown arbiter_area(const LlcConfig& llc, const ArbConfig& arb,
+                           std::uint32_t num_cores,
+                           const AreaParams& p = AreaParams{});
+
+}  // namespace llamcat

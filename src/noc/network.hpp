@@ -1,0 +1,89 @@
+// Interconnect between cores and LLC slices: fixed-latency delay channels
+// with per-slice credits for backpressure (paper Fig 3/4 models the NoC
+// abstractly; contention is concentrated in the slice request queues).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/types.hpp"
+
+namespace llamcat {
+
+/// FIFO whose elements become visible `latency` cycles after being pushed.
+template <typename T>
+class DelayChannel {
+ public:
+  explicit DelayChannel(std::uint32_t latency) : latency_(latency) {}
+
+  void push(T item, Cycle now) {
+    q_.push_back(Timed{now + latency_, std::move(item)});
+  }
+
+  /// Front element if it has matured by `now`.
+  [[nodiscard]] const T* peek_ready(Cycle now) const {
+    if (q_.empty() || q_.front().ready > now) return nullptr;
+    return &q_.front().item;
+  }
+
+  T pop() {
+    assert(!q_.empty());
+    T item = std::move(q_.front().item);
+    q_.pop_front();
+    return item;
+  }
+
+  [[nodiscard]] bool empty() const { return q_.empty(); }
+  [[nodiscard]] std::size_t size() const { return q_.size(); }
+
+ private:
+  struct Timed {
+    Cycle ready;
+    T item;
+  };
+  std::uint32_t latency_;
+  std::deque<Timed> q_;
+};
+
+/// Core->slice request channels (credited) and slice->core response
+/// channels. A credit is consumed when a core injects a request toward a
+/// slice and released when the slice accepts it into its request queue, so
+/// slice-queue backpressure propagates to the cores.
+class Network {
+ public:
+  Network(const NocConfig& cfg, std::uint32_t num_cores,
+          std::uint32_t num_slices, std::uint32_t credits_per_slice = 32);
+
+  // ---- request direction --------------------------------------------------
+  [[nodiscard]] bool can_send_request(std::uint32_t slice) const {
+    return credits_[slice] > 0;
+  }
+  void send_request(std::uint32_t slice, const MemRequest& req, Cycle now);
+  /// Matured request at the head of a slice's ingress, if any.
+  [[nodiscard]] const MemRequest* peek_request(std::uint32_t slice,
+                                               Cycle now) const;
+  /// Pops the head request and releases its credit.
+  MemRequest pop_request(std::uint32_t slice);
+
+  // ---- response direction -------------------------------------------------
+  void send_response(const MemResponse& resp, Cycle now);
+  [[nodiscard]] const MemResponse* peek_response(CoreId core,
+                                                 Cycle now) const;
+  MemResponse pop_response(CoreId core);
+
+  [[nodiscard]] bool idle() const;
+  [[nodiscard]] std::uint64_t requests_sent() const { return requests_sent_; }
+
+ private:
+  std::vector<DelayChannel<MemRequest>> req_ch_;    // per slice
+  std::vector<DelayChannel<MemResponse>> resp_ch_;  // per core
+  std::vector<std::uint32_t> credits_;
+  std::uint32_t credits_per_slice_;
+  std::uint64_t requests_sent_ = 0;
+};
+
+}  // namespace llamcat

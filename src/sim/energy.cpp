@@ -1,0 +1,76 @@
+#include "sim/energy.hpp"
+
+#include <iomanip>
+
+namespace llamcat {
+
+namespace {
+constexpr double kPicojoule = 1e-12;
+constexpr double kMilliwatt = 1e-3;
+}  // namespace
+
+double EnergyReport::dram_pj_per_byte(const SimStats& stats) const {
+  const double bytes = static_cast<double>(
+      (stats.dram_reads + stats.dram_writes) * kLineBytes);
+  return bytes > 0.0 ? dram_dynamic_j / kPicojoule / bytes : 0.0;
+}
+
+EnergyReport estimate_energy(const EnergyConfig& energy, const SimConfig& cfg,
+                             const SimStats& stats) {
+  const StatSet& c = stats.counters;
+  EnergyReport r;
+  r.seconds = stats.seconds();
+
+  const double acts = static_cast<double>(c.get("dram.activates"));
+  const double reads = static_cast<double>(c.get("dram.reads"));
+  const double writes = static_cast<double>(c.get("dram.writes"));
+  const double refs = static_cast<double>(c.get("dram.refreshes"));
+  r.dram_dynamic_j = (acts * energy.dram_act_pre_pj +
+                      reads * energy.dram_rd_pj +
+                      writes * energy.dram_wr_pj + refs * energy.dram_ref_pj) *
+                     kPicojoule;
+  r.dram_static_j = energy.dram_static_mw_per_channel * kMilliwatt *
+                    cfg.dram.num_channels * r.seconds;
+
+  // Every lookup probes the tag array; hits and fill installs touch the
+  // data array; tag misses probe the MSHR CAM, allocations write it.
+  const double lookups = static_cast<double>(c.get("llc.lookups"));
+  const double data_accesses = static_cast<double>(
+      c.get("llc.hits") + c.get("llc.responses_served") -
+      c.get("llc.bypassed_fills"));
+  const double mshr_ops = static_cast<double>(c.get("llc.misses") +
+                                              c.get("llc.mshr_allocs"));
+  r.llc_j = (lookups * energy.llc_tag_pj + data_accesses * energy.llc_data_pj +
+             mshr_ops * energy.mshr_pj) *
+            kPicojoule;
+
+  const double l1_accesses = static_cast<double>(
+      c.get("l1.load_hits") + c.get("l1.load_misses") +
+      c.get("l1.load_merges") + c.get("l1.store_hits") +
+      c.get("l1.store_misses") + c.get("l1.fills"));
+  r.l1_j = l1_accesses * energy.l1_access_pj * kPicojoule;
+
+  // NoC traffic: one request message per LLC ingress, one data response per
+  // L1 fill (loads) - stores are posted and carry data in the request, so
+  // charge them at response weight on the way in.
+  const double reqs = static_cast<double>(c.get("llc.requests_in"));
+  const double data_resps = static_cast<double>(c.get("l1.fills"));
+  const double store_reqs = static_cast<double>(c.get("llc.store_hits"));
+  r.noc_j = (reqs * energy.noc_req_pj +
+             (data_resps + store_reqs) * energy.noc_resp_pj) *
+            kPicojoule;
+  return r;
+}
+
+void EnergyReport::print(std::ostream& os) const {
+  const auto mj = [](double j) { return j * 1e3; };
+  os << std::fixed << std::setprecision(3)
+     << "energy (mJ): dram_dyn=" << mj(dram_dynamic_j)
+     << " dram_static=" << mj(dram_static_j) << " llc=" << mj(llc_j)
+     << " l1=" << mj(l1_j) << " noc=" << mj(noc_j)
+     << " total=" << mj(total_j()) << "\n"
+     << "avg power: " << avg_power_w() << " W, EDP: " << edp_js() * 1e6
+     << " uJ*s\n";
+}
+
+}  // namespace llamcat

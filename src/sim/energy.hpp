@@ -1,0 +1,79 @@
+// Post-hoc energy model: converts end-of-run counters into an energy
+// breakdown (DRAM / LLC / L1 / NoC) plus derived efficiency metrics.
+//
+// The paper evaluates speedup only; energy is the natural companion metric
+// for an LLC study (throttling trades parallelism for locality, and
+// locality is energy). Constants are per-operation energies at the level of
+// a DDR5 power calculator and 15nm SRAM macros - they are calibration
+// constants for *comparing policies on the same machine*, not measurements;
+// absolute joules carry the usual factor-of-2 model uncertainty.
+#pragma once
+
+#include <ostream>
+
+#include "common/config.hpp"
+#include "sim/sim_stats.hpp"
+
+namespace llamcat {
+
+/// Per-operation energy constants (picojoules unless noted).
+struct EnergyConfig {
+  // -- DRAM (DDR5-3200 x16 class devices) ---------------------------------
+  /// One ACT + PRE pair (charging one 2KB row).
+  double dram_act_pre_pj = 1500.0;
+  /// One 64-byte read burst, array + on-die datapath + I/O.
+  double dram_rd_pj = 1050.0;
+  /// One 64-byte write burst.
+  double dram_wr_pj = 1100.0;
+  /// One all-bank refresh command.
+  double dram_ref_pj = 2800.0;
+  /// Background (standby + clocking) power per channel, milliwatts.
+  double dram_static_mw_per_channel = 75.0;
+
+  // -- SRAM (15nm-class macros, 64B line granularity) ----------------------
+  /// One L1 access (64KB macro, tag+data in parallel).
+  double l1_access_pj = 6.0;
+  /// One LLC tag probe (per lookup, hit or miss).
+  double llc_tag_pj = 3.5;
+  /// One LLC data-array access (2MB slice macro; hit read or fill write).
+  double llc_data_pj = 30.0;
+  /// One MSHR CAM probe or allocate.
+  double mshr_pj = 0.9;
+
+  // -- Interconnect ---------------------------------------------------------
+  /// One request message (address + metadata flit).
+  double noc_req_pj = 15.0;
+  /// One 64-byte response message.
+  double noc_resp_pj = 70.0;
+};
+
+/// Energy breakdown of one run, in joules.
+struct EnergyReport {
+  double dram_dynamic_j = 0.0;
+  double dram_static_j = 0.0;
+  double llc_j = 0.0;
+  double l1_j = 0.0;
+  double noc_j = 0.0;
+
+  double seconds = 0.0;
+
+  [[nodiscard]] double total_j() const {
+    return dram_dynamic_j + dram_static_j + llc_j + l1_j + noc_j;
+  }
+  [[nodiscard]] double avg_power_w() const {
+    return seconds > 0.0 ? total_j() / seconds : 0.0;
+  }
+  /// Energy-delay product (J*s): the figure of merit that rewards policies
+  /// which save time without spending proportionally more energy.
+  [[nodiscard]] double edp_js() const { return total_j() * seconds; }
+  /// DRAM dynamic energy per byte actually moved (pJ/B).
+  [[nodiscard]] double dram_pj_per_byte(const SimStats& stats) const;
+
+  void print(std::ostream& os) const;
+};
+
+/// Computes the breakdown from a finished run's merged counters.
+EnergyReport estimate_energy(const EnergyConfig& energy, const SimConfig& cfg,
+                             const SimStats& stats);
+
+}  // namespace llamcat

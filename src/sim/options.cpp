@@ -1,0 +1,283 @@
+#include "sim/options.hpp"
+
+#include <charconv>
+#include <sstream>
+
+namespace llamcat {
+
+namespace {
+
+/// Parses an unsigned integer; nullopt on any trailing garbage.
+template <typename T>
+std::optional<T> parse_uint(std::string_view s) {
+  T value{};
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) return std::nullopt;
+  return value;
+}
+
+std::optional<double> parse_double(std::string_view s) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(std::string(s), &pos);
+    if (pos != s.size()) return std::nullopt;
+    return v;
+  } catch (...) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace
+
+std::optional<ArbPolicy> arb_policy_from_string(std::string_view s) {
+  if (s == "fcfs") return ArbPolicy::kFcfs;
+  if (s == "B" || s == "b" || s == "balanced") return ArbPolicy::kBalanced;
+  if (s == "MA" || s == "ma") return ArbPolicy::kMa;
+  if (s == "BMA" || s == "bma") return ArbPolicy::kBma;
+  if (s == "cobrra") return ArbPolicy::kCobrra;
+  if (s == "mrpb") return ArbPolicy::kMrpb;
+  if (s == "oracle") return ArbPolicy::kOracle;
+  if (s == "random") return ArbPolicy::kRandom;
+  return std::nullopt;
+}
+
+std::optional<ThrottlePolicy> throttle_policy_from_string(
+    std::string_view s) {
+  if (s == "unopt" || s == "none") return ThrottlePolicy::kNone;
+  if (s == "dyncta") return ThrottlePolicy::kDyncta;
+  if (s == "lcs") return ThrottlePolicy::kLcs;
+  if (s == "dynmg") return ThrottlePolicy::kDynMg;
+  return std::nullopt;
+}
+
+std::optional<RespArbPolicy> resp_arb_from_string(std::string_view s) {
+  if (s == "response-first") return RespArbPolicy::kResponseFirst;
+  if (s == "request-first") return RespArbPolicy::kRequestFirst;
+  return std::nullopt;
+}
+
+std::optional<TbDispatch> dispatch_from_string(std::string_view s) {
+  if (s == "static") return TbDispatch::kStaticBlocked;
+  if (s == "wave") return TbDispatch::kPartitionedStealing;
+  if (s == "global") return TbDispatch::kGlobalQueue;
+  return std::nullopt;
+}
+
+std::optional<ReplPolicy> repl_policy_from_string(std::string_view s) {
+  if (s == "lru") return ReplPolicy::kLru;
+  if (s == "tree-plru" || s == "plru") return ReplPolicy::kTreePlru;
+  if (s == "random") return ReplPolicy::kRandom;
+  if (s == "srrip") return ReplPolicy::kSrrip;
+  if (s == "fifo") return ReplPolicy::kFifo;
+  return std::nullopt;
+}
+
+std::optional<BypassPolicy> bypass_policy_from_string(std::string_view s) {
+  if (s == "none") return BypassPolicy::kNone;
+  if (s == "all") return BypassPolicy::kAll;
+  if (s == "prob" || s == "probabilistic") return BypassPolicy::kProbabilistic;
+  if (s == "reuse" || s == "reuse-history") return BypassPolicy::kReuseHistory;
+  return std::nullopt;
+}
+
+std::optional<ModelShape> model_from_string(std::string_view s) {
+  if (s == "llama3-70b" || s == "70b") return ModelShape::llama3_70b();
+  if (s == "llama3-405b" || s == "405b") return ModelShape::llama3_405b();
+  if (s == "llama3-8b" || s == "8b") return ModelShape::llama3_8b();
+  if (s == "gemma2-27b" || s == "27b") return ModelShape::gemma2_27b();
+  if (s == "qwen2-72b" || s == "72b") return ModelShape::qwen2_72b();
+  return std::nullopt;
+}
+
+std::optional<PolicyCombo> policy_combo_from_string(std::string_view s) {
+  PolicyCombo combo;
+  const std::size_t plus = s.find('+');
+  const std::string_view thr_part = s.substr(0, plus);
+  const auto thr = throttle_policy_from_string(thr_part);
+  if (!thr) {
+    // Allow a bare arbitration policy ("BMA" == "unopt+BMA").
+    if (plus != std::string_view::npos) return std::nullopt;
+    const auto arb_only = arb_policy_from_string(s);
+    if (!arb_only) return std::nullopt;
+    combo.arb = *arb_only;
+    return combo;
+  }
+  combo.throttle = *thr;
+  if (plus != std::string_view::npos) {
+    const auto arb = arb_policy_from_string(s.substr(plus + 1));
+    if (!arb) return std::nullopt;
+    combo.arb = *arb;
+  }
+  return combo;
+}
+
+std::string cli_usage() {
+  return R"(llamcat_cli - run one LLaMCAT simulation (Table 5 machine by default)
+
+usage: llamcat_cli [--flag=value ...]
+
+workload
+  --model=NAME       llama3-70b (default) | llama3-405b | llama3-8b |
+                     gemma2-27b | qwen2-72b
+  --op=KIND          logit (default) | attend | gemv | decode
+                     (decode = Logit followed by Attend)
+  --seq=N            sequence length L (default 4096)
+  --gemv-rows=N      gemv only: weight-matrix rows (default 8192)
+  --gemv-cols=N      gemv only: weight-matrix columns (default 4096)
+
+policy
+  --policy=COMBO     throttle+arbitration, e.g. dynmg+BMA, dyncta, unopt+MA,
+                     BMA (bare arbitration = unopt+ARB; default unopt+fcfs)
+  --resp-arb=P       response-first (default) | request-first
+  --dispatch=D       static (default) | wave | global
+
+machine overrides (defaults are the paper's Table 5)
+  --cores=N          number of vector cores
+  --llc-mb=N         total LLC capacity in MiB
+  --slices=N         LLC slice count
+  --mshr-entries=N   MSHR numEntry per slice
+  --mshr-targets=N   MSHR numTarget per entry
+  --repl=P           LLC replacement: lru | tree-plru | random | srrip | fifo
+  --bypass=P         LLC fill bypass: none | all | prob | reuse
+  --bypass-keep-p=F  keep probability for --bypass=prob (default 0.5)
+  --seed=N           simulation seed (default 1)
+
+output
+  --csv=PATH         append-style CSV export of the run
+  --json=PATH        JSON export (includes every counter)
+  --counters         print every merged component counter
+  --energy           print the energy-model breakdown
+  --verbose          progress to stderr
+  --help             this text
+)";
+}
+
+ParseResult parse_cli_options(const std::vector<std::string_view>& args) {
+  ParseResult result;
+  CliOptions opt;
+  opt.cfg = SimConfig::table5();
+  std::uint64_t llc_mb = opt.cfg.llc.size_bytes >> 20;
+
+  auto fail = [&result](const std::string& msg) {
+    result.error = msg;
+    return result;
+  };
+
+  for (const std::string_view arg : args) {
+    if (arg == "--help" || arg == "-h") {
+      result.help_requested = true;
+      return result;
+    }
+    if (arg == "--counters") {
+      opt.print_counters = true;
+      continue;
+    }
+    if (arg == "--energy") {
+      opt.print_energy = true;
+      continue;
+    }
+    if (arg == "--verbose") {
+      opt.verbose = true;
+      continue;
+    }
+    const std::size_t eq = arg.find('=');
+    if (arg.substr(0, 2) != "--" || eq == std::string_view::npos) {
+      return fail("unrecognized argument: " + std::string(arg));
+    }
+    const std::string_view key = arg.substr(2, eq - 2);
+    const std::string_view val = arg.substr(eq + 1);
+
+    if (key == "model") {
+      const auto m = model_from_string(val);
+      if (!m) return fail("unknown model: " + std::string(val));
+      opt.model = *m;
+    } else if (key == "op") {
+      if (val != "logit" && val != "attend" && val != "gemv" &&
+          val != "decode") {
+        return fail("unknown op: " + std::string(val));
+      }
+      opt.op = std::string(val);
+    } else if (key == "seq") {
+      const auto v = parse_uint<std::uint64_t>(val);
+      if (!v || *v == 0) return fail("bad --seq");
+      opt.seq_len = *v;
+    } else if (key == "gemv-rows") {
+      const auto v = parse_uint<std::uint64_t>(val);
+      if (!v || *v == 0) return fail("bad --gemv-rows");
+      opt.gemv_rows = *v;
+    } else if (key == "gemv-cols") {
+      const auto v = parse_uint<std::uint32_t>(val);
+      if (!v || *v == 0) return fail("bad --gemv-cols");
+      opt.gemv_cols = *v;
+    } else if (key == "policy") {
+      const auto combo = policy_combo_from_string(val);
+      if (!combo) return fail("unknown policy combo: " + std::string(val));
+      opt.cfg.throttle.policy = combo->throttle;
+      opt.cfg.arb.policy = combo->arb;
+      if (combo->arb == ArbPolicy::kCobrra) {
+        opt.cfg.llc.resp_arb = RespArbPolicy::kRequestFirst;
+      }
+    } else if (key == "resp-arb") {
+      const auto p = resp_arb_from_string(val);
+      if (!p) return fail("unknown resp-arb: " + std::string(val));
+      opt.cfg.llc.resp_arb = *p;
+    } else if (key == "dispatch") {
+      const auto d = dispatch_from_string(val);
+      if (!d) return fail("unknown dispatch: " + std::string(val));
+      opt.cfg.core.tb_dispatch = *d;
+    } else if (key == "cores") {
+      const auto v = parse_uint<std::uint32_t>(val);
+      if (!v || *v == 0) return fail("bad --cores");
+      opt.cfg.core.num_cores = *v;
+    } else if (key == "llc-mb") {
+      const auto v = parse_uint<std::uint64_t>(val);
+      if (!v || *v == 0) return fail("bad --llc-mb");
+      llc_mb = *v;
+    } else if (key == "slices") {
+      const auto v = parse_uint<std::uint32_t>(val);
+      if (!v || *v == 0) return fail("bad --slices");
+      opt.cfg.llc.num_slices = *v;
+    } else if (key == "mshr-entries") {
+      const auto v = parse_uint<std::uint32_t>(val);
+      if (!v || *v == 0) return fail("bad --mshr-entries");
+      opt.cfg.llc.mshr_entries = *v;
+    } else if (key == "mshr-targets") {
+      const auto v = parse_uint<std::uint32_t>(val);
+      if (!v || *v == 0) return fail("bad --mshr-targets");
+      opt.cfg.llc.mshr_targets = *v;
+    } else if (key == "repl") {
+      const auto p = repl_policy_from_string(val);
+      if (!p) return fail("unknown repl: " + std::string(val));
+      opt.cfg.llc.repl = *p;
+    } else if (key == "bypass") {
+      const auto p = bypass_policy_from_string(val);
+      if (!p) return fail("unknown bypass: " + std::string(val));
+      opt.cfg.llc.bypass.policy = *p;
+    } else if (key == "bypass-keep-p") {
+      const auto v = parse_double(val);
+      if (!v || *v < 0.0 || *v > 1.0) return fail("bad --bypass-keep-p");
+      opt.cfg.llc.bypass.keep_probability = *v;
+    } else if (key == "seed") {
+      const auto v = parse_uint<std::uint64_t>(val);
+      if (!v) return fail("bad --seed");
+      opt.cfg.seed = *v;
+    } else if (key == "csv") {
+      opt.csv_path = std::string(val);
+    } else if (key == "json") {
+      opt.json_path = std::string(val);
+    } else {
+      return fail("unknown flag: --" + std::string(key));
+    }
+  }
+
+  opt.cfg.llc.size_bytes = llc_mb << 20;
+  try {
+    opt.cfg.validate();
+  } catch (const std::invalid_argument& e) {
+    return fail(std::string("invalid configuration: ") + e.what());
+  }
+  result.options = std::move(opt);
+  return result;
+}
+
+}  // namespace llamcat

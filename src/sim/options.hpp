@@ -1,0 +1,66 @@
+// Command-line option parsing for the llamcat_cli driver. Kept in the
+// library (not the tool) so the string -> enum mappings are testable and
+// reusable by scripts embedding the simulator.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/config.hpp"
+#include "trace/operator.hpp"
+
+namespace llamcat {
+
+// -- string -> enum mappings (also the CLI vocabulary) -----------------------
+std::optional<ArbPolicy> arb_policy_from_string(std::string_view s);
+std::optional<ThrottlePolicy> throttle_policy_from_string(std::string_view s);
+std::optional<RespArbPolicy> resp_arb_from_string(std::string_view s);
+std::optional<TbDispatch> dispatch_from_string(std::string_view s);
+std::optional<ReplPolicy> repl_policy_from_string(std::string_view s);
+std::optional<BypassPolicy> bypass_policy_from_string(std::string_view s);
+std::optional<ModelShape> model_from_string(std::string_view s);
+
+/// "dynmg+BMA" / "dyncta" / "unopt+MA" -> (throttle, arbitration) pair.
+struct PolicyCombo {
+  ThrottlePolicy throttle = ThrottlePolicy::kNone;
+  ArbPolicy arb = ArbPolicy::kFcfs;
+};
+std::optional<PolicyCombo> policy_combo_from_string(std::string_view s);
+
+/// Everything the CLI can configure. `cfg` is fully assembled (Table 5
+/// with overrides applied) after a successful parse.
+struct CliOptions {
+  SimConfig cfg;
+  ModelShape model = ModelShape::llama3_70b();
+  std::string op = "logit";  // logit | attend | gemv | decode (pipeline)
+  std::uint64_t seq_len = 4096;
+  std::uint64_t gemv_rows = 8192;
+  std::uint32_t gemv_cols = 4096;
+  std::string csv_path;      // empty = no CSV export
+  std::string json_path;     // empty = no JSON export
+  bool print_counters = false;
+  bool print_energy = false;
+  bool verbose = false;
+};
+
+/// Outcome of a parse: options, a help request, or an error message.
+struct ParseResult {
+  std::optional<CliOptions> options;
+  bool help_requested = false;
+  std::string error;  // non-empty on failure
+
+  [[nodiscard]] bool ok() const { return options.has_value(); }
+};
+
+/// Parses `args` (without argv[0]). Unknown flags, malformed values and
+/// inconsistent configurations (via SimConfig::validate) all produce a
+/// ParseResult with a diagnostic error.
+ParseResult parse_cli_options(const std::vector<std::string_view>& args);
+
+/// The --help text.
+std::string cli_usage();
+
+}  // namespace llamcat

@@ -1,0 +1,35 @@
+// Machine-readable exports of experiment results (CSV and JSON), so sweeps
+// run through the CLI or the bench binaries can feed plotting scripts
+// without scraping the text tables.
+#pragma once
+
+#include <ostream>
+#include <span>
+#include <string>
+
+#include "sim/experiment.hpp"
+
+namespace llamcat {
+
+/// Columns shared by every run: derived headline metrics first, then raw
+/// totals. Counter maps can be appended optionally (union of keys).
+struct ReportOptions {
+  bool include_counters = false;  // append every merged component counter
+  char separator = ',';
+};
+
+/// Writes one row per result, with a header row. Counter columns (when
+/// enabled) are the sorted union of all counter names across results;
+/// missing entries are written as 0.
+void write_csv(std::ostream& os, std::span<const ExperimentResult> results,
+               const ReportOptions& opts = {});
+
+/// Writes a JSON array of result objects. Counters are always included
+/// (JSON is the lossless export).
+void write_json(std::ostream& os, std::span<const ExperimentResult> results);
+
+/// Single-run convenience used by the CLI.
+void write_json(std::ostream& os, const std::string& name,
+                const SimStats& stats);
+
+}  // namespace llamcat

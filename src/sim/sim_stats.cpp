@@ -1,0 +1,23 @@
+#include "sim/sim_stats.hpp"
+
+#include <iomanip>
+
+namespace llamcat {
+
+void SimStats::print(std::ostream& os) const {
+  os << std::fixed << std::setprecision(4);
+  os << "cycles            " << cycles << "\n";
+  os << "time_ms           " << seconds() * 1e3 << "\n";
+  os << "ipc(total)        " << ipc << "\n";
+  os << "l2_hit_rate       " << l2_hit_rate << "\n";
+  os << "mshr_hit_rate     " << mshr_hit_rate << "\n";
+  os << "mshr_entry_util   " << mshr_entry_util << "\n";
+  os << "dram_bw_gbps      " << dram_bw_gbps << "\n";
+  os << "t_cs              " << t_cs << "\n";
+  os << "instructions      " << instructions << "\n";
+  os << "thread_blocks     " << thread_blocks << "\n";
+  os << "dram_reads        " << dram_reads << "\n";
+  os << "dram_writes       " << dram_writes << "\n";
+}
+
+}  // namespace llamcat

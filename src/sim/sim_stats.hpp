@@ -1,0 +1,44 @@
+// End-of-run statistics: merged per-component counters plus the derived
+// metrics the paper reports (Fig 8): performance, MSHR entry utilization,
+// L2 hit rate, MSHR hit rate, DRAM bandwidth.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+
+namespace llamcat {
+
+struct SimStats {
+  Cycle cycles = 0;
+  double core_hz = 0.0;
+
+  // derived headline metrics
+  double l2_hit_rate = 0.0;     // hits / lookups
+  double mshr_hit_rate = 0.0;   // merges / misses (paper §6.3.3 definition)
+  double mshr_entry_util = 0.0; // time-averaged numEntry occupancy
+  double dram_bw_gbps = 0.0;    // bytes moved / wall time
+  double t_cs = 0.0;            // stall cycles / (cycles * slices)
+  double ipc = 0.0;             // issued instructions per core-cycle (total)
+
+  std::uint64_t instructions = 0;
+  std::uint64_t thread_blocks = 0;
+  std::uint64_t dram_reads = 0;
+  std::uint64_t dram_writes = 0;
+
+  StatSet counters;  // every component counter, merged
+
+  [[nodiscard]] double seconds() const {
+    return core_hz > 0 ? static_cast<double>(cycles) / core_hz : 0.0;
+  }
+  /// Speedup of this run relative to a baseline run (cycles ratio).
+  [[nodiscard]] double speedup_vs(const SimStats& baseline) const {
+    return static_cast<double>(baseline.cycles) / static_cast<double>(cycles);
+  }
+
+  void print(std::ostream& os) const;
+};
+
+}  // namespace llamcat

@@ -1,0 +1,206 @@
+#include "sim/system.hpp"
+
+#include <stdexcept>
+
+namespace llamcat {
+
+System::System(const SimConfig& cfg, const ITbSource& source)
+    : cfg_(cfg),
+      scheduler_(source, cfg.core.num_cores, cfg.core.tb_dispatch),
+      slice_map_(cfg.llc),
+      net_(cfg.noc, cfg.core.num_cores, cfg.llc.num_slices),
+      dram_(cfg.dram, cfg.core_hz),
+      throttle_(make_throttle_controller(cfg.throttle, cfg.core)) {
+  cfg_.validate();
+  cores_.reserve(cfg_.core.num_cores);
+  for (std::uint32_t c = 0; c < cfg_.core.num_cores; ++c) {
+    cores_.push_back(std::make_unique<VectorCore>(
+        cfg_.core, cfg_.l1, static_cast<CoreId>(c), cfg_.seed + c));
+    cores_.back()->bind(&scheduler_);
+  }
+  slices_.reserve(cfg_.llc.num_slices);
+  for (std::uint32_t s = 0; s < cfg_.llc.num_slices; ++s) {
+    slices_.push_back(std::make_unique<LlcSlice>(
+        cfg_.llc, cfg_.arb, s, cfg_.core.num_cores, cfg_.seed + 1000 + s));
+  }
+  dram_.on_read_complete = [this](const DramCompletion& d) {
+    slices_[d.payload]->on_dram_fill(d.line_addr);
+  };
+}
+
+void System::deliver_responses() {
+  for (auto& core : cores_) {
+    while (const MemResponse* r = net_.peek_response(core->id(), cycle_)) {
+      core->on_load_fill(r->line_addr);
+      net_.pop_response(core->id());
+    }
+  }
+}
+
+void System::inject_core_traffic() {
+  // Rotate the starting core so no core gets a structural priority.
+  const std::uint32_t n = cfg_.core.num_cores;
+  const std::uint32_t start = static_cast<std::uint32_t>(cycle_ % n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    VectorCore& core = *cores_[(start + i) % n];
+    const auto out = core.peek_outgoing();
+    if (!out) continue;
+    const std::uint32_t slice = slice_map_.slice_of(out->line_addr);
+    if (!net_.can_send_request(slice)) continue;  // backpressure
+    MemRequest req;
+    req.line_addr = out->line_addr;
+    req.type = out->type;
+    req.core = core.id();
+    req.req_id = out->type == AccessType::kStore ? kStoreReqId : 0;
+    req.seq = seq_++;
+    req.issue_cycle = cycle_;
+    net_.send_request(slice, req, cycle_);
+    core.pop_outgoing();
+  }
+}
+
+void System::deliver_slice_requests() {
+  for (std::uint32_t s = 0; s < slices_.size(); ++s) {
+    while (slices_[s]->can_accept_request()) {
+      const MemRequest* req = net_.peek_request(s, cycle_);
+      if (req == nullptr) break;
+      slices_[s]->push_request(*req, cycle_);
+      net_.pop_request(s);
+    }
+  }
+}
+
+std::vector<std::uint64_t> System::aggregate_progress() const {
+  std::vector<std::uint64_t> progress(cfg_.core.num_cores, 0);
+  for (const auto& slice : slices_) {
+    const auto& p = slice->arbiter().progress();
+    for (std::size_t c = 0; c < progress.size(); ++c) progress[c] += p[c];
+  }
+  return progress;
+}
+
+void System::sample_throttling() {
+  const auto& tc = cfg_.throttle;
+  if (cfg_.throttle.policy == ThrottlePolicy::kNone) return;
+  if (cycle_ == 0 || cycle_ % tc.sub_period != 0) return;
+
+  // Sub-period: per-core counters.
+  std::vector<CoreSample> samples;
+  std::vector<std::optional<FirstTbReport>> first_tb;
+  samples.reserve(cores_.size());
+  first_tb.reserve(cores_.size());
+  for (auto& core : cores_) {
+    const CoreSample s = core->take_sample();
+    total_c_mem_ += s.c_mem;
+    total_c_idle_ += s.c_idle;
+    samples.push_back(s);
+    first_tb.push_back(core->first_tb_report());
+  }
+  throttle_->on_sub_period(samples, first_tb);
+
+  // Global period: contention classification + gear move.
+  if (cycle_ % tc.sampling_period == 0) {
+    Cycle stall_total = 0;
+    for (const auto& slice : slices_) stall_total += slice->stall_cycles();
+    const double t_cs =
+        static_cast<double>(stall_total - prev_stall_total_) /
+        (static_cast<double>(tc.sampling_period) * slices_.size());
+    prev_stall_total_ = stall_total;
+    GlobalSample gs;
+    gs.t_cs = t_cs;
+    gs.progress = aggregate_progress();
+    throttle_->on_global_period(gs);
+  }
+
+  for (auto& core : cores_) {
+    core->set_max_tb(throttle_->max_tb(core->id()));
+  }
+}
+
+void System::step() {
+  ++cycle_;
+  deliver_responses();
+  for (auto& core : cores_) core->tick(cycle_);
+  inject_core_traffic();
+  deliver_slice_requests();
+  for (auto& slice : slices_) {
+    slice->tick(cycle_, dram_);
+    resp_scratch_.clear();
+    slice->drain_responses(cycle_, resp_scratch_);
+    for (const MemResponse& r : resp_scratch_) {
+      net_.send_response(r, cycle_);
+    }
+  }
+  dram_.tick_core_cycle();
+  sample_throttling();
+}
+
+bool System::done() const {
+  if (!scheduler_.all_complete()) return false;
+  for (const auto& core : cores_) {
+    if (!core->fully_idle()) return false;
+  }
+  if (!net_.idle()) return false;
+  for (const auto& slice : slices_) {
+    if (!slice->drained()) return false;
+  }
+  return dram_.idle();
+}
+
+SimStats System::run() {
+  while (!done()) {
+    step();
+    if (cycle_ > cfg_.max_cycles) {
+      throw std::runtime_error("System::run exceeded max_cycles (deadlock?)");
+    }
+  }
+  return collect_stats();
+}
+
+SimStats System::collect_stats() const {
+  SimStats s;
+  s.cycles = cycle_;
+  s.core_hz = cfg_.core_hz;
+  s.thread_blocks = scheduler_.completed();
+
+  double mshr_util = 0.0;
+  Cycle stall_total = 0;
+  for (const auto& slice : slices_) {
+    s.counters.merge(slice->stats());
+    mshr_util += slice->mshr().avg_entry_utilization();
+    stall_total += slice->stall_cycles();
+  }
+  s.mshr_entry_util = mshr_util / static_cast<double>(slices_.size());
+  if (cycle_ > 0) {
+    s.t_cs = static_cast<double>(stall_total) /
+             (static_cast<double>(cycle_) * slices_.size());
+  }
+
+  for (const auto& core : cores_) {
+    s.counters.merge(core->l1_stats());
+    s.instructions += core->instructions_issued();
+  }
+  s.ipc = cycle_ > 0 ? static_cast<double>(s.instructions) /
+                           static_cast<double>(cycle_)
+                     : 0.0;
+
+  s.counters.merge(dram_.stats());
+  s.dram_reads = s.counters.get("dram.reads");
+  s.dram_writes = s.counters.get("dram.writes");
+
+  const std::uint64_t lookups = s.counters.get("llc.lookups");
+  const std::uint64_t hits = s.counters.get("llc.hits");
+  const std::uint64_t misses = s.counters.get("llc.misses");
+  const std::uint64_t merges = s.counters.get("llc.mshr_hits");
+  s.l2_hit_rate = lookups ? static_cast<double>(hits) / lookups : 0.0;
+  s.mshr_hit_rate = misses ? static_cast<double>(merges) / misses : 0.0;
+  s.dram_bw_gbps =
+      s.seconds() > 0
+          ? static_cast<double>(dram_.bytes_transferred()) / s.seconds() / 1e9
+          : 0.0;
+  s.counters.set("core.c_mem_total", total_c_mem_);
+  s.counters.set("core.c_idle_total", total_c_idle_);
+  return s;
+}
+
+}  // namespace llamcat

@@ -1,0 +1,74 @@
+// Full-system wiring: cores + L1s -> NoC -> LLC slices -> DRAM, plus the
+// throttling controller sampling loop. One System runs one operator to
+// completion, single-threaded and deterministic.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/config.hpp"
+#include "core/throttle.hpp"
+#include "dram/dram_system.hpp"
+#include "llc/llc_slice.hpp"
+#include "noc/network.hpp"
+#include "sim/sim_stats.hpp"
+#include "trace/tracegen.hpp"
+#include "vcore/tb_scheduler.hpp"
+#include "vcore/vector_core.hpp"
+
+namespace llamcat {
+
+class System {
+ public:
+  System(const SimConfig& cfg, const ITbSource& source);
+
+  /// Runs the operator to completion and returns the collected statistics.
+  /// Throws std::runtime_error if cfg.max_cycles is exceeded (deadlock
+  /// guard).
+  SimStats run();
+
+  /// Single-step API for tests.
+  void step();
+  [[nodiscard]] bool done() const;
+  [[nodiscard]] Cycle now() const { return cycle_; }
+  [[nodiscard]] SimStats collect_stats() const;
+
+  // Introspection for tests.
+  [[nodiscard]] const std::vector<std::unique_ptr<VectorCore>>& cores() const {
+    return cores_;
+  }
+  [[nodiscard]] const std::vector<std::unique_ptr<LlcSlice>>& slices() const {
+    return slices_;
+  }
+  [[nodiscard]] const DramSystem& dram() const { return dram_; }
+  [[nodiscard]] const IThrottleController& throttle() const {
+    return *throttle_;
+  }
+  [[nodiscard]] const TbScheduler& scheduler() const { return scheduler_; }
+
+ private:
+  void deliver_responses();
+  void inject_core_traffic();
+  void deliver_slice_requests();
+  void sample_throttling();
+  /// Sum of per-core progress counters across all slice arbiters.
+  [[nodiscard]] std::vector<std::uint64_t> aggregate_progress() const;
+
+  SimConfig cfg_;
+  TbScheduler scheduler_;
+  SliceMap slice_map_;
+  std::vector<std::unique_ptr<VectorCore>> cores_;
+  std::vector<std::unique_ptr<LlcSlice>> slices_;
+  Network net_;
+  DramSystem dram_;
+  std::unique_ptr<IThrottleController> throttle_;
+
+  Cycle cycle_ = 0;
+  std::uint64_t seq_ = 0;
+  std::vector<MemResponse> resp_scratch_;
+  Cycle prev_stall_total_ = 0;
+  std::uint64_t total_c_mem_ = 0;
+  std::uint64_t total_c_idle_ = 0;
+};
+
+}  // namespace llamcat

@@ -1,0 +1,117 @@
+#include "trace/mapper.hpp"
+
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/math_util.hpp"
+
+namespace llamcat {
+
+namespace {
+
+/// Dispatch distance between two thread blocks that share KV lines. Sharing
+/// is only exploitable (cache/MSHR merge) when the sharers are co-resident,
+/// i.e. within one wave of cores*windows concurrently running blocks.
+std::uint64_t sharing_distance(const OperatorSpec& spec, const Mapping& m) {
+  const std::uint64_t tiles = spec.seq_len / m.l_tile;
+  switch (m.order) {
+    case TbOrder::kHLG:
+    case TbOrder::kLHG:
+      return spec.model.group_size;  // the G sharers are adjacent
+    case TbOrder::kHGL:
+      return tiles;  // sharers are a whole L-sweep apart
+  }
+  return tiles;
+}
+
+}  // namespace
+
+double Mapper::cost(const OperatorSpec& spec, const Mapping& m,
+                    const CoreConfig& cores, const LlcConfig& llc) const {
+  const TrafficEstimate t = estimate_traffic(spec, m);
+  const std::uint64_t wave = static_cast<std::uint64_t>(cores.num_cores) *
+                             cores.num_inst_windows;
+
+  // Base: compulsory DRAM traffic (bytes). All candidates share this for a
+  // given operator; it anchors the scale of the penalties below.
+  double c = static_cast<double>(t.min_dram_bytes());
+
+  // Re-fetch risk: requests beyond the compulsory floor hit DRAM again when
+  // sharers are not co-resident. Model the exploitable fraction as
+  // wave / sharing_distance (capped at 1).
+  const double d = static_cast<double>(sharing_distance(spec, m));
+  const double coresident = d == 0.0 ? 1.0 : std::min(1.0, static_cast<double>(wave) / d);
+  const double extra_requests = static_cast<double>(t.load_line_requests) -
+                                static_cast<double>(t.unique_load_lines);
+  c += (1.0 - coresident) * extra_requests * kLineBytes;
+
+  // Larger tiles reduce locality (paper §6.2.2): the co-resident working set
+  // must fit in the LLC or reuse decays. Penalize overflow linearly.
+  const double tile_kv_bytes = static_cast<double>(m.l_tile) *
+                               spec.model.head_dim * spec.model.dtype_bytes;
+  const double concurrent_ws = tile_kv_bytes * static_cast<double>(wave);
+  const double llc_bytes = static_cast<double>(llc.size_bytes);
+  if (concurrent_ws > llc_bytes) c += (concurrent_ws - llc_bytes);
+
+  // Tiny-TB overhead: the Q prologue is re-fetched per TB.
+  const std::uint64_t num_tbs = m.num_thread_blocks(spec);
+  c += static_cast<double>(num_tbs) *
+       (spec.model.head_dim * spec.model.dtype_bytes);
+
+  // Load imbalance: partial final wave leaves cores idle.
+  const std::uint64_t rem = num_tbs % wave;
+  if (rem != 0) {
+    c += static_cast<double>(wave - rem) / static_cast<double>(wave) *
+         static_cast<double>(t.min_dram_bytes()) /
+         static_cast<double>(ceil_div(num_tbs, wave));
+  }
+  return c;
+}
+
+MapperResult Mapper::search(const OperatorSpec& spec, const CoreConfig& cores,
+                            const LlcConfig& llc) const {
+  const std::uint32_t elems_per_line =
+      kLineBytes / spec.model.dtype_bytes;
+  MapperResult best;
+  best.cost = std::numeric_limits<double>::infinity();
+  bool found = false;
+
+  for (std::uint32_t lines = opts_.min_out_lines; lines <= opts_.max_out_lines;
+       ++lines) {
+    const std::uint32_t l_tile = lines * elems_per_line;
+    if (spec.seq_len % l_tile != 0) continue;
+    for (TbOrder order : opts_.orders) {
+      Mapping m;
+      m.l_tile = l_tile;
+      m.order = order;
+      m.compute_cycles_per_l = opts_.compute_cycles_per_l;
+      try {
+        m.validate(spec);
+      } catch (const std::invalid_argument&) {
+        continue;
+      }
+      const double c = cost(spec, m, cores, llc);
+      if (c < best.cost) {
+        best.cost = c;
+        best.mapping = m;
+        best.traffic = estimate_traffic(spec, m);
+        found = true;
+      }
+    }
+  }
+  if (!found) {
+    throw std::runtime_error(
+        "Mapper: no valid mapping for the given operator");
+  }
+  std::ostringstream why;
+  why << "l_tile=" << best.mapping.l_tile << " ("
+      << best.mapping.tb_out_lines(spec) << " output line(s)/TB), order="
+      << to_string(best.mapping.order)
+      << ", est. compulsory DRAM=" << best.traffic.min_dram_bytes() / 1024
+      << " KiB, reuse x" << best.traffic.reuse_factor();
+  best.rationale = why.str();
+  return best;
+}
+
+}  // namespace llamcat

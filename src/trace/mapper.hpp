@@ -1,0 +1,50 @@
+// Analytical mapper: searches tilings/orders under the paper's §6.2.2
+// constraints and scores them with a closed-form cost model. Stands in for
+// Timeloop in the hybrid framework (Fig 6); handwritten mappings bypass it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "trace/mapping.hpp"
+#include "trace/operator.hpp"
+
+namespace llamcat {
+
+struct MapperOptions {
+  /// Output cache lines a thread block may cover (paper: best is 1-2).
+  std::uint32_t min_out_lines = 1;
+  std::uint32_t max_out_lines = 2;
+  std::vector<TbOrder> orders = {TbOrder::kHLG, TbOrder::kLHG, TbOrder::kHGL};
+  std::uint32_t compute_cycles_per_l = 2;
+};
+
+struct MapperResult {
+  Mapping mapping;
+  TrafficEstimate traffic;
+  double cost = 0.0;
+  std::string rationale;
+};
+
+class Mapper {
+ public:
+  explicit Mapper(MapperOptions opts = {}) : opts_(std::move(opts)) {}
+
+  /// Returns the lowest-cost valid mapping. Throws if the search space is
+  /// empty for `spec` (e.g. seq_len not tileable).
+  [[nodiscard]] MapperResult search(const OperatorSpec& spec,
+                                    const CoreConfig& cores,
+                                    const LlcConfig& llc) const;
+
+  /// Scores one candidate (exposed for tests and ablations).
+  [[nodiscard]] double cost(const OperatorSpec& spec, const Mapping& m,
+                            const CoreConfig& cores,
+                            const LlcConfig& llc) const;
+
+ private:
+  MapperOptions opts_;
+};
+
+}  // namespace llamcat

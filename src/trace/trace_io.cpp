@@ -1,0 +1,94 @@
+#include "trace/trace_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace llamcat {
+
+namespace {
+constexpr const char* kMagic = "# llamcat-trace v1";
+}
+
+void write_trace(std::ostream& os, const ITbSource& source) {
+  os << kMagic << "\n";
+  for (std::uint64_t t = 0; t < source.num_tbs(); ++t) {
+    const TbDesc& d = source.tb(t);
+    os << "tb " << d.id << " " << d.h << " " << d.g << " " << d.l_begin << " "
+       << d.l_end << "\n";
+    const std::uint32_t n = source.instr_count(t);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const Instr ins = source.instr_at(t, i);
+      switch (ins.kind) {
+        case Instr::Kind::kLoad:
+          os << "L " << std::hex << ins.line_addr << std::dec << "\n";
+          break;
+        case Instr::Kind::kStore:
+          os << "S " << std::hex << ins.line_addr << std::dec << "\n";
+          break;
+        case Instr::Kind::kCompute:
+          os << "C " << ins.cycles << "\n";
+          break;
+      }
+    }
+    os << "end\n";
+  }
+}
+
+void write_trace_file(const std::string& path, const ITbSource& source) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("cannot open trace file for write: " + path);
+  write_trace(os, source);
+}
+
+std::unique_ptr<ReplayTrace> read_trace(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line) || line != kMagic) {
+    throw std::runtime_error("trace: bad magic line");
+  }
+  std::vector<TbDesc> tbs;
+  std::vector<std::vector<Instr>> streams;
+  std::vector<Instr>* cur = nullptr;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string tok;
+    ls >> tok;
+    if (tok == "tb") {
+      TbDesc d;
+      ls >> d.id >> d.h >> d.g >> d.l_begin >> d.l_end;
+      if (!ls) throw std::runtime_error("trace: malformed tb header");
+      tbs.push_back(d);
+      streams.emplace_back();
+      cur = &streams.back();
+    } else if (tok == "end") {
+      cur = nullptr;
+    } else if (tok == "L" || tok == "S") {
+      if (cur == nullptr) throw std::runtime_error("trace: instr outside tb");
+      Addr a = 0;
+      ls >> std::hex >> a >> std::dec;
+      if (!ls) throw std::runtime_error("trace: malformed address");
+      cur->push_back(Instr{tok == "L" ? Instr::Kind::kLoad
+                                      : Instr::Kind::kStore,
+                           a, 1});
+    } else if (tok == "C") {
+      if (cur == nullptr) throw std::runtime_error("trace: instr outside tb");
+      std::uint32_t c = 0;
+      ls >> c;
+      if (!ls) throw std::runtime_error("trace: malformed compute");
+      cur->push_back(Instr{Instr::Kind::kCompute, 0, c});
+    } else {
+      throw std::runtime_error("trace: unknown token '" + tok + "'");
+    }
+  }
+  if (cur != nullptr) throw std::runtime_error("trace: unterminated tb");
+  return std::make_unique<ReplayTrace>(std::move(tbs), std::move(streams));
+}
+
+std::unique_ptr<ReplayTrace> read_trace_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("cannot open trace file for read: " + path);
+  return read_trace(is);
+}
+
+}  // namespace llamcat

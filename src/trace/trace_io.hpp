@@ -1,0 +1,26 @@
+// Plain-text memory-trace files: the hand-off format of the hybrid
+// framework (analytical model -> trace -> cycle-level simulator, Fig 6).
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "trace/tracegen.hpp"
+
+namespace llamcat {
+
+/// Writes `source` (all thread blocks) as a text trace:
+///   # llamcat-trace v1
+///   tb <id> <h> <g> <l_begin> <l_end>
+///   L <hex line addr> | S <hex line addr> | C <cycles>
+///   end
+void write_trace(std::ostream& os, const ITbSource& source);
+void write_trace_file(const std::string& path, const ITbSource& source);
+
+/// Parses a text trace back into a ReplayTrace. Throws std::runtime_error
+/// on malformed input.
+std::unique_ptr<ReplayTrace> read_trace(std::istream& is);
+std::unique_ptr<ReplayTrace> read_trace_file(const std::string& path);
+
+}  // namespace llamcat

@@ -1,0 +1,108 @@
+#include "trace/tracegen.hpp"
+
+#include <cassert>
+
+#include "common/math_util.hpp"
+
+namespace llamcat {
+
+TraceGen::TraceGen(OperatorSpec spec, Mapping mapping)
+    : spec_(std::move(spec)), mapping_(mapping) {
+  spec_.validate();
+  mapping_.validate(spec_);
+  tbs_ = mapping_.thread_blocks(spec_);
+  kv_lines_per_l_ = static_cast<std::uint32_t>(
+      static_cast<std::uint64_t>(spec_.model.head_dim) *
+      spec_.model.dtype_bytes / kLineBytes);
+  q_lines_ = kv_lines_per_l_;
+  out_elems_per_line_ = kLineBytes / spec_.model.dtype_bytes;
+}
+
+std::uint32_t TraceGen::instr_count(std::uint64_t tb_idx) const {
+  const TbDesc& d = tbs_[tb_idx];
+  const auto lc = static_cast<std::uint32_t>(d.l_count());
+  if (spec_.kind == OpKind::kLogit) {
+    return q_lines_ + lc * (kv_lines_per_l_ + 1) +
+           mapping_.tb_out_lines(spec_);
+  }
+  // Attend: S loads interleave every out_elems_per_line_ L steps.
+  const std::uint32_t s_loads =
+      static_cast<std::uint32_t>(ceil_div(lc, out_elems_per_line_));
+  return s_loads + lc * (kv_lines_per_l_ + 1) + q_lines_;
+}
+
+Instr TraceGen::instr_at(std::uint64_t tb_idx, std::uint32_t i) const {
+  const TbDesc& d = tbs_[tb_idx];
+  assert(i < instr_count(tb_idx));
+  return spec_.kind == OpKind::kLogit ? logit_instr(d, i) : attend_instr(d, i);
+}
+
+Instr TraceGen::logit_instr(const TbDesc& tb, std::uint32_t i) const {
+  // Prologue: Q[h,g,:] vector load.
+  if (i < q_lines_) {
+    return Instr{Instr::Kind::kLoad,
+                 line_align(spec_.q_elem(tb.h, tb.g, 0)) +
+                     static_cast<Addr>(i) * kLineBytes,
+                 1};
+  }
+  i -= q_lines_;
+  const std::uint32_t per_l = kv_lines_per_l_ + 1;
+  const auto lc = static_cast<std::uint32_t>(tb.l_count());
+  if (i < lc * per_l) {
+    const std::uint32_t l_off = i / per_l;
+    const std::uint32_t pos = i % per_l;
+    if (pos < kv_lines_per_l_) {
+      const Addr base = line_align(spec_.kv_elem(tb.h, tb.l_begin + l_off, 0));
+      return Instr{Instr::Kind::kLoad, base + static_cast<Addr>(pos) * kLineBytes,
+                   1};
+    }
+    return Instr{Instr::Kind::kCompute, 0, mapping_.compute_cycles_per_l};
+  }
+  i -= lc * per_l;
+  // Epilogue: store the AttScore tile (line-aligned by constraint 2).
+  const Addr s0 = line_align(spec_.s_elem(tb.h, tb.g, tb.l_begin));
+  return Instr{Instr::Kind::kStore, s0 + static_cast<Addr>(i) * kLineBytes, 1};
+}
+
+Instr TraceGen::attend_instr(const TbDesc& tb, std::uint32_t i) const {
+  // Layout: groups of out_elems_per_line_ L-steps; each group is one S-line
+  // load followed by (kvL loads + compute) per step; epilogue stores O.
+  const std::uint32_t per_l = kv_lines_per_l_ + 1;
+  const std::uint32_t group_steps = out_elems_per_line_;
+  const std::uint32_t group_sz = 1 + group_steps * per_l;
+  const auto lc = static_cast<std::uint32_t>(tb.l_count());
+  const std::uint32_t n_groups =
+      static_cast<std::uint32_t>(ceil_div(lc, group_steps));
+  // Body length accounting for a possibly short final group.
+  const std::uint32_t full_groups = lc / group_steps;
+  const std::uint32_t tail_steps = lc % group_steps;
+  const std::uint32_t body =
+      full_groups * group_sz + (tail_steps ? 1 + tail_steps * per_l : 0);
+  (void)n_groups;
+  if (i < body) {
+    const std::uint32_t grp = i / group_sz;
+    std::uint32_t within = i % group_sz;
+    const std::uint64_t l_group_base =
+        tb.l_begin + static_cast<std::uint64_t>(grp) * group_steps;
+    if (within == 0) {
+      return Instr{Instr::Kind::kLoad,
+                   line_align(spec_.s_elem(tb.h, tb.g, l_group_base)), 1};
+    }
+    within -= 1;
+    const std::uint32_t step = within / per_l;
+    const std::uint32_t pos = within % per_l;
+    if (pos < kv_lines_per_l_) {
+      const Addr base =
+          line_align(spec_.kv_elem(tb.h, l_group_base + step, 0));
+      return Instr{Instr::Kind::kLoad,
+                   base + static_cast<Addr>(pos) * kLineBytes, 1};
+    }
+    return Instr{Instr::Kind::kCompute, 0, mapping_.compute_cycles_per_l};
+  }
+  i -= body;
+  // Epilogue: partial O[h,g,:] vector store.
+  const Addr o0 = line_align(spec_.out_elem(tb.h, tb.g, 0));
+  return Instr{Instr::Kind::kStore, o0 + static_cast<Addr>(i) * kLineBytes, 1};
+}
+
+}  // namespace llamcat

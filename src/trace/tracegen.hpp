@@ -1,0 +1,104 @@
+// Lowers a (spec, mapping) pair into per-thread-block instruction streams.
+// Streams are addressed (tb, index) and computed in O(1), so the full trace
+// never needs to be materialized (the paper's traces for 32K sequences are
+// tens of millions of lines).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/types.hpp"
+#include "trace/mapping.hpp"
+#include "trace/operator.hpp"
+
+namespace llamcat {
+
+/// One vector-core instruction at line granularity. A 128-lane vector load
+/// of fp16 is emitted as head_dim*dtype/64 consecutive kLoad instructions
+/// (the hardware coalescer's output, paper §5).
+struct Instr {
+  enum class Kind : std::uint8_t { kCompute, kLoad, kStore };
+  Kind kind = Kind::kCompute;
+  Addr line_addr = 0;     // valid for kLoad/kStore
+  std::uint32_t cycles = 1;  // valid for kCompute
+};
+
+/// Source of thread blocks + their instruction streams. Implemented by
+/// TraceGen (analytical) and ReplayTrace (from a trace file).
+class ITbSource {
+ public:
+  virtual ~ITbSource() = default;
+  [[nodiscard]] virtual std::uint64_t num_tbs() const = 0;
+  [[nodiscard]] virtual const TbDesc& tb(std::uint64_t idx) const = 0;
+  [[nodiscard]] virtual std::uint32_t instr_count(std::uint64_t tb_idx)
+      const = 0;
+  [[nodiscard]] virtual Instr instr_at(std::uint64_t tb_idx,
+                                       std::uint32_t i) const = 0;
+};
+
+/// Analytical trace generator.
+///
+/// Logit TB (h, g, [l0,l1)): stream layout
+///   [0, qL)                     : Q[h,g,:] vector load (qL lines)
+///   then per l: kvL K-line loads + 1 compute
+///   tail                        : tb_out_lines stores of S[h,g,l0..l1)
+/// Attend TB: per l, an S line load every (64/dtype) elements, kvL V-line
+/// loads, 1 compute; tail stores the partial O[h,g,:] vector.
+class TraceGen final : public ITbSource {
+ public:
+  TraceGen(OperatorSpec spec, Mapping mapping);
+
+  [[nodiscard]] std::uint64_t num_tbs() const override {
+    return tbs_.size();
+  }
+  [[nodiscard]] const TbDesc& tb(std::uint64_t idx) const override {
+    return tbs_[idx];
+  }
+  [[nodiscard]] std::uint32_t instr_count(std::uint64_t tb_idx) const override;
+  [[nodiscard]] Instr instr_at(std::uint64_t tb_idx,
+                               std::uint32_t i) const override;
+
+  [[nodiscard]] const OperatorSpec& spec() const { return spec_; }
+  [[nodiscard]] const Mapping& mapping() const { return mapping_; }
+  [[nodiscard]] TrafficEstimate traffic() const {
+    return estimate_traffic(spec_, mapping_);
+  }
+
+ private:
+  [[nodiscard]] Instr logit_instr(const TbDesc& tb, std::uint32_t i) const;
+  [[nodiscard]] Instr attend_instr(const TbDesc& tb, std::uint32_t i) const;
+
+  OperatorSpec spec_;
+  Mapping mapping_;
+  std::vector<TbDesc> tbs_;
+  std::uint32_t kv_lines_per_l_;  // head_dim * dtype / 64
+  std::uint32_t q_lines_;         // lines of one Q/O vector
+  std::uint32_t out_elems_per_line_;
+};
+
+/// A fully materialized trace (typically read back from a file through
+/// trace_io) exposed through the same interface.
+class ReplayTrace final : public ITbSource {
+ public:
+  ReplayTrace(std::vector<TbDesc> tbs, std::vector<std::vector<Instr>> streams)
+      : tbs_(std::move(tbs)), streams_(std::move(streams)) {}
+
+  [[nodiscard]] std::uint64_t num_tbs() const override { return tbs_.size(); }
+  [[nodiscard]] const TbDesc& tb(std::uint64_t idx) const override {
+    return tbs_[idx];
+  }
+  [[nodiscard]] std::uint32_t instr_count(std::uint64_t tb_idx) const override {
+    return static_cast<std::uint32_t>(streams_[tb_idx].size());
+  }
+  [[nodiscard]] Instr instr_at(std::uint64_t tb_idx,
+                               std::uint32_t i) const override {
+    return streams_[tb_idx][i];
+  }
+
+ private:
+  std::vector<TbDesc> tbs_;
+  std::vector<std::vector<Instr>> streams_;
+};
+
+}  // namespace llamcat

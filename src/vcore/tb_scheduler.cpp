@@ -1,0 +1,58 @@
+#include "vcore/tb_scheduler.hpp"
+
+#include <cassert>
+
+namespace llamcat {
+
+TbScheduler::TbScheduler(const ITbSource& source, std::uint32_t num_cores,
+                         TbDispatch mode)
+    : source_(source), mode_(mode), total_(source.num_tbs()) {
+  assert(num_cores > 0);
+  if (mode_ == TbDispatch::kGlobalQueue) {
+    queues_.resize(1);
+    for (std::uint64_t t = 0; t < total_; ++t) queues_[0].push_back(t);
+  } else if (mode_ == TbDispatch::kPartitionedStealing) {
+    queues_.resize(num_cores);
+    for (std::uint64_t t = 0; t < total_; ++t) {
+      queues_[t % num_cores].push_back(t);
+    }
+  } else {  // kStaticBlocked: per-core trace files = contiguous chunks
+    queues_.resize(num_cores);
+    for (std::uint64_t t = 0; t < total_; ++t) {
+      const std::uint64_t c = t * num_cores / total_;
+      queues_[c].push_back(t);
+    }
+  }
+}
+
+std::optional<std::uint64_t> TbScheduler::next_tb(CoreId core) {
+  if (mode_ == TbDispatch::kGlobalQueue) {
+    if (queues_[0].empty()) return std::nullopt;
+    const std::uint64_t tb = queues_[0].front();
+    queues_[0].pop_front();
+    return tb;
+  }
+  auto& own = queues_[core];
+  if (!own.empty()) {
+    const std::uint64_t tb = own.front();
+    own.pop_front();
+    return tb;
+  }
+  // Redistribution: steal the front of the most-loaded partition (the
+  // slowest core's oldest pending block).
+  std::size_t victim = queues_.size();
+  std::size_t most = 0;
+  for (std::size_t c = 0; c < queues_.size(); ++c) {
+    if (queues_[c].size() > most) {
+      most = queues_[c].size();
+      victim = c;
+    }
+  }
+  if (victim == queues_.size()) return std::nullopt;
+  const std::uint64_t tb = queues_[victim].front();
+  queues_[victim].pop_front();
+  ++stolen_;
+  return tb;
+}
+
+}  // namespace llamcat

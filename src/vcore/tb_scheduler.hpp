@@ -1,0 +1,54 @@
+// Thread-block scheduler. The paper's system partitions the trace statically
+// across cores (one trace file per core, round-robin over the dispatch
+// order) and adds a redistribution mechanism that sends thread blocks of a
+// slow core to a fast core once the fast core runs out of its own work
+// ("Without this feature, our baselines would be underestimated", §5).
+//
+// kPartitionedStealing reproduces that scheme (default). kGlobalQueue is a
+// dynamic single-queue dispatcher kept for ablation studies.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/types.hpp"
+#include "trace/tracegen.hpp"
+
+namespace llamcat {
+
+class TbScheduler {
+ public:
+  TbScheduler(const ITbSource& source, std::uint32_t num_cores,
+              TbDispatch mode = TbDispatch::kPartitionedStealing);
+
+  /// Next thread block for `core`: its own partition first, then (mode
+  /// kPartitionedStealing) the front of the most-loaded other partition.
+  std::optional<std::uint64_t> next_tb(CoreId core);
+
+  void mark_complete(std::uint64_t tb_idx) {
+    (void)tb_idx;
+    ++completed_;
+  }
+
+  [[nodiscard]] bool all_complete() const { return completed_ >= total_; }
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+  [[nodiscard]] std::uint64_t completed() const { return completed_; }
+  [[nodiscard]] std::uint64_t remaining_for(CoreId core) const {
+    return queues_[core].size();
+  }
+  [[nodiscard]] std::uint64_t stolen() const { return stolen_; }
+  [[nodiscard]] const ITbSource& source() const { return source_; }
+
+ private:
+  const ITbSource& source_;
+  TbDispatch mode_;
+  std::uint64_t total_;
+  std::uint64_t completed_ = 0;
+  std::uint64_t stolen_ = 0;
+  std::vector<std::deque<std::uint64_t>> queues_;  // per core; [0] if global
+};
+
+}  // namespace llamcat

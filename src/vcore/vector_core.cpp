@@ -1,0 +1,211 @@
+#include "vcore/vector_core.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace llamcat {
+
+VectorCore::VectorCore(const CoreConfig& cfg, const L1Config& l1cfg,
+                       CoreId id, std::uint64_t seed)
+    : cfg_(cfg),
+      id_(id),
+      l1_(l1cfg, id, seed),
+      windows_(cfg.num_inst_windows),
+      max_tb_(cfg.num_inst_windows) {}
+
+void VectorCore::on_load_fill(Addr line_addr) {
+  for (std::uint32_t id : l1_.on_fill(line_addr)) {
+    auto it = inflight_loads_.find(id);
+    assert(it != inflight_loads_.end());
+    it->second->ready = 0;  // completes immediately (retired next retire phase)
+    inflight_loads_.erase(it);
+  }
+}
+
+void VectorCore::set_max_tb(std::uint32_t n) {
+  max_tb_ = std::clamp<std::uint32_t>(n, 1, cfg_.num_inst_windows);
+}
+
+std::uint32_t VectorCore::active_windows() const {
+  std::uint32_t n = 0;
+  for (const auto& w : windows_) n += w.has_tb ? 1 : 0;
+  return n;
+}
+
+void VectorCore::retire(Cycle now) {
+  for (auto& w : windows_) {
+    if (!w.has_tb) continue;
+    std::uint32_t retired = 0;
+    while (!w.slots.empty() && retired < cfg_.retire_width) {
+      Slot& head = w.slots.front();
+      if (head.ready > now) break;
+      w.slots.pop_front();
+      ++retired;
+    }
+    if (w.has_tb && w.next_instr == w.instr_count && w.slots.empty()) {
+      // Thread block complete.
+      scheduler_->mark_complete(w.tb_idx);
+      ++tbs_completed_;
+      if (first_tb_seen_ && !first_tb_report_ && w.tb_idx == first_tb_idx_) {
+        const Cycle dur = std::max<Cycle>(1, now - first_tb_start_);
+        first_tb_report_ = FirstTbReport{
+            dur, static_cast<double>(c_mem_total_marker(now)) /
+                     static_cast<double>(dur)};
+      }
+      w.has_tb = false;
+    }
+  }
+}
+
+// Helper: C_mem accumulated since the first TB started. Kept as a member-
+// style helper to avoid an extra field read in the hot path.
+Cycle VectorCore::c_mem_total_marker(Cycle /*now*/) const {
+  // c_mem_ is reset by take_sample(); track an absolute count instead.
+  return c_mem_abs_ - first_tb_cmem_at_start_;
+}
+
+void VectorCore::fetch_tb(Cycle now) {
+  if (active_windows() >= max_tb_) return;
+  for (auto& w : windows_) {
+    if (w.has_tb) continue;
+    auto tb = scheduler_->next_tb(id_);
+    if (!tb) return;
+    w.has_tb = true;
+    w.tb_idx = *tb;
+    w.next_instr = 0;
+    w.instr_count = scheduler_->source().instr_count(*tb);
+    w.slots.clear();
+    if (!first_tb_seen_) {
+      first_tb_seen_ = true;
+      first_tb_idx_ = *tb;
+      first_tb_start_ = now;
+      first_tb_cmem_at_start_ = c_mem_abs_;
+    }
+    return;  // one TB dispatch per cycle
+  }
+}
+
+VectorCore::BlockReason VectorCore::try_issue(Window& w, Cycle now) {
+  if (!w.has_tb) return BlockReason::kNoWork;
+  if (w.next_instr >= w.instr_count) {
+    // Stream exhausted; the window is draining.
+    if (w.slots.empty()) return BlockReason::kNoWork;
+    return w.slots.front().ready == kNeverCycle ? BlockReason::kMemory
+                                                : BlockReason::kCompute;
+  }
+  if (w.slots.size() >= cfg_.inst_window_depth) {
+    // Window full: blocked on the oldest unfinished slot.
+    const Slot& head = w.slots.front();
+    return (head.kind == Instr::Kind::kLoad && head.ready == kNeverCycle)
+               ? BlockReason::kMemory
+               : BlockReason::kCompute;
+  }
+  const Instr ins =
+      scheduler_->source().instr_at(w.tb_idx, w.next_instr);
+  switch (ins.kind) {
+    case Instr::Kind::kCompute: {
+      w.slots.push_back(Slot{ins.kind, now + ins.cycles, 0});
+      ++w.next_instr;
+      return BlockReason::kNone;
+    }
+    case Instr::Kind::kLoad: {
+      const std::uint32_t id = next_load_id_++;
+      switch (l1_.access_load(ins.line_addr, id)) {
+        case L1Cache::LoadResult::kHit:
+          w.slots.push_back(Slot{ins.kind, now + l1_.latency(), 0});
+          ++w.next_instr;
+          return BlockReason::kNone;
+        case L1Cache::LoadResult::kMissMerged:
+        case L1Cache::LoadResult::kMissNew: {
+          w.slots.push_back(Slot{ins.kind, kNeverCycle, id});
+          inflight_loads_[id] = &w.slots.back();
+          ++w.next_instr;
+          return BlockReason::kNone;
+        }
+        case L1Cache::LoadResult::kBlocked:
+          return BlockReason::kMemory;
+      }
+      return BlockReason::kMemory;
+    }
+    case Instr::Kind::kStore: {
+      if (store_buffer_.size() >= cfg_.store_buffer_size)
+        return BlockReason::kMemory;
+      l1_.access_store(ins.line_addr);  // write-through probe
+      store_buffer_.push_back(ins.line_addr);
+      // Posted store: retires immediately, no slot occupied.
+      ++w.next_instr;
+      return BlockReason::kNone;
+    }
+  }
+  return BlockReason::kNone;
+}
+
+void VectorCore::tick(Cycle now) {
+  retire(now);
+  fetch_tb(now);
+
+  if (active_windows() == 0) {
+    ++c_idle_;
+    return;
+  }
+
+  bool any_mem_block = false;
+  bool issued_any = false;
+  std::uint32_t issued_count = 0;
+  const std::uint32_t n = cfg_.num_inst_windows;
+  for (std::uint32_t attempt = 0;
+       attempt < n && issued_count < cfg_.issue_width; ++attempt) {
+    Window& w = windows_[active_ptr_];
+    const BlockReason r = try_issue(w, now);
+    if (r == BlockReason::kNone) {
+      ++issued_;
+      ++issued_count;
+      issued_any = true;
+      // Stay on this window (switch only on blockage).
+    } else {
+      if (r == BlockReason::kMemory) any_mem_block = true;
+      active_ptr_ = (active_ptr_ + 1) % n;
+    }
+  }
+  if (!issued_any && any_mem_block) {
+    ++c_mem_;
+    ++c_mem_abs_;
+  }
+}
+
+std::optional<VectorCore::Outgoing> VectorCore::peek_outgoing() const {
+  if (auto line = l1_.peek_outbox()) {
+    return Outgoing{*line, AccessType::kLoad};
+  }
+  if (!store_buffer_.empty()) {
+    return Outgoing{store_buffer_.front(), AccessType::kStore};
+  }
+  return std::nullopt;
+}
+
+void VectorCore::pop_outgoing() {
+  if (l1_.peek_outbox()) {
+    l1_.pop_outbox();
+    return;
+  }
+  assert(!store_buffer_.empty());
+  store_buffer_.pop_front();
+}
+
+CoreSample VectorCore::take_sample() {
+  CoreSample s{c_mem_, c_idle_};
+  c_mem_ = 0;
+  c_idle_ = 0;
+  return s;
+}
+
+bool VectorCore::fully_idle() const {
+  if (!store_buffer_.empty() || !inflight_loads_.empty()) return false;
+  if (l1_.peek_outbox()) return false;
+  for (const auto& w : windows_) {
+    if (w.has_tb) return false;
+  }
+  return true;
+}
+
+}  // namespace llamcat

@@ -1,0 +1,117 @@
+// In-order vector core with multiple instruction windows (paper §3.1/§5):
+// each window holds one thread block; the core issues from the active window
+// and switches on any blockage to hide memory latency. Throttling caps the
+// number of concurrently active windows (max_tb).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/l1_cache.hpp"
+#include "common/config.hpp"
+#include "common/samples.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "trace/tracegen.hpp"
+#include "vcore/tb_scheduler.hpp"
+
+namespace llamcat {
+
+class VectorCore {
+ public:
+  VectorCore(const CoreConfig& cfg, const L1Config& l1cfg, CoreId id,
+             std::uint64_t seed);
+
+  void bind(TbScheduler* scheduler) { scheduler_ = scheduler; }
+
+  /// LLC load data arriving through the NoC: fills L1 and wakes waiters.
+  void on_load_fill(Addr line_addr);
+
+  /// One core cycle: retire -> fetch TB -> issue (<= issue_width).
+  void tick(Cycle now);
+
+  // -- outgoing traffic (drained by the simulator under NoC credits) --------
+  struct Outgoing {
+    Addr line_addr = 0;
+    AccessType type = AccessType::kLoad;
+  };
+  /// Head outgoing request: L1 load misses first, then posted stores.
+  [[nodiscard]] std::optional<Outgoing> peek_outgoing() const;
+  void pop_outgoing();
+
+  // -- throttling ------------------------------------------------------------
+  void set_max_tb(std::uint32_t n);
+  [[nodiscard]] std::uint32_t max_tb() const { return max_tb_; }
+
+  /// C_mem / C_idle accumulated since the previous call (and resets them).
+  CoreSample take_sample();
+  /// Available once the core's first thread block has completed.
+  [[nodiscard]] const std::optional<FirstTbReport>& first_tb_report() const {
+    return first_tb_report_;
+  }
+
+  // -- state/introspection ----------------------------------------------------
+  /// True when the core holds no work at all (safe to end simulation).
+  [[nodiscard]] bool fully_idle() const;
+  [[nodiscard]] std::uint32_t active_windows() const;
+  [[nodiscard]] std::uint64_t instructions_issued() const { return issued_; }
+  [[nodiscard]] std::uint64_t tbs_completed() const { return tbs_completed_; }
+  [[nodiscard]] StatSet l1_stats() const { return l1_.stats(); }
+  [[nodiscard]] const L1Cache& l1() const { return l1_; }
+  [[nodiscard]] CoreId id() const { return id_; }
+
+ private:
+  struct Slot {
+    Instr::Kind kind = Instr::Kind::kCompute;
+    Cycle ready = kNeverCycle;  // completion cycle; kNever = pending load
+    std::uint32_t load_id = 0;  // key into inflight_loads_ for loads
+  };
+
+  struct Window {
+    bool has_tb = false;
+    std::uint64_t tb_idx = 0;
+    std::uint32_t next_instr = 0;
+    std::uint32_t instr_count = 0;
+    std::deque<Slot> slots;
+  };
+
+  enum class BlockReason : std::uint8_t { kNone, kMemory, kCompute, kNoWork };
+
+  void retire(Cycle now);
+  void fetch_tb(Cycle now);
+  /// Attempts to issue one instruction from window `w`.
+  BlockReason try_issue(Window& w, Cycle now);
+  /// C_mem accumulated since the core's first TB started (LCS observation).
+  [[nodiscard]] Cycle c_mem_total_marker(Cycle now) const;
+
+  CoreConfig cfg_;
+  CoreId id_;
+  L1Cache l1_;
+  std::vector<Window> windows_;
+  std::uint32_t active_ptr_ = 0;  // current issue window
+  std::uint32_t max_tb_;
+  TbScheduler* scheduler_ = nullptr;
+
+  std::deque<Addr> store_buffer_;
+  std::unordered_map<std::uint32_t, Slot*> inflight_loads_;
+  std::uint32_t next_load_id_ = 1;
+
+  // sampling
+  Cycle c_mem_ = 0;      // reset by take_sample()
+  Cycle c_idle_ = 0;     // reset by take_sample()
+  Cycle c_mem_abs_ = 0;  // never reset (first-TB observation)
+  std::uint64_t issued_ = 0;
+  std::uint64_t tbs_completed_ = 0;
+
+  // first-TB observation for LCS
+  bool first_tb_seen_ = false;
+  std::uint64_t first_tb_idx_ = 0;
+  Cycle first_tb_start_ = 0;
+  Cycle first_tb_cmem_at_start_ = 0;
+  std::optional<FirstTbReport> first_tb_report_;
+};
+
+}  // namespace llamcat

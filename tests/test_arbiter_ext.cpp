@@ -1,0 +1,214 @@
+// Tests for the related-work / ablation arbiters (MRPB, oracle, random):
+// unit-level decision checks against hand-built queues, a fake oracle, and
+// full-system completion/conservation sweeps across every arbitration
+// policy (TEST_P).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cache/mshr.hpp"
+#include "core/arbitration.hpp"
+#include "sim/experiment.hpp"
+
+namespace llamcat {
+namespace {
+
+Addr line(std::uint64_t i) { return i * kLineBytes; }
+
+QueuedRequest req(Addr a, CoreId core, std::uint64_t seq) {
+  MemRequest r;
+  r.line_addr = a;
+  r.core = core;
+  r.req_id = static_cast<std::uint32_t>(seq);
+  r.seq = seq;
+  return QueuedRequest{r, 0};
+}
+
+RequestArbiter make_arbiter(ArbPolicy policy, std::uint32_t cores = 4) {
+  ArbConfig cfg;
+  cfg.policy = policy;
+  return RequestArbiter(cfg, cores, /*sent_reqs_lifetime=*/8, /*seed=*/3);
+}
+
+class FakeOracle final : public ILookupOracle {
+ public:
+  [[nodiscard]] bool is_cache_hit(Addr a) const override {
+    return hits.count(a) > 0;
+  }
+  std::set<Addr> hits;
+};
+
+// ----------------------------------------------------------------- MRPB --
+
+TEST(MrpbArbiter, SticksToLastServedCore) {
+  RequestArbiter arb = make_arbiter(ArbPolicy::kMrpb);
+  Mshr mshr(4, 4);
+  std::vector<QueuedRequest> q{req(line(1), 0, 0), req(line(2), 1, 1),
+                               req(line(3), 0, 2)};
+  // First pick: no sticky core yet -> FCFS head (core 0).
+  auto c = arb.select(q, mshr);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->index, 0u);
+  arb.on_selected(q[c->index].req, c->spec, 0);
+  q.erase(q.begin());
+  // Sticky core is now 0: the core-0 request at the back must win over the
+  // older core-1 request at the head.
+  c = arb.select(q, mshr);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(q[c->index].req.core, 0);
+}
+
+TEST(MrpbArbiter, FallsBackToHeadWhenStickyCoreEmpty) {
+  RequestArbiter arb = make_arbiter(ArbPolicy::kMrpb);
+  Mshr mshr(4, 4);
+  std::vector<QueuedRequest> q{req(line(1), 2, 0)};
+  auto c = arb.select(q, mshr);
+  arb.on_selected(q[0].req, c->spec, 0);  // sticky = core 2
+  std::vector<QueuedRequest> q2{req(line(5), 1, 1), req(line(6), 3, 2)};
+  c = arb.select(q2, mshr);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->index, 0u) << "no core-2 request -> oldest request wins";
+}
+
+// --------------------------------------------------------------- oracle --
+
+TEST(OracleArbiter, PrefersGroundTruthHit) {
+  RequestArbiter arb = make_arbiter(ArbPolicy::kOracle);
+  Mshr mshr(4, 4);
+  FakeOracle oracle;
+  oracle.hits.insert(line(9));
+  // The hit_buffer knows nothing about line(9): plain MA would rank both
+  // requests as misses and take the head; the oracle sees the hit.
+  std::vector<QueuedRequest> q{req(line(1), 0, 0), req(line(9), 1, 1)};
+  const auto c = arb.select(q, mshr, &oracle);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->index, 1u);
+  EXPECT_EQ(c->spec, RequestArbiter::SpecClass::kCacheHit);
+}
+
+TEST(OracleArbiter, RanksMshrHitAboveMiss) {
+  RequestArbiter arb = make_arbiter(ArbPolicy::kOracle);
+  Mshr mshr(4, 4);
+  FakeOracle oracle;
+  mshr.add(line(7), MshrTarget{0, 0, false}, 0);
+  std::vector<QueuedRequest> q{req(line(1), 0, 0), req(line(7), 1, 1)};
+  const auto c = arb.select(q, mshr, &oracle);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->index, 1u);
+  EXPECT_EQ(c->spec, RequestArbiter::SpecClass::kMshrHit);
+}
+
+TEST(OracleArbiter, BalancedTieBreakAmongEqualClasses) {
+  RequestArbiter arb = make_arbiter(ArbPolicy::kOracle);
+  Mshr mshr(4, 4);
+  FakeOracle oracle;
+  // Core 0 has been served three times; core 1 never.
+  for (int i = 0; i < 3; ++i) {
+    arb.on_selected(req(line(100 + static_cast<std::uint64_t>(i)), 0,
+                        static_cast<std::uint64_t>(i))
+                        .req,
+                    RequestArbiter::SpecClass::kMiss, 0);
+  }
+  std::vector<QueuedRequest> q{req(line(1), 0, 10), req(line(2), 1, 11)};
+  const auto c = arb.select(q, mshr, &oracle);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(q[c->index].req.core, 1) << "least-served core wins ties";
+}
+
+TEST(OracleArbiter, NullOracleDegradesToMshrOnly) {
+  RequestArbiter arb = make_arbiter(ArbPolicy::kOracle);
+  Mshr mshr(4, 4);
+  std::vector<QueuedRequest> q{req(line(1), 0, 0), req(line(2), 1, 1)};
+  const auto c = arb.select(q, mshr, nullptr);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->spec, RequestArbiter::SpecClass::kMiss);
+}
+
+// --------------------------------------------------------------- random --
+
+TEST(RandomArbiter, CoversTheQueueAndStaysInBounds) {
+  RequestArbiter arb = make_arbiter(ArbPolicy::kRandom);
+  Mshr mshr(4, 4);
+  std::vector<QueuedRequest> q{req(line(1), 0, 0), req(line(2), 1, 1),
+                               req(line(3), 2, 2), req(line(4), 3, 3)};
+  std::set<std::size_t> seen;
+  for (int i = 0; i < 256; ++i) {
+    const auto c = arb.select(q, mshr);
+    ASSERT_TRUE(c.has_value());
+    ASSERT_LT(c->index, q.size());
+    seen.insert(c->index);
+  }
+  EXPECT_EQ(seen.size(), 4u) << "every queue slot should be reachable";
+}
+
+TEST(RandomArbiter, DeterministicPerSeed) {
+  ArbConfig cfg;
+  cfg.policy = ArbPolicy::kRandom;
+  Mshr mshr(4, 4);
+  std::vector<QueuedRequest> q{req(line(1), 0, 0), req(line(2), 1, 1),
+                               req(line(3), 2, 2)};
+  auto sequence = [&](std::uint64_t seed) {
+    RequestArbiter arb(cfg, 4, 8, seed);
+    std::vector<std::size_t> out;
+    for (int i = 0; i < 64; ++i) out.push_back(arb.select(q, mshr)->index);
+    return out;
+  };
+  EXPECT_EQ(sequence(11), sequence(11));
+  EXPECT_NE(sequence(11), sequence(12));
+}
+
+// ------------------------------------------------- full-system sweep ------
+
+SimConfig small_cfg(ArbPolicy arb) {
+  SimConfig cfg = SimConfig::table5();
+  cfg.core.num_cores = 4;
+  cfg.llc.size_bytes = 2ull << 20;
+  cfg.llc.num_slices = 2;
+  cfg.dram.num_channels = 2;
+  cfg.arb.policy = arb;
+  cfg.max_cycles = 20'000'000;
+  return cfg;
+}
+
+class ArbPolicySweep : public ::testing::TestWithParam<ArbPolicy> {};
+
+TEST_P(ArbPolicySweep, SystemRunsToCompletionAndConserves) {
+  const SimConfig cfg = small_cfg(GetParam());
+  ModelShape m = ModelShape::llama3_70b();
+  m.num_kv_heads = 2;
+  m.group_size = 4;
+  const Workload wl = Workload::logit(m, 512, cfg);
+  const SimStats s = run_simulation(cfg, wl);
+  const auto& c = s.counters;
+  EXPECT_GT(s.cycles, 0u);
+  EXPECT_EQ(c.get("llc.requests_in"), c.get("llc.requests_served"));
+  EXPECT_EQ(c.get("llc.hits") + c.get("llc.misses"), c.get("llc.lookups"));
+  EXPECT_EQ(c.get("llc.mshr_hits") + c.get("llc.mshr_allocs"),
+            c.get("llc.misses"));
+  EXPECT_EQ(c.get("llc.mshr_allocs"), c.get("dram.reads"));
+}
+
+TEST_P(ArbPolicySweep, DeterministicAcrossRuns) {
+  const SimConfig cfg = small_cfg(GetParam());
+  ModelShape m = ModelShape::llama3_70b();
+  m.num_kv_heads = 2;
+  m.group_size = 2;
+  const Workload wl = Workload::logit(m, 256, cfg);
+  EXPECT_EQ(run_simulation(cfg, wl).cycles, run_simulation(cfg, wl).cycles);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllArbiters, ArbPolicySweep,
+    ::testing::Values(ArbPolicy::kFcfs, ArbPolicy::kBalanced, ArbPolicy::kMa,
+                      ArbPolicy::kBma, ArbPolicy::kCobrra, ArbPolicy::kMrpb,
+                      ArbPolicy::kOracle, ArbPolicy::kRandom),
+    [](const ::testing::TestParamInfo<ArbPolicy>& info) {
+      std::string name = to_string(info.param);
+      for (char& ch : name) {
+        if (ch == '-' || ch == '+') ch = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace llamcat

@@ -1,0 +1,223 @@
+// Bypass-manager tests: unit semantics of every policy, the reuse
+// predictor's learning behavior, config validation, and full-system
+// integration (a bypassed LLC acts as a merge buffer; kNone is
+// behavior-identical to a machine without the unit).
+#include <gtest/gtest.h>
+
+#include "cache/bypass.hpp"
+#include "sim/experiment.hpp"
+
+namespace llamcat {
+namespace {
+
+Addr line(std::uint64_t i) { return i * kLineBytes; }
+
+BypassConfig cfg_for(BypassPolicy p) {
+  BypassConfig cfg;
+  cfg.policy = p;
+  return cfg;
+}
+
+TEST(BypassManager, NonePolicyKeepsEverything) {
+  BypassManager b(cfg_for(BypassPolicy::kNone), 1);
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    EXPECT_FALSE(b.should_bypass(line(i)));
+  }
+  EXPECT_EQ(b.kept(), 100u);
+  EXPECT_EQ(b.bypassed(), 0u);
+}
+
+TEST(BypassManager, AllPolicyBypassesEverything) {
+  BypassManager b(cfg_for(BypassPolicy::kAll), 1);
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    EXPECT_TRUE(b.should_bypass(line(i)));
+  }
+  EXPECT_EQ(b.bypassed(), 100u);
+}
+
+TEST(BypassManager, ProbabilisticMatchesKeepProbability) {
+  BypassConfig cfg = cfg_for(BypassPolicy::kProbabilistic);
+  cfg.keep_probability = 0.25;
+  BypassManager b(cfg, 42);
+  constexpr int kTrials = 10000;
+  int kept = 0;
+  for (int i = 0; i < kTrials; ++i) {
+    if (!b.should_bypass(line(static_cast<std::uint64_t>(i)))) ++kept;
+  }
+  const double rate = static_cast<double>(kept) / kTrials;
+  EXPECT_NEAR(rate, 0.25, 0.02);
+  EXPECT_EQ(b.kept() + b.bypassed(), static_cast<std::uint64_t>(kTrials));
+}
+
+TEST(BypassManager, ProbabilisticDeterministicPerSeed) {
+  BypassConfig cfg = cfg_for(BypassPolicy::kProbabilistic);
+  auto decisions = [&cfg](std::uint64_t seed) {
+    BypassManager b(cfg, seed);
+    std::vector<bool> out;
+    for (std::uint64_t i = 0; i < 64; ++i) out.push_back(b.should_bypass(line(i)));
+    return out;
+  };
+  EXPECT_EQ(decisions(7), decisions(7));
+  EXPECT_NE(decisions(7), decisions(8));
+}
+
+TEST(BypassManager, ReuseHistoryStartsNeutral) {
+  BypassConfig cfg = cfg_for(BypassPolicy::kReuseHistory);
+  cfg.keep_threshold = 1;
+  BypassManager b(cfg, 1);
+  // Cold predictor keeps fills (counters start at the threshold).
+  EXPECT_FALSE(b.should_bypass(line(0)));
+  EXPECT_EQ(b.region_counter(line(0)), 1u);
+}
+
+TEST(BypassManager, ReuseHistoryLearnsStreamingRegions) {
+  BypassConfig cfg = cfg_for(BypassPolicy::kReuseHistory);
+  cfg.keep_threshold = 1;
+  BypassManager b(cfg, 1);
+  // A region that only misses drains its counter to 0 -> bypass.
+  b.on_cache_miss(line(0));
+  EXPECT_EQ(b.region_counter(line(0)), 0u);
+  EXPECT_TRUE(b.should_bypass(line(0)));
+  // A hit restores confidence.
+  b.on_cache_hit(line(0));
+  EXPECT_FALSE(b.should_bypass(line(0)));
+}
+
+TEST(BypassManager, ReuseCountersSaturateAtThreeAndZero) {
+  BypassConfig cfg = cfg_for(BypassPolicy::kReuseHistory);
+  BypassManager b(cfg, 1);
+  for (int i = 0; i < 10; ++i) b.on_cache_hit(line(0));
+  EXPECT_EQ(b.region_counter(line(0)), 3u);
+  for (int i = 0; i < 10; ++i) b.on_cache_miss(line(0));
+  EXPECT_EQ(b.region_counter(line(0)), 0u);
+}
+
+TEST(BypassManager, RegionsShareCounters) {
+  BypassConfig cfg = cfg_for(BypassPolicy::kReuseHistory);
+  cfg.region_log2 = 12;  // 4 KiB = 64 lines per region
+  BypassManager b(cfg, 1);
+  b.on_cache_miss(line(0));
+  // line(1) is in the same 4 KiB region -> same counter.
+  EXPECT_EQ(b.region_counter(line(1)), 0u);
+  // line(64) is the next region -> untouched.
+  EXPECT_EQ(b.region_counter(line(64)), 1u);
+}
+
+TEST(BypassManager, FeedbackIgnoredByStatelessPolicies) {
+  BypassManager b(cfg_for(BypassPolicy::kNone), 1);
+  b.on_cache_hit(line(0));
+  b.on_cache_miss(line(0));  // must not crash or allocate a table
+  EXPECT_FALSE(b.should_bypass(line(0)));
+}
+
+// --------------------------------------------------------- config checks --
+
+TEST(BypassConfigValidate, RejectsBadProbability) {
+  SimConfig cfg = SimConfig::table5();
+  cfg.llc.bypass.keep_probability = 1.5;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(BypassConfigValidate, RejectsZeroTableForReuseHistory) {
+  SimConfig cfg = SimConfig::table5();
+  cfg.llc.bypass.policy = BypassPolicy::kReuseHistory;
+  cfg.llc.bypass.table_entries = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(BypassConfigValidate, RejectsSubLineRegion) {
+  SimConfig cfg = SimConfig::table5();
+  cfg.llc.bypass.region_log2 = 4;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(BypassConfigValidate, RejectsThresholdBeyondCounterRange) {
+  SimConfig cfg = SimConfig::table5();
+  cfg.llc.bypass.keep_threshold = 4;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+// ----------------------------------------------------- system integration --
+
+SimConfig small_cfg() {
+  SimConfig cfg = SimConfig::table5();
+  cfg.core.num_cores = 4;
+  cfg.llc.size_bytes = 2ull << 20;
+  cfg.llc.num_slices = 2;
+  cfg.dram.num_channels = 2;
+  cfg.max_cycles = 20'000'000;
+  return cfg;
+}
+
+ModelShape small_model() {
+  ModelShape m = ModelShape::llama3_70b();
+  m.num_kv_heads = 2;
+  m.group_size = 4;
+  return m;
+}
+
+TEST(BypassSystem, AllBypassKeepsCacheEmptyAndConserves) {
+  SimConfig cfg = small_cfg();
+  cfg.llc.bypass.policy = BypassPolicy::kAll;
+  const Workload wl = Workload::logit(small_model(), 512, cfg);
+  const SimStats s = run_simulation(cfg, wl);
+  const auto& c = s.counters;
+  // Every fill was rejected; consequently the LLC never hits on a load
+  // whose line came back from DRAM (hits can still occur on dirty lines
+  // marked by store write-allocate... which also never install, so zero).
+  EXPECT_EQ(c.get("llc.bypassed_fills"), c.get("llc.fills"));
+  EXPECT_EQ(c.get("llc.hits"), 0u);
+  // The conservation laws still hold with the unit active.
+  EXPECT_EQ(c.get("llc.mshr_hits") + c.get("llc.mshr_allocs"),
+            c.get("llc.misses"));
+  EXPECT_EQ(c.get("llc.mshr_allocs"), c.get("dram.reads"));
+}
+
+TEST(BypassSystem, AllBypassStillWritesDirtyDataBack) {
+  SimConfig cfg = small_cfg();
+  cfg.llc.bypass.policy = BypassPolicy::kAll;
+  const Workload wl = Workload::logit(small_model(), 512, cfg);
+  const SimStats s = run_simulation(cfg, wl);
+  // The Logit operator stores the S tensor; its dirty fills bypass storage
+  // but the data must still reach DRAM.
+  EXPECT_GT(s.dram_writes, 0u);
+}
+
+TEST(BypassSystem, NonePolicyMatchesDefaultMachineExactly) {
+  const SimConfig base = small_cfg();
+  SimConfig with_unit = base;
+  with_unit.llc.bypass.policy = BypassPolicy::kNone;
+  const Workload wl = Workload::logit(small_model(), 512, base);
+  const SimStats a = run_simulation(base, wl);
+  const SimStats b = run_simulation(with_unit, wl);
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.counters.get("llc.hits"), b.counters.get("llc.hits"));
+}
+
+TEST(BypassSystem, BypassRaisesDramTraffic) {
+  SimConfig keep = small_cfg();
+  SimConfig drop = small_cfg();
+  drop.llc.bypass.policy = BypassPolicy::kAll;
+  const Workload wl = Workload::logit(small_model(), 512, keep);
+  const SimStats a = run_simulation(keep, wl);
+  const SimStats b = run_simulation(drop, wl);
+  EXPECT_GT(b.dram_reads, a.dram_reads)
+      << "discarding every fill must cost refetches";
+}
+
+TEST(BypassSystem, ReuseHistoryTracksBetweenNoneAndAll) {
+  SimConfig none = small_cfg();
+  SimConfig all = small_cfg();
+  all.llc.bypass.policy = BypassPolicy::kAll;
+  SimConfig reuse = small_cfg();
+  reuse.llc.bypass.policy = BypassPolicy::kReuseHistory;
+  const Workload wl = Workload::logit(small_model(), 512, none);
+  const std::uint64_t r_none = run_simulation(none, wl).dram_reads;
+  const std::uint64_t r_all = run_simulation(all, wl).dram_reads;
+  const std::uint64_t r_reuse = run_simulation(reuse, wl).dram_reads;
+  EXPECT_GE(r_reuse, r_none);
+  EXPECT_LE(r_reuse, r_all);
+}
+
+}  // namespace
+}  // namespace llamcat

@@ -1,0 +1,204 @@
+// Unit tests: CAT speculation structures (hit_buffer, sent_reqs) and the
+// arbitration policies (FCFS / B / MA / BMA), paper §4.1/§4.3.
+#include <gtest/gtest.h>
+
+#include "cache/mshr.hpp"
+#include "core/arbitration.hpp"
+#include "core/speculation.hpp"
+
+namespace llamcat {
+namespace {
+
+Addr line(std::uint64_t i) { return i * kLineBytes; }
+
+TEST(HitBuffer, FifoEviction) {
+  HitBuffer hb(2);
+  hb.record_hit(line(1));
+  hb.record_hit(line(2));
+  EXPECT_TRUE(hb.contains(line(1)));
+  hb.record_hit(line(3));  // evicts 1
+  EXPECT_FALSE(hb.contains(line(1)));
+  EXPECT_TRUE(hb.contains(line(2)));
+  EXPECT_TRUE(hb.contains(line(3)));
+}
+
+TEST(HitBuffer, DuplicatesCounted) {
+  HitBuffer hb(3);
+  hb.record_hit(line(1));
+  hb.record_hit(line(1));
+  hb.record_hit(line(2));
+  hb.record_hit(line(9));  // evicts one copy of 1
+  EXPECT_TRUE(hb.contains(line(1)));
+  hb.record_hit(line(10));  // evicts the second copy
+  EXPECT_FALSE(hb.contains(line(1)));
+}
+
+TEST(SentReqs, ExpiryAfterLifetime) {
+  SentReqs sr(16, 8);  // lifetime = hit(3) + mshr(5)
+  sr.push(line(1), /*spec_hit=*/false, 100);
+  EXPECT_TRUE(sr.contains_mshr_bound(line(1)));
+  sr.expire(107);
+  EXPECT_TRUE(sr.contains_mshr_bound(line(1)));
+  sr.expire(108);  // 100 + 8
+  EXPECT_FALSE(sr.contains_mshr_bound(line(1)));
+  EXPECT_EQ(sr.size(), 0u);
+}
+
+TEST(SentReqs, SpecHitBitMasks) {
+  SentReqs sr(16, 8);
+  // Speculated cache hits are masked out of the MSHR estimate (Fig 5).
+  sr.push(line(1), /*spec_hit=*/true, 0);
+  EXPECT_FALSE(sr.contains_mshr_bound(line(1)));
+  sr.push(line(1), /*spec_hit=*/false, 1);
+  EXPECT_TRUE(sr.contains_mshr_bound(line(1)));
+}
+
+// ----------------------------------------------------------- arbiter ----
+
+ArbConfig arb_cfg(ArbPolicy p) {
+  ArbConfig cfg;
+  cfg.policy = p;
+  return cfg;
+}
+
+QueuedRequest req(Addr a, CoreId core, std::uint64_t seq) {
+  QueuedRequest q;
+  q.req.line_addr = a;
+  q.req.core = core;
+  q.req.seq = seq;
+  return q;
+}
+
+TEST(Arbiter, ClassifyUsesAllThreeStructures) {
+  RequestArbiter arb(arb_cfg(ArbPolicy::kMa), 4, 8);
+  Mshr mshr(6, 8);
+  // Nothing known: miss.
+  EXPECT_EQ(arb.classify(line(1), mshr), RequestArbiter::SpecClass::kMiss);
+  // In hit_buffer: cache hit.
+  arb.on_hit_determined(line(1));
+  EXPECT_EQ(arb.classify(line(1), mshr),
+            RequestArbiter::SpecClass::kCacheHit);
+  // In the live MSHR: MSHR hit.
+  mshr.add(line(2), {0, 0, false}, 0);
+  EXPECT_EQ(arb.classify(line(2), mshr),
+            RequestArbiter::SpecClass::kMshrHit);
+  // Recently selected (sent_reqs, spec_hit=0): MSHR hit even though the
+  // real MSHR has not seen it yet.
+  MemRequest r;
+  r.line_addr = line(3);
+  r.core = 0;
+  arb.on_selected(r, RequestArbiter::SpecClass::kMiss, 10);
+  EXPECT_EQ(arb.classify(line(3), mshr),
+            RequestArbiter::SpecClass::kMshrHit);
+  // ...and the prediction expires once the MSHR would be up to date.
+  arb.on_cycle(18);
+  EXPECT_EQ(arb.classify(line(3), mshr), RequestArbiter::SpecClass::kMiss);
+}
+
+TEST(Arbiter, FcfsTakesHead) {
+  RequestArbiter arb(arb_cfg(ArbPolicy::kFcfs), 4, 8);
+  Mshr mshr(6, 8);
+  std::vector<QueuedRequest> q{req(line(5), 2, 0), req(line(6), 1, 1)};
+  const auto c = arb.select(q, mshr);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->index, 0u);
+}
+
+TEST(Arbiter, BalancedPicksLeastServedCore) {
+  RequestArbiter arb(arb_cfg(ArbPolicy::kBalanced), 4, 8);
+  Mshr mshr(6, 8);
+  // Serve core 0 twice so its progress counter is highest.
+  MemRequest r;
+  r.core = 0;
+  arb.on_selected(r, RequestArbiter::SpecClass::kMiss, 0);
+  arb.on_selected(r, RequestArbiter::SpecClass::kMiss, 1);
+  std::vector<QueuedRequest> q{req(line(1), 0, 0), req(line(2), 3, 1)};
+  const auto c = arb.select(q, mshr);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(q[c->index].req.core, 3u);
+  // Ties resolve to the earliest arrival.
+  std::vector<QueuedRequest> q2{req(line(1), 1, 0), req(line(2), 2, 1)};
+  EXPECT_EQ(arb.select(q2, mshr)->index, 0u);
+}
+
+TEST(Arbiter, MaPrioritizesHitThenMshrHitThenMiss) {
+  RequestArbiter arb(arb_cfg(ArbPolicy::kMa), 4, 8);
+  Mshr mshr(6, 8);
+  mshr.add(line(2), {0, 0, false}, 0);
+  arb.on_hit_determined(line(3));
+  std::vector<QueuedRequest> q{req(line(1), 0, 0),   // miss
+                               req(line(2), 1, 1),   // MSHR hit
+                               req(line(3), 2, 2)};  // cache hit
+  const auto c = arb.select(q, mshr);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->index, 2u);
+  EXPECT_EQ(c->spec, RequestArbiter::SpecClass::kCacheHit);
+  // Remove the cache hit: the MSHR hit wins next.
+  std::vector<QueuedRequest> q2{req(line(1), 0, 0), req(line(2), 1, 1)};
+  EXPECT_EQ(arb.select(q2, mshr)->index, 1u);
+}
+
+TEST(Arbiter, MaTieBreaksFcfsButBmaUsesProgress) {
+  Mshr mshr(6, 8);
+  MemRequest served;
+  served.core = 0;
+  // Two requests of the same class (miss) from cores 0 and 1; core 0 has
+  // been served more.
+  std::vector<QueuedRequest> q{req(line(1), 0, 0), req(line(2), 1, 1)};
+
+  RequestArbiter ma(arb_cfg(ArbPolicy::kMa), 4, 8);
+  ma.on_selected(served, RequestArbiter::SpecClass::kMiss, 0);
+  EXPECT_EQ(ma.select(q, mshr)->index, 0u);  // FCFS tie-break
+
+  RequestArbiter bma(arb_cfg(ArbPolicy::kBma), 4, 8);
+  bma.on_selected(served, RequestArbiter::SpecClass::kMiss, 0);
+  EXPECT_EQ(bma.select(q, mshr)->index, 1u);  // balanced tie-break
+}
+
+TEST(Arbiter, ProgressCountersTrackAndReset) {
+  RequestArbiter arb(arb_cfg(ArbPolicy::kBma), 4, 8);
+  MemRequest r;
+  r.core = 2;
+  arb.on_selected(r, RequestArbiter::SpecClass::kMiss, 0);
+  arb.on_selected(r, RequestArbiter::SpecClass::kMiss, 1);
+  EXPECT_EQ(arb.progress()[2], 2u);
+  arb.reset_progress();
+  EXPECT_EQ(arb.progress()[2], 0u);
+}
+
+TEST(Arbiter, EmptyQueueYieldsNothing) {
+  RequestArbiter arb(arb_cfg(ArbPolicy::kBma), 4, 8);
+  Mshr mshr(6, 8);
+  std::vector<QueuedRequest> q;
+  EXPECT_FALSE(arb.select(q, mshr).has_value());
+}
+
+// Property: for every policy, select() returns a valid index and never
+// throws over randomized queues.
+class ArbiterPolicyProp : public ::testing::TestWithParam<ArbPolicy> {};
+
+TEST_P(ArbiterPolicyProp, AlwaysValidIndex) {
+  RequestArbiter arb(arb_cfg(GetParam()), 8, 8);
+  Mshr mshr(6, 8);
+  mshr.add(line(100), {0, 0, false}, 0);
+  arb.on_hit_determined(line(200));
+  for (int n = 1; n <= 12; ++n) {
+    std::vector<QueuedRequest> q;
+    for (int i = 0; i < n; ++i) {
+      q.push_back(req(line(100 + 50 * (i % 3)), static_cast<CoreId>(i % 8),
+                      static_cast<std::uint64_t>(i)));
+    }
+    const auto c = arb.select(q, mshr);
+    ASSERT_TRUE(c.has_value());
+    EXPECT_LT(c->index, q.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, ArbiterPolicyProp,
+                         ::testing::Values(ArbPolicy::kFcfs,
+                                           ArbPolicy::kBalanced,
+                                           ArbPolicy::kMa, ArbPolicy::kBma,
+                                           ArbPolicy::kCobrra));
+
+}  // namespace
+}  // namespace llamcat

@@ -1,0 +1,155 @@
+// Energy-model tests: exact arithmetic against hand-built counter sets,
+// scaling/monotonicity properties, and integration with real runs.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/energy.hpp"
+#include "sim/experiment.hpp"
+
+namespace llamcat {
+namespace {
+
+SimStats stats_with(std::uint64_t dram_reads, std::uint64_t dram_writes,
+                    std::uint64_t activates, std::uint64_t refreshes,
+                    Cycle cycles = 1'000'000) {
+  SimStats s;
+  s.cycles = cycles;
+  s.core_hz = 1e9;
+  s.dram_reads = dram_reads;
+  s.dram_writes = dram_writes;
+  s.counters.set("dram.reads", dram_reads);
+  s.counters.set("dram.writes", dram_writes);
+  s.counters.set("dram.activates", activates);
+  s.counters.set("dram.refreshes", refreshes);
+  return s;
+}
+
+TEST(EnergyModel, DramDynamicArithmetic) {
+  EnergyConfig e;
+  e.dram_act_pre_pj = 1000.0;
+  e.dram_rd_pj = 100.0;
+  e.dram_wr_pj = 200.0;
+  e.dram_ref_pj = 5000.0;
+  const SimConfig cfg = SimConfig::table5();
+  const SimStats s = stats_with(10, 5, 3, 2);
+  const EnergyReport r = estimate_energy(e, cfg, s);
+  // 3*1000 + 10*100 + 5*200 + 2*5000 = 15000 pJ
+  EXPECT_DOUBLE_EQ(r.dram_dynamic_j, 15000e-12);
+}
+
+TEST(EnergyModel, StaticEnergyScalesWithTimeAndChannels) {
+  EnergyConfig e;
+  e.dram_static_mw_per_channel = 100.0;  // 0.1 W per channel
+  SimConfig cfg = SimConfig::table5();
+  cfg.dram.num_channels = 4;
+  const SimStats s = stats_with(0, 0, 0, 0, 2'000'000);  // 2 ms at 1 GHz
+  const EnergyReport r = estimate_energy(e, cfg, s);
+  EXPECT_NEAR(r.dram_static_j, 0.4 * 0.002, 1e-12);  // 0.4 W * 2 ms
+
+  cfg.dram.num_channels = 8;
+  const EnergyReport r8 = estimate_energy(e, cfg, s);
+  EXPECT_NEAR(r8.dram_static_j, 2.0 * r.dram_static_j, 1e-12);
+}
+
+TEST(EnergyModel, ZeroCountersZeroDynamicEnergy) {
+  const EnergyReport r = estimate_energy(EnergyConfig{}, SimConfig::table5(),
+                                         stats_with(0, 0, 0, 0));
+  EXPECT_DOUBLE_EQ(r.dram_dynamic_j, 0.0);
+  EXPECT_DOUBLE_EQ(r.llc_j, 0.0);
+  EXPECT_DOUBLE_EQ(r.l1_j, 0.0);
+  EXPECT_DOUBLE_EQ(r.noc_j, 0.0);
+  EXPECT_GT(r.dram_static_j, 0.0);  // background power always accrues
+}
+
+TEST(EnergyModel, TotalIsSumOfComponents) {
+  SimStats s = stats_with(100, 50, 30, 5);
+  s.counters.set("llc.lookups", 1000);
+  s.counters.set("llc.hits", 700);
+  s.counters.set("llc.responses_served", 100);
+  s.counters.set("llc.misses", 300);
+  s.counters.set("llc.mshr_allocs", 100);
+  s.counters.set("l1.load_hits", 5000);
+  s.counters.set("l1.fills", 900);
+  s.counters.set("llc.requests_in", 1000);
+  const EnergyReport r =
+      estimate_energy(EnergyConfig{}, SimConfig::table5(), s);
+  EXPECT_DOUBLE_EQ(r.total_j(), r.dram_dynamic_j + r.dram_static_j + r.llc_j +
+                                    r.l1_j + r.noc_j);
+  EXPECT_GT(r.llc_j, 0.0);
+  EXPECT_GT(r.l1_j, 0.0);
+  EXPECT_GT(r.noc_j, 0.0);
+}
+
+TEST(EnergyModel, BypassedFillsDoNotChargeTheDataArray) {
+  SimStats kept = stats_with(0, 0, 0, 0);
+  kept.counters.set("llc.responses_served", 100);
+  SimStats bypassed = kept;
+  bypassed.counters.set("llc.bypassed_fills", 100);
+  const SimConfig cfg = SimConfig::table5();
+  EXPECT_GT(estimate_energy(EnergyConfig{}, cfg, kept).llc_j,
+            estimate_energy(EnergyConfig{}, cfg, bypassed).llc_j);
+}
+
+TEST(EnergyModel, MoreTrafficMoreEnergy) {
+  const SimConfig cfg = SimConfig::table5();
+  const EnergyConfig e;
+  const double low =
+      estimate_energy(e, cfg, stats_with(100, 10, 20, 1)).total_j();
+  const double high =
+      estimate_energy(e, cfg, stats_with(1000, 100, 200, 1)).total_j();
+  EXPECT_GT(high, low);
+}
+
+TEST(EnergyModel, EdpAndPowerDerivations) {
+  EnergyConfig e;
+  const SimConfig cfg = SimConfig::table5();
+  const SimStats s = stats_with(1000, 0, 100, 0);
+  const EnergyReport r = estimate_energy(e, cfg, s);
+  EXPECT_DOUBLE_EQ(r.edp_js(), r.total_j() * r.seconds);
+  EXPECT_DOUBLE_EQ(r.avg_power_w(), r.total_j() / r.seconds);
+}
+
+TEST(EnergyModel, DramPjPerByteUsesMovedBytes) {
+  EnergyConfig e;
+  e.dram_act_pre_pj = 0.0;
+  e.dram_rd_pj = 640.0;  // 10 pJ/B at 64B lines
+  e.dram_ref_pj = 0.0;
+  const SimConfig cfg = SimConfig::table5();
+  const SimStats s = stats_with(100, 0, 0, 0);
+  const EnergyReport r = estimate_energy(e, cfg, s);
+  EXPECT_NEAR(r.dram_pj_per_byte(s), 10.0, 1e-9);
+}
+
+TEST(EnergyModel, PrintIsHumanReadable) {
+  const EnergyReport r = estimate_energy(EnergyConfig{}, SimConfig::table5(),
+                                         stats_with(100, 10, 20, 1));
+  std::ostringstream os;
+  r.print(os);
+  EXPECT_NE(os.str().find("total="), std::string::npos);
+  EXPECT_NE(os.str().find("EDP"), std::string::npos);
+}
+
+TEST(EnergyIntegration, RealRunProducesConsistentReport) {
+  SimConfig cfg = SimConfig::table5();
+  cfg.core.num_cores = 4;
+  cfg.llc.size_bytes = 2ull << 20;
+  cfg.llc.num_slices = 2;
+  cfg.dram.num_channels = 2;
+  ModelShape m = ModelShape::llama3_70b();
+  m.num_kv_heads = 2;
+  m.group_size = 4;
+  const SimStats s = run_simulation(cfg, Workload::logit(m, 512, cfg));
+  const EnergyReport r = estimate_energy(EnergyConfig{}, cfg, s);
+  EXPECT_GT(r.dram_dynamic_j, 0.0);
+  EXPECT_GT(r.llc_j, 0.0);
+  EXPECT_GT(r.l1_j, 0.0);
+  EXPECT_GT(r.noc_j, 0.0);
+  EXPECT_GT(r.avg_power_w(), 0.0);
+  // Sanity band: a few-mm^2 memory subsystem moving ~MBs should land
+  // between milliwatts and tens of watts, not outside it.
+  EXPECT_LT(r.avg_power_w(), 100.0);
+}
+
+}  // namespace
+}  // namespace llamcat

@@ -1,0 +1,163 @@
+// Hybrid-framework tests (paper §5, Fig 6): the analytical-model -> trace
+// -> cycle-level-simulator hand-off must be lossless for every operator
+// kind - a replayed trace file drives the machine to the identical cycle
+// count as the in-memory generator.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/experiment.hpp"
+#include "sim/system.hpp"
+#include "trace/trace_io.hpp"
+#include "trace/tracegen.hpp"
+
+namespace llamcat {
+namespace {
+
+SimConfig small_cfg() {
+  SimConfig cfg = SimConfig::table5();
+  cfg.core.num_cores = 4;
+  cfg.llc.size_bytes = 2ull << 20;
+  cfg.llc.num_slices = 2;
+  cfg.dram.num_channels = 2;
+  cfg.max_cycles = 50'000'000;
+  return cfg;
+}
+
+ModelShape small_model() {
+  ModelShape m = ModelShape::llama3_70b();
+  m.num_kv_heads = 2;
+  m.group_size = 4;
+  return m;
+}
+
+Cycle run_from(const SimConfig& cfg, const ITbSource& src) {
+  System sys(cfg, src);
+  return sys.run().cycles;
+}
+
+class RoundTripAllOps
+    : public ::testing::TestWithParam<const char*> {
+ protected:
+  Workload make_workload(const SimConfig& cfg) const {
+    const std::string op = GetParam();
+    if (op == "logit") return Workload::logit(small_model(), 512, cfg);
+    if (op == "attend") return Workload::attend(small_model(), 512, cfg);
+    return Workload::gemv(512, 256, cfg);
+  }
+};
+
+TEST_P(RoundTripAllOps, ReplayedTraceMatchesGeneratorExactly) {
+  const SimConfig cfg = small_cfg();
+  const Workload wl = make_workload(cfg);
+  TraceGen gen(wl.op, wl.mapping);
+
+  std::stringstream file;
+  write_trace(file, gen);
+  const auto replay = read_trace(file);
+
+  ASSERT_EQ(replay->num_tbs(), gen.num_tbs());
+  EXPECT_EQ(run_from(cfg, gen), run_from(cfg, *replay))
+      << "trace file round trip must be cycle-exact";
+}
+
+TEST_P(RoundTripAllOps, WriteIsIdempotent) {
+  const SimConfig cfg = small_cfg();
+  const Workload wl = make_workload(cfg);
+  TraceGen gen(wl.op, wl.mapping);
+
+  std::stringstream first;
+  write_trace(first, gen);
+  const std::string once = first.str();
+
+  const auto replay = read_trace(first);
+  std::stringstream second;
+  write_trace(second, *replay);
+  EXPECT_EQ(once, second.str());
+}
+
+TEST_P(RoundTripAllOps, InstructionStreamsIdenticalPerTb) {
+  const SimConfig cfg = small_cfg();
+  const Workload wl = make_workload(cfg);
+  TraceGen gen(wl.op, wl.mapping);
+
+  std::stringstream file;
+  write_trace(file, gen);
+  const auto replay = read_trace(file);
+
+  for (std::uint64_t tb = 0; tb < gen.num_tbs(); ++tb) {
+    ASSERT_EQ(replay->instr_count(tb), gen.instr_count(tb)) << "tb " << tb;
+    for (std::uint32_t i = 0; i < gen.instr_count(tb); ++i) {
+      const Instr a = gen.instr_at(tb, i);
+      const Instr b = replay->instr_at(tb, i);
+      ASSERT_EQ(a.kind, b.kind) << "tb " << tb << " instr " << i;
+      ASSERT_EQ(a.line_addr, b.line_addr) << "tb " << tb << " instr " << i;
+      ASSERT_EQ(a.cycles, b.cycles) << "tb " << tb << " instr " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ops, RoundTripAllOps,
+                         ::testing::Values("logit", "attend", "gemv"));
+
+TEST(HybridFlow, TraceOrderChangesDispatchNotTraffic) {
+  const SimConfig cfg = small_cfg();
+  Workload hlg = Workload::logit(small_model(), 512, cfg);
+  hlg.mapping.order = TbOrder::kHLG;
+  Workload lhg = hlg;
+  lhg.mapping.order = TbOrder::kLHG;
+
+  // Same thread blocks as a set, different sequence.
+  const auto a = hlg.mapping.thread_blocks(hlg.op);
+  const auto b = lhg.mapping.thread_blocks(lhg.op);
+  ASSERT_EQ(a.size(), b.size());
+  auto key = [](const TbDesc& t) {
+    return std::tuple(t.h, t.g, t.l_begin, t.l_end);
+  };
+  std::set<std::tuple<std::uint32_t, std::uint32_t, std::uint64_t,
+                      std::uint64_t>>
+      sa, sb;
+  for (const auto& t : a) sa.insert(key(t));
+  for (const auto& t : b) sb.insert(key(t));
+  EXPECT_EQ(sa, sb);
+
+  // And identical closed-form traffic.
+  const TrafficEstimate ta = estimate_traffic(hlg.op, hlg.mapping);
+  const TrafficEstimate tb = estimate_traffic(lhg.op, lhg.mapping);
+  EXPECT_EQ(ta.load_line_requests, tb.load_line_requests);
+  EXPECT_EQ(ta.unique_load_lines, tb.unique_load_lines);
+  EXPECT_EQ(ta.total_instructions, tb.total_instructions);
+}
+
+TEST(HybridFlow, HandwrittenMappingAcceptedLikeTimeloop) {
+  // The paper's flow accepts handwritten dataflows; Workload::with_mapping
+  // is that entry point and must validate the §6.2.2 constraints.
+  const OperatorSpec spec = OperatorSpec::logit(small_model(), 512);
+  Mapping m;
+  m.l_tile = 64;
+  m.order = TbOrder::kLHG;
+  EXPECT_NO_THROW(Workload::with_mapping(spec, m));
+
+  Mapping bad = m;
+  bad.l_tile = 8;  // 16 bytes of L innermost: violates the 64B constraint
+  EXPECT_THROW(Workload::with_mapping(spec, bad), std::invalid_argument);
+}
+
+TEST(HybridFlow, ReplayRunsUnderEveryDispatchMode) {
+  for (const TbDispatch d :
+       {TbDispatch::kStaticBlocked, TbDispatch::kPartitionedStealing,
+        TbDispatch::kGlobalQueue}) {
+    SimConfig cfg = small_cfg();
+    cfg.core.tb_dispatch = d;
+    const Workload wl = Workload::logit(small_model(), 256, cfg);
+    TraceGen gen(wl.op, wl.mapping);
+    std::stringstream file;
+    write_trace(file, gen);
+    const auto replay = read_trace(file);
+    EXPECT_EQ(run_from(cfg, gen), run_from(cfg, *replay))
+        << "dispatch mode " << static_cast<int>(d);
+  }
+}
+
+}  // namespace
+}  // namespace llamcat

@@ -1,0 +1,200 @@
+// CLI option-parsing tests: the string->enum vocabulary, policy combos,
+// full command lines, override plumbing into SimConfig, and diagnostics.
+#include <gtest/gtest.h>
+
+#include "sim/options.hpp"
+
+namespace llamcat {
+namespace {
+
+ParseResult parse(std::initializer_list<std::string_view> args) {
+  return parse_cli_options(std::vector<std::string_view>(args));
+}
+
+// ------------------------------------------------------------ vocabulary --
+
+TEST(OptionVocabulary, ArbPolicies) {
+  EXPECT_EQ(arb_policy_from_string("fcfs"), ArbPolicy::kFcfs);
+  EXPECT_EQ(arb_policy_from_string("B"), ArbPolicy::kBalanced);
+  EXPECT_EQ(arb_policy_from_string("balanced"), ArbPolicy::kBalanced);
+  EXPECT_EQ(arb_policy_from_string("MA"), ArbPolicy::kMa);
+  EXPECT_EQ(arb_policy_from_string("BMA"), ArbPolicy::kBma);
+  EXPECT_EQ(arb_policy_from_string("bma"), ArbPolicy::kBma);
+  EXPECT_EQ(arb_policy_from_string("cobrra"), ArbPolicy::kCobrra);
+  EXPECT_EQ(arb_policy_from_string("mrpb"), ArbPolicy::kMrpb);
+  EXPECT_EQ(arb_policy_from_string("oracle"), ArbPolicy::kOracle);
+  EXPECT_EQ(arb_policy_from_string("random"), ArbPolicy::kRandom);
+  EXPECT_FALSE(arb_policy_from_string("nope").has_value());
+}
+
+TEST(OptionVocabulary, ThrottlePolicies) {
+  EXPECT_EQ(throttle_policy_from_string("unopt"), ThrottlePolicy::kNone);
+  EXPECT_EQ(throttle_policy_from_string("none"), ThrottlePolicy::kNone);
+  EXPECT_EQ(throttle_policy_from_string("dyncta"), ThrottlePolicy::kDyncta);
+  EXPECT_EQ(throttle_policy_from_string("lcs"), ThrottlePolicy::kLcs);
+  EXPECT_EQ(throttle_policy_from_string("dynmg"), ThrottlePolicy::kDynMg);
+  EXPECT_FALSE(throttle_policy_from_string("DYNMG").has_value());
+}
+
+TEST(OptionVocabulary, EnumsRoundTripWithToString) {
+  for (ArbPolicy p : {ArbPolicy::kFcfs, ArbPolicy::kCobrra, ArbPolicy::kMrpb,
+                      ArbPolicy::kOracle, ArbPolicy::kRandom}) {
+    EXPECT_EQ(arb_policy_from_string(to_string(p)), p) << to_string(p);
+  }
+  for (ReplPolicy p : {ReplPolicy::kLru, ReplPolicy::kRandom,
+                       ReplPolicy::kSrrip, ReplPolicy::kFifo}) {
+    EXPECT_EQ(repl_policy_from_string(to_string(p)), p) << to_string(p);
+  }
+  for (RespArbPolicy p :
+       {RespArbPolicy::kResponseFirst, RespArbPolicy::kRequestFirst}) {
+    EXPECT_EQ(resp_arb_from_string(to_string(p)), p);
+  }
+}
+
+TEST(OptionVocabulary, Models) {
+  EXPECT_EQ(model_from_string("llama3-70b")->group_size, 8u);
+  EXPECT_EQ(model_from_string("405b")->group_size, 16u);
+  EXPECT_EQ(model_from_string("llama3-8b")->group_size, 4u);
+  EXPECT_EQ(model_from_string("gemma2-27b")->num_kv_heads, 16u);
+  EXPECT_FALSE(model_from_string("gpt-7").has_value());
+}
+
+TEST(OptionVocabulary, PolicyCombos) {
+  auto c = policy_combo_from_string("dynmg+BMA");
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->throttle, ThrottlePolicy::kDynMg);
+  EXPECT_EQ(c->arb, ArbPolicy::kBma);
+
+  c = policy_combo_from_string("dyncta");
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->throttle, ThrottlePolicy::kDyncta);
+  EXPECT_EQ(c->arb, ArbPolicy::kFcfs);
+
+  c = policy_combo_from_string("BMA");  // bare arbitration
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->throttle, ThrottlePolicy::kNone);
+  EXPECT_EQ(c->arb, ArbPolicy::kBma);
+
+  c = policy_combo_from_string("unopt+MA");
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->arb, ArbPolicy::kMa);
+
+  EXPECT_FALSE(policy_combo_from_string("dynmg+xyz").has_value());
+  EXPECT_FALSE(policy_combo_from_string("foo+BMA").has_value());
+  EXPECT_FALSE(policy_combo_from_string("").has_value());
+}
+
+// ---------------------------------------------------------- full parsing --
+
+TEST(ParseCli, DefaultsAreTable5) {
+  const ParseResult r = parse({});
+  ASSERT_TRUE(r.ok());
+  const SimConfig t5 = SimConfig::table5();
+  EXPECT_EQ(r.options->cfg.core.num_cores, t5.core.num_cores);
+  EXPECT_EQ(r.options->cfg.llc.size_bytes, t5.llc.size_bytes);
+  EXPECT_EQ(r.options->op, "logit");
+  EXPECT_EQ(r.options->seq_len, 4096u);
+}
+
+TEST(ParseCli, WorkloadFlags) {
+  const ParseResult r = parse({"--model=llama3-405b", "--op=attend",
+                               "--seq=16384"});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.options->model.name, "llama3-405b");
+  EXPECT_EQ(r.options->op, "attend");
+  EXPECT_EQ(r.options->seq_len, 16384u);
+}
+
+TEST(ParseCli, PolicyComboSetsBothKnobs) {
+  const ParseResult r = parse({"--policy=dynmg+BMA"});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.options->cfg.throttle.policy, ThrottlePolicy::kDynMg);
+  EXPECT_EQ(r.options->cfg.arb.policy, ArbPolicy::kBma);
+}
+
+TEST(ParseCli, CobrraImpliesRequestFirstArbitration) {
+  const ParseResult r = parse({"--policy=unopt+cobrra"});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.options->cfg.llc.resp_arb, RespArbPolicy::kRequestFirst);
+}
+
+TEST(ParseCli, MachineOverrides) {
+  const ParseResult r =
+      parse({"--cores=8", "--llc-mb=32", "--slices=4", "--mshr-entries=12",
+             "--mshr-targets=4", "--repl=srrip", "--dispatch=wave",
+             "--seed=99"});
+  ASSERT_TRUE(r.ok());
+  const SimConfig& cfg = r.options->cfg;
+  EXPECT_EQ(cfg.core.num_cores, 8u);
+  EXPECT_EQ(cfg.llc.size_bytes, 32ull << 20);
+  EXPECT_EQ(cfg.llc.num_slices, 4u);
+  EXPECT_EQ(cfg.llc.mshr_entries, 12u);
+  EXPECT_EQ(cfg.llc.mshr_targets, 4u);
+  EXPECT_EQ(cfg.llc.repl, ReplPolicy::kSrrip);
+  EXPECT_EQ(cfg.core.tb_dispatch, TbDispatch::kPartitionedStealing);
+  EXPECT_EQ(cfg.seed, 99u);
+}
+
+TEST(ParseCli, BypassFlags) {
+  const ParseResult r = parse({"--bypass=prob", "--bypass-keep-p=0.75"});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.options->cfg.llc.bypass.policy, BypassPolicy::kProbabilistic);
+  EXPECT_DOUBLE_EQ(r.options->cfg.llc.bypass.keep_probability, 0.75);
+}
+
+TEST(ParseCli, OutputFlags) {
+  const ParseResult r = parse({"--csv=out.csv", "--json=out.json",
+                               "--counters", "--energy", "--verbose"});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.options->csv_path, "out.csv");
+  EXPECT_EQ(r.options->json_path, "out.json");
+  EXPECT_TRUE(r.options->print_counters);
+  EXPECT_TRUE(r.options->print_energy);
+  EXPECT_TRUE(r.options->verbose);
+}
+
+TEST(ParseCli, HelpShortCircuits) {
+  EXPECT_TRUE(parse({"--help"}).help_requested);
+  EXPECT_TRUE(parse({"-h"}).help_requested);
+  EXPECT_FALSE(parse({"--help"}).ok());
+}
+
+// ------------------------------------------------------------ diagnostics --
+
+TEST(ParseCli, UnknownFlagIsAnError) {
+  const ParseResult r = parse({"--frobnicate=1"});
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.error.find("frobnicate"), std::string::npos);
+}
+
+TEST(ParseCli, MalformedNumbersAreErrors) {
+  EXPECT_FALSE(parse({"--seq=12abc"}).ok());
+  EXPECT_FALSE(parse({"--seq=0"}).ok());
+  EXPECT_FALSE(parse({"--cores=x"}).ok());
+  EXPECT_FALSE(parse({"--bypass-keep-p=1.5"}).ok());
+}
+
+TEST(ParseCli, PositionalArgumentsRejected) {
+  EXPECT_FALSE(parse({"llama3"}).ok());
+}
+
+TEST(ParseCli, InvalidGeometryCaughtByValidate) {
+  // Three slices: not a power of two -> SimConfig::validate rejects.
+  const ParseResult r = parse({"--slices=3"});
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.error.find("invalid configuration"), std::string::npos);
+}
+
+TEST(ParseCli, UsageMentionsEveryFlag) {
+  const std::string usage = cli_usage();
+  for (const char* flag :
+       {"--model", "--op", "--seq", "--policy", "--resp-arb", "--dispatch",
+        "--cores", "--llc-mb", "--slices", "--mshr-entries", "--mshr-targets",
+        "--repl", "--bypass", "--seed", "--csv", "--json", "--counters",
+        "--energy", "--verbose"}) {
+    EXPECT_NE(usage.find(flag), std::string::npos) << flag;
+  }
+}
+
+}  // namespace
+}  // namespace llamcat

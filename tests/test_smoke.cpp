@@ -1,0 +1,74 @@
+// End-to-end smoke test: a tiny Logit operator runs to completion on the
+// full system with every policy combination.
+#include <gtest/gtest.h>
+
+#include "hwcost/area_model.hpp"
+#include "sim/experiment.hpp"
+#include "sim/system.hpp"
+#include "trace/trace_io.hpp"
+
+namespace llamcat {
+namespace {
+
+SimConfig small_config() {
+  SimConfig cfg = SimConfig::table5();
+  cfg.core.num_cores = 4;
+  cfg.llc.size_bytes = 1ull << 20;  // 1 MB
+  cfg.llc.num_slices = 2;
+  cfg.dram.num_channels = 2;
+  cfg.max_cycles = 5'000'000;
+  return cfg;
+}
+
+ModelShape tiny_model() {
+  ModelShape m = ModelShape::llama3_70b();
+  m.num_kv_heads = 2;
+  m.group_size = 4;
+  return m;
+}
+
+TEST(Smoke, RunsToCompletion) {
+  const SimConfig cfg = small_config();
+  const Workload wl = Workload::logit(tiny_model(), 256, cfg);
+  const SimStats s = run_simulation(cfg, wl);
+  EXPECT_GT(s.cycles, 0u);
+  EXPECT_EQ(s.thread_blocks, wl.mapping.num_thread_blocks(wl.op));
+  EXPECT_GT(s.dram_reads, 0u);
+}
+
+TEST(Smoke, AllPolicyCombinations) {
+  const SimConfig base = small_config();
+  const Workload wl = Workload::logit(tiny_model(), 128, base);
+  for (ThrottlePolicy thr : {ThrottlePolicy::kNone, ThrottlePolicy::kDyncta,
+                             ThrottlePolicy::kLcs, ThrottlePolicy::kDynMg}) {
+    for (ArbPolicy arb : {ArbPolicy::kFcfs, ArbPolicy::kBalanced,
+                          ArbPolicy::kMa, ArbPolicy::kBma,
+                          ArbPolicy::kCobrra}) {
+      const SimConfig cfg = with_policies(base, thr, arb);
+      const SimStats s = run_simulation(cfg, wl);
+      EXPECT_GT(s.cycles, 0u) << to_string(thr) << "/" << to_string(arb);
+      EXPECT_EQ(s.thread_blocks, wl.mapping.num_thread_blocks(wl.op));
+    }
+  }
+}
+
+TEST(Smoke, Deterministic) {
+  const SimConfig cfg = small_config();
+  const Workload wl = Workload::logit(tiny_model(), 256, cfg);
+  const SimStats a = run_simulation(cfg, wl);
+  const SimStats b = run_simulation(cfg, wl);
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.dram_reads, b.dram_reads);
+}
+
+TEST(Smoke, AreaModelProducesPaperScaleNumbers) {
+  const SimConfig cfg = SimConfig::table5();
+  const auto hb = hit_buffer_area(cfg.arb);
+  const auto arb = arbiter_area(cfg.llc, cfg.arb, cfg.core.num_cores);
+  EXPECT_GT(hb.total_um2, 500.0);
+  EXPECT_LT(hb.total_um2, 20000.0);
+  EXPECT_GT(arb.total_um2, hb.total_um2);
+}
+
+}  // namespace
+}  // namespace llamcat

@@ -1,0 +1,229 @@
+// Unit tests: throttling controllers - Algorithm 1 gear transitions,
+// Table 1 fractions, Table 3 contention classes, DYNCTA and LCS baselines.
+#include <gtest/gtest.h>
+
+#include "core/throttle.hpp"
+
+namespace llamcat {
+namespace {
+
+/// The paper's Table 3 contention bands. The shipped defaults are re-swept
+/// for this substrate's t_cs scale (see ThrottleConfig); the controller
+/// tests below exercise Algorithm 1 against the paper's published bands.
+ThrottleConfig cfg_for(ThrottlePolicy p) {
+  ThrottleConfig cfg;
+  cfg.policy = p;
+  cfg.tcs_low = 0.1;
+  cfg.tcs_normal = 0.2;
+  cfg.tcs_high = 0.375;
+  return cfg;
+}
+
+CoreConfig cores16() {
+  CoreConfig c;
+  c.num_cores = 16;
+  c.num_inst_windows = 4;
+  return c;
+}
+
+GlobalSample sample(double t_cs, std::uint32_t n = 16) {
+  GlobalSample s;
+  s.t_cs = t_cs;
+  s.progress.resize(n);
+  for (std::uint32_t i = 0; i < n; ++i) s.progress[i] = i;  // core n-1 fastest
+  return s;
+}
+
+TEST(Contention, Table3Classification) {
+  const ThrottleConfig cfg = cfg_for(ThrottlePolicy::kDynMg);
+  EXPECT_EQ(classify_contention(0.0, cfg), Contention::kLow);
+  EXPECT_EQ(classify_contention(0.0999, cfg), Contention::kLow);
+  EXPECT_EQ(classify_contention(0.1, cfg), Contention::kNormal);
+  EXPECT_EQ(classify_contention(0.1999, cfg), Contention::kNormal);
+  EXPECT_EQ(classify_contention(0.2, cfg), Contention::kHigh);
+  EXPECT_EQ(classify_contention(0.374, cfg), Contention::kHigh);
+  EXPECT_EQ(classify_contention(0.375, cfg), Contention::kExtreme);
+  EXPECT_EQ(classify_contention(1.0, cfg), Contention::kExtreme);
+}
+
+TEST(Contention, ResweptDefaultBandsSeparateTheTwoRegimes) {
+  // The shipped defaults must classify the miss-handling-bound regime's
+  // baseline t_cs (~0.59) as Low (gear stays 0: throttling cannot raise
+  // concurrency-limited bandwidth) and the capacity-pressure regime's
+  // (~0.74+) as High or worse (gear engages).
+  const ThrottleConfig cfg;
+  EXPECT_LT(cfg.tcs_low, cfg.tcs_normal);
+  EXPECT_LT(cfg.tcs_normal, cfg.tcs_high);
+  EXPECT_EQ(classify_contention(0.59, cfg), Contention::kLow);
+  EXPECT_GE(static_cast<int>(classify_contention(0.74, cfg)),
+            static_cast<int>(Contention::kHigh));
+}
+
+TEST(DynMg, Algorithm1GearMoves) {
+  DynMg d(cfg_for(ThrottlePolicy::kDynMg), cores16());
+  EXPECT_EQ(d.gear(), 0u);
+  d.on_global_period(sample(0.3));  // High: +1
+  EXPECT_EQ(d.gear(), 1u);
+  d.on_global_period(sample(0.15));  // Normal: hold
+  EXPECT_EQ(d.gear(), 1u);
+  d.on_global_period(sample(0.5));  // Extreme: +2
+  EXPECT_EQ(d.gear(), 3u);
+  d.on_global_period(sample(0.5));  // Extreme at gear 3: clamp to max (4)
+  EXPECT_EQ(d.gear(), 4u);
+  d.on_global_period(sample(0.3));  // High at max: hold
+  EXPECT_EQ(d.gear(), 4u);
+  d.on_global_period(sample(0.05));  // Low: -1
+  EXPECT_EQ(d.gear(), 3u);
+  for (int i = 0; i < 10; ++i) d.on_global_period(sample(0.05));
+  EXPECT_EQ(d.gear(), 0u);  // floors at 0
+}
+
+TEST(DynMg, Table1GearFractions) {
+  DynMg d(cfg_for(ThrottlePolicy::kDynMg), cores16());
+  EXPECT_EQ(d.cores_for_gear(0), 0u);
+  EXPECT_EQ(d.cores_for_gear(1), 2u);   // 1/8 of 16
+  EXPECT_EQ(d.cores_for_gear(2), 4u);   // 1/4
+  EXPECT_EQ(d.cores_for_gear(3), 8u);   // 1/2
+  EXPECT_EQ(d.cores_for_gear(4), 12u);  // 3/4
+}
+
+TEST(DynMg, ThrottlesFastestCores) {
+  DynMg d(cfg_for(ThrottlePolicy::kDynMg), cores16());
+  d.on_global_period(sample(0.3));  // gear 1: throttle 2 fastest
+  EXPECT_EQ(d.throttled_count(), 2u);
+  EXPECT_TRUE(d.throttled(15));  // highest progress
+  EXPECT_TRUE(d.throttled(14));
+  EXPECT_FALSE(d.throttled(0));
+}
+
+TEST(DynMg, InCoreControllerAdjustsThrottledCoresOnly) {
+  ThrottleConfig cfg = cfg_for(ThrottlePolicy::kDynMg);
+  cfg.c_mem_upper = 250;
+  cfg.c_mem_lower = 180;
+  DynMg d(cfg, cores16());
+  d.on_global_period(sample(0.3));  // throttle cores 14, 15
+  std::vector<CoreSample> samples(16);
+  std::vector<std::optional<FirstTbReport>> ftb(16);
+  samples[15].c_mem = 300;  // above upper: decrement
+  samples[14].c_mem = 100;  // below lower: increment (already at max)
+  samples[0].c_mem = 400;   // NOT throttled: ignored
+  d.on_sub_period(samples, ftb);
+  EXPECT_EQ(d.max_tb(15), 3u);
+  EXPECT_EQ(d.max_tb(14), 4u);
+  EXPECT_EQ(d.max_tb(0), 4u);  // unthrottled cores run full
+  // Idle pressure raises it back.
+  samples[15].c_mem = 0;
+  samples[15].c_idle = 10;  // above c_idle_upper (4)
+  d.on_sub_period(samples, ftb);
+  EXPECT_EQ(d.max_tb(15), 4u);
+}
+
+TEST(DynMg, UnthrottleRestoresFullParallelism) {
+  ThrottleConfig cfg = cfg_for(ThrottlePolicy::kDynMg);
+  cfg.c_mem_upper = 250;
+  DynMg d(cfg, cores16());
+  d.on_global_period(sample(0.3));
+  std::vector<CoreSample> samples(16);
+  std::vector<std::optional<FirstTbReport>> ftb(16);
+  samples[15].c_mem = 400;
+  d.on_sub_period(samples, ftb);
+  d.on_sub_period(samples, ftb);
+  EXPECT_EQ(d.max_tb(15), 2u);
+  d.on_global_period(sample(0.05));  // Low: gear 0, nothing throttled
+  EXPECT_EQ(d.max_tb(15), 4u);
+}
+
+TEST(DynMg, MaxTbNeverBelowOne) {
+  ThrottleConfig cfg = cfg_for(ThrottlePolicy::kDynMg);
+  cfg.c_mem_upper = 10;
+  DynMg d(cfg, cores16());
+  for (int i = 0; i < 3; ++i) d.on_global_period(sample(0.5));
+  std::vector<CoreSample> samples(16);
+  std::vector<std::optional<FirstTbReport>> ftb(16);
+  for (auto& s : samples) s.c_mem = 400;
+  for (int i = 0; i < 10; ++i) d.on_sub_period(samples, ftb);
+  for (CoreId c = 0; c < 16; ++c) EXPECT_GE(d.max_tb(c), 1u);
+}
+
+TEST(Dyncta, AdjustsAllCoresOnItsOwnPeriod) {
+  ThrottleConfig cfg = cfg_for(ThrottlePolicy::kDyncta);
+  cfg.sub_period = 400;
+  cfg.dyncta_period = 800;  // two sub-periods
+  cfg.dyncta_c_mem_upper = 500;
+  cfg.dyncta_c_mem_lower = 100;
+  cfg.dyncta_c_idle_upper = 50;
+  Dyncta d(cfg, cores16());
+  std::vector<CoreSample> samples(16);
+  std::vector<std::optional<FirstTbReport>> ftb(16);
+  samples[3].c_mem = 300;  // accumulates to 600 > upper after 2 sub-periods
+  d.on_sub_period(samples, ftb);
+  EXPECT_EQ(d.max_tb(3), 4u);  // period not reached yet
+  d.on_sub_period(samples, ftb);
+  EXPECT_EQ(d.max_tb(3), 3u);  // decremented
+  // Low contention raises it back.
+  samples[3].c_mem = 10;
+  d.on_sub_period(samples, ftb);
+  d.on_sub_period(samples, ftb);
+  EXPECT_EQ(d.max_tb(3), 4u);
+}
+
+TEST(Lcs, FixesAfterFirstThreadBlock) {
+  ThrottleConfig cfg = cfg_for(ThrottlePolicy::kLcs);
+  Lcs lcs(cfg, cores16());
+  std::vector<CoreSample> samples(16);
+  std::vector<std::optional<FirstTbReport>> ftb(16);
+  EXPECT_EQ(lcs.max_tb(5), 4u);
+  ftb[5] = FirstTbReport{1000, 0.5};  // 50% memory stall
+  lcs.on_sub_period(samples, ftb);
+  EXPECT_TRUE(lcs.decided(5));
+  EXPECT_EQ(lcs.max_tb(5), 2u);  // round(4 * (1 - 0.5))
+  // Later reports do not change the decision.
+  ftb[5] = FirstTbReport{1000, 0.0};
+  lcs.on_sub_period(samples, ftb);
+  EXPECT_EQ(lcs.max_tb(5), 2u);
+}
+
+TEST(Lcs, ClampsToAtLeastOne) {
+  Lcs lcs(cfg_for(ThrottlePolicy::kLcs), cores16());
+  std::vector<CoreSample> samples(16);
+  std::vector<std::optional<FirstTbReport>> ftb(16);
+  ftb[0] = FirstTbReport{1000, 1.0};  // fully memory-stalled
+  lcs.on_sub_period(samples, ftb);
+  EXPECT_EQ(lcs.max_tb(0), 1u);
+}
+
+TEST(Factory, BuildsConfiguredController) {
+  const CoreConfig cores = cores16();
+  EXPECT_EQ(make_throttle_controller(cfg_for(ThrottlePolicy::kNone), cores)
+                ->name(),
+            "unopt");
+  EXPECT_EQ(make_throttle_controller(cfg_for(ThrottlePolicy::kDyncta), cores)
+                ->name(),
+            "dyncta");
+  EXPECT_EQ(make_throttle_controller(cfg_for(ThrottlePolicy::kLcs), cores)
+                ->name(),
+            "lcs");
+  EXPECT_EQ(make_throttle_controller(cfg_for(ThrottlePolicy::kDynMg), cores)
+                ->name(),
+            "dynmg");
+}
+
+// Property: gear trajectory stays within [0, max_gear] for random t_cs.
+class DynMgGearProp : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(DynMgGearProp, GearBounded) {
+  ThrottleConfig cfg = cfg_for(ThrottlePolicy::kDynMg);
+  cfg.max_gear = GetParam();
+  DynMg d(cfg, cores16());
+  const double seq[] = {0.5, 0.5, 0.05, 0.3, 0.9, 0.0, 0.15, 0.4, 0.21};
+  for (double t : seq) {
+    d.on_global_period(sample(t));
+    EXPECT_LE(d.gear(), cfg.max_gear);
+    EXPECT_EQ(d.throttled_count(), d.cores_for_gear(d.gear()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Gears, DynMgGearProp, ::testing::Values(1u, 2u, 4u));
+
+}  // namespace
+}  // namespace llamcat

@@ -1,0 +1,96 @@
+// llamcat_cli: run one simulation (or a decode pipeline) on the Table 5
+// machine with any combination of workload / policy / machine overrides,
+// and export the results. See --help (sim/options.hpp) for the vocabulary.
+//
+//   llamcat_cli --model=llama3-70b --seq=8192 --policy=dynmg+BMA --energy
+//   llamcat_cli --op=gemv --gemv-rows=16384 --json=run.json
+//   llamcat_cli --op=decode --seq=4096 --dispatch=wave
+#include <fstream>
+#include <iostream>
+#include <vector>
+
+#include "sim/energy.hpp"
+#include "sim/experiment.hpp"
+#include "sim/options.hpp"
+#include "sim/report.hpp"
+
+using namespace llamcat;
+
+namespace {
+
+std::vector<Workload> build_workloads(const CliOptions& opt) {
+  if (opt.op == "logit") {
+    return {Workload::logit(opt.model, opt.seq_len, opt.cfg)};
+  }
+  if (opt.op == "attend") {
+    return {Workload::attend(opt.model, opt.seq_len, opt.cfg)};
+  }
+  if (opt.op == "gemv") {
+    return {Workload::gemv(opt.gemv_rows, opt.gemv_cols, opt.cfg)};
+  }
+  // "decode": the attention pipeline for one token.
+  return decode_attention_step(opt.model, opt.seq_len, opt.cfg);
+}
+
+int run(const CliOptions& opt) {
+  const std::vector<Workload> workloads = build_workloads(opt);
+  const PipelineResult pipeline =
+      run_pipeline(opt.cfg, workloads, opt.verbose);
+
+  std::cout << "machine: " << opt.cfg.summary() << "\n";
+  for (const auto& r : pipeline.ops) {
+    std::cout << "\n== " << r.name << " ==\n";
+    r.stats.print(std::cout);
+    if (opt.print_energy) {
+      estimate_energy(EnergyConfig{}, opt.cfg, r.stats).print(std::cout);
+    }
+    if (opt.print_counters) {
+      r.stats.counters.print(std::cout, "  ");
+    }
+  }
+  if (pipeline.ops.size() > 1) {
+    std::cout << "\npipeline total: " << pipeline.total_cycles()
+              << " cycles (" << pipeline.total_seconds() * 1e3 << " ms simulated)\n";
+  }
+
+  if (!opt.csv_path.empty()) {
+    std::ofstream csv(opt.csv_path);
+    if (!csv) {
+      std::cerr << "cannot open " << opt.csv_path << "\n";
+      return 1;
+    }
+    write_csv(csv, pipeline.ops, ReportOptions{/*include_counters=*/true});
+    std::cout << "wrote " << opt.csv_path << "\n";
+  }
+  if (!opt.json_path.empty()) {
+    std::ofstream json(opt.json_path);
+    if (!json) {
+      std::cerr << "cannot open " << opt.json_path << "\n";
+      return 1;
+    }
+    write_json(json, pipeline.ops);
+    std::cout << "wrote " << opt.json_path << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string_view> args(argv + 1, argv + argc);
+  const ParseResult parsed = parse_cli_options(args);
+  if (parsed.help_requested) {
+    std::cout << cli_usage();
+    return 0;
+  }
+  if (!parsed.ok()) {
+    std::cerr << "error: " << parsed.error << "\n\n" << cli_usage();
+    return 2;
+  }
+  try {
+    return run(*parsed.options);
+  } catch (const std::exception& e) {
+    std::cerr << "simulation failed: " << e.what() << "\n";
+    return 1;
+  }
+}
