@@ -1,0 +1,171 @@
+#include "scenario/scenario.hpp"
+
+#include <iomanip>
+#include <ostream>
+#include <stdexcept>
+#include <unordered_set>
+#include <utility>
+
+namespace llamcat::scenario {
+
+namespace {
+
+/// Address-space stride between (request, layer) slots. Every operator of a
+/// slot has all four tensor bases shifted by slot * kSlotStride, so distinct
+/// requests/layers occupy distinct DRAM rows (and hash to different LLC
+/// slices) without perturbing the intra-operator layout the defaults encode.
+constexpr Addr kSlotStride = 0x4'0000'0000;  // 16 GiB
+
+OperatorSpec shift_bases(OperatorSpec spec, std::uint64_t slot) {
+  const Addr delta = static_cast<Addr>(slot) * kSlotStride;
+  spec.q_base += delta;
+  spec.kv_base += delta;
+  spec.s_base += delta;
+  spec.out_base += delta;
+  return spec;
+}
+
+}  // namespace
+
+std::string to_string(StageKind k) {
+  switch (k) {
+    case StageKind::kLogit: return "logit";
+    case StageKind::kAttend: return "attend";
+    case StageKind::kGemv: return "gemv";
+  }
+  return "?";
+}
+
+RequestBatch::RequestBatch(ModelShape model, std::vector<RequestSpec> requests)
+    : model_(std::move(model)), requests_(std::move(requests)) {
+  if (requests_.empty()) {
+    throw std::invalid_argument("RequestBatch: empty batch");
+  }
+  std::unordered_set<std::uint32_t> ids;
+  for (const RequestSpec& r : requests_) {
+    if (r.seq_len == 0) {
+      throw std::invalid_argument("RequestBatch: zero seq_len");
+    }
+    if (!ids.insert(r.id).second) {
+      throw std::invalid_argument("RequestBatch: duplicate request id " +
+                                  std::to_string(r.id));
+    }
+  }
+}
+
+RequestBatch RequestBatch::uniform(const ModelShape& model, std::uint32_t n,
+                                   std::uint64_t seq_len) {
+  std::vector<RequestSpec> reqs;
+  reqs.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) reqs.push_back({i, seq_len});
+  return RequestBatch(model, std::move(reqs));
+}
+
+RequestBatch RequestBatch::with_seq_lens(
+    const ModelShape& model, const std::vector<std::uint64_t>& seq_lens) {
+  std::vector<RequestSpec> reqs;
+  reqs.reserve(seq_lens.size());
+  for (std::size_t i = 0; i < seq_lens.size(); ++i) {
+    reqs.push_back({static_cast<std::uint32_t>(i), seq_lens[i]});
+  }
+  return RequestBatch(model, std::move(reqs));
+}
+
+std::uint64_t RequestBatch::total_seq_len() const {
+  std::uint64_t total = 0;
+  for (const RequestSpec& r : requests_) total += r.seq_len;
+  return total;
+}
+
+void BatchStats::print(std::ostream& os) const {
+  os << std::left << std::setw(10) << "request" << std::setw(10) << "seq_len"
+     << std::setw(14) << "cycles" << std::setw(16) << "tokens/cycle" << "\n";
+  for (const RequestStats& r : per_request) {
+    os << std::left << std::setw(10) << r.id << std::setw(10) << r.seq_len
+       << std::setw(14) << r.stats.cycles << std::scientific
+       << std::setprecision(3) << r.tokens_per_cycle() << std::defaultfloat
+       << "\n";
+  }
+  os << "\nbatch totals\n";
+  total.print(os);
+  os << std::scientific << std::setprecision(3) << "tokens/cycle      "
+     << tokens_per_cycle() << "\n"
+     << std::fixed << std::setprecision(1) << "tokens/s          "
+     << tokens_per_cycle() * total.core_hz << "\n"
+     << std::defaultfloat;
+}
+
+DecodePass::DecodePass(RequestBatch batch, DecodePassConfig pass_cfg,
+                       const SimConfig& cfg)
+    : batch_(std::move(batch)), pass_cfg_(pass_cfg), cfg_(cfg) {
+  if (pass_cfg_.num_layers == 0) {
+    throw std::invalid_argument("DecodePass: zero layers");
+  }
+  const ModelShape& m = batch_.model();
+  const std::uint64_t model_width =
+      static_cast<std::uint64_t>(m.num_kv_heads) * m.group_size * m.head_dim;
+  const std::uint64_t gemv_rows =
+      pass_cfg_.gemv_rows ? pass_cfg_.gemv_rows : model_width;
+  const std::uint32_t gemv_cols =
+      pass_cfg_.gemv_cols ? pass_cfg_.gemv_cols
+                          : static_cast<std::uint32_t>(model_width);
+
+  const std::uint32_t stages_per_layer = pass_cfg_.include_gemv ? 3u : 2u;
+  schedule_.reserve(batch_.size() * pass_cfg_.num_layers * stages_per_layer);
+  std::uint64_t slot = 0;
+  for (const RequestSpec& req : batch_.requests()) {
+    for (std::uint32_t layer = 0; layer < pass_cfg_.num_layers; ++layer) {
+      auto push = [&](StageKind stage, OperatorSpec spec) {
+        ScheduledOp op;
+        op.request_id = req.id;
+        op.layer = layer;
+        op.stage = stage;
+        op.name = "req" + std::to_string(req.id) + "/L" +
+                  std::to_string(layer) + "/" + to_string(stage);
+        op.workload = Workload::from_spec(shift_bases(std::move(spec), slot),
+                                          cfg_);
+        schedule_.push_back(std::move(op));
+      };
+      push(StageKind::kLogit, OperatorSpec::logit(m, req.seq_len));
+      push(StageKind::kAttend, OperatorSpec::attend(m, req.seq_len));
+      if (pass_cfg_.include_gemv) {
+        push(StageKind::kGemv, OperatorSpec::gemv(gemv_rows, gemv_cols));
+      }
+      ++slot;
+    }
+  }
+}
+
+BatchStats DecodePass::run(std::size_t threads, bool verbose) const {
+  std::vector<ExperimentSpec> specs;
+  specs.reserve(schedule_.size());
+  for (const ScheduledOp& op : schedule_) {
+    specs.push_back({op.name, cfg_, op.workload});
+  }
+
+  BatchStats out;
+  out.per_op = run_experiments(specs, threads, verbose);
+
+  out.per_request.reserve(batch_.size());
+  for (const RequestSpec& req : batch_.requests()) {
+    RequestStats rs;
+    rs.id = req.id;
+    rs.seq_len = req.seq_len;
+    out.per_request.push_back(rs);
+  }
+  // Aggregation walks schedule order, so the result is independent of which
+  // worker thread finished each simulation first.
+  for (std::size_t i = 0; i < schedule_.size(); ++i) {
+    const std::uint32_t rid = schedule_[i].request_id;
+    for (RequestStats& rs : out.per_request) {
+      if (rs.id == rid) {
+        rs.stats.accumulate(out.per_op[i].stats);
+        break;
+      }
+    }
+    out.total.accumulate(out.per_op[i].stats);
+  }
+  return out;
+}
+
+}  // namespace llamcat::scenario

@@ -1,0 +1,146 @@
+// Scenario layer: composes the single-operator simulator into end-to-end
+// decode workloads. A RequestBatch holds concurrent decode requests (each
+// with its own sequence length); a DecodePass expands the batch into the
+// per-layer Logit -> Attend -> GEMV operator chain of one decode step,
+// runs every operator through the ExperimentSpec thread-pool harness, and
+// aggregates SimStats into per-request and per-batch totals with
+// tokens-per-cycle throughput.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "sim/experiment.hpp"
+#include "sim/sim_stats.hpp"
+#include "trace/operator.hpp"
+
+namespace llamcat::scenario {
+
+/// One in-flight decode request: a KV cache of `seq_len` tokens being
+/// extended by one token this pass.
+struct RequestSpec {
+  std::uint32_t id = 0;
+  std::uint64_t seq_len = 4096;
+};
+
+/// A set of concurrent decode requests sharing one model shape.
+class RequestBatch {
+ public:
+  RequestBatch(ModelShape model, std::vector<RequestSpec> requests);
+
+  /// `n` requests, ids 0..n-1, all at the same sequence length.
+  static RequestBatch uniform(const ModelShape& model, std::uint32_t n,
+                              std::uint64_t seq_len);
+  /// One request per entry of `seq_lens`, ids in order.
+  static RequestBatch with_seq_lens(const ModelShape& model,
+                                    const std::vector<std::uint64_t>& seq_lens);
+
+  [[nodiscard]] const ModelShape& model() const { return model_; }
+  [[nodiscard]] const std::vector<RequestSpec>& requests() const {
+    return requests_;
+  }
+  [[nodiscard]] std::size_t size() const { return requests_.size(); }
+  /// Sum of per-request sequence lengths (the batch's total KV footprint in
+  /// tokens).
+  [[nodiscard]] std::uint64_t total_seq_len() const;
+
+ private:
+  ModelShape model_;
+  std::vector<RequestSpec> requests_;
+};
+
+/// The operator stages of one decode layer. kGemv models the memory-bound
+/// projection/FFN tile that follows attention (no GQA sharing, paper
+/// §6.3.3); kLogit/kAttend are the paper's attention operators.
+enum class StageKind : std::uint8_t { kLogit, kAttend, kGemv };
+
+std::string to_string(StageKind k);
+
+struct DecodePassConfig {
+  std::uint32_t num_layers = 2;
+  /// Include the per-layer GEMV stage after attention.
+  bool include_gemv = true;
+  /// GEMV weight-tile shape; 0 = derive both from the model width
+  /// E = H * G * D (a square E x E projection tile).
+  std::uint64_t gemv_rows = 0;
+  std::uint32_t gemv_cols = 0;
+};
+
+/// One operator instance in the pass's schedule.
+struct ScheduledOp {
+  std::uint32_t request_id = 0;
+  std::uint32_t layer = 0;
+  StageKind stage = StageKind::kLogit;
+  std::string name;  // "req0/L1/attend"
+  Workload workload;
+};
+
+/// Aggregated stats for one request across all of its layers/operators.
+struct RequestStats {
+  std::uint32_t id = 0;
+  std::uint64_t seq_len = 0;
+  SimStats stats;
+
+  /// One token is produced per request per pass.
+  [[nodiscard]] double tokens_per_cycle() const {
+    return stats.cycles > 0 ? 1.0 / static_cast<double>(stats.cycles) : 0.0;
+  }
+};
+
+/// Aggregated stats for the whole batch. `total` folds every operator run
+/// (sequential-equivalent cycles); `per_op` keeps the raw harness results
+/// for reporting/export.
+struct BatchStats {
+  SimStats total;
+  std::vector<RequestStats> per_request;
+  std::vector<ExperimentResult> per_op;
+
+  /// Batch throughput: tokens produced this pass over sequential-equivalent
+  /// cycles.
+  [[nodiscard]] double tokens_per_cycle() const {
+    return total.cycles > 0 ? static_cast<double>(per_request.size()) /
+                                  static_cast<double>(total.cycles)
+                            : 0.0;
+  }
+
+  /// Per-request table (id, seq_len, cycles, tokens/cycle) followed by the
+  /// batch totals and throughput.
+  void print(std::ostream& os) const;
+};
+
+/// One decode step for a batch: per layer and per request, the
+/// Logit -> Attend [-> GEMV] chain, lowered to auto-mapped Workloads with
+/// per-(request, layer) tensor address slots so no two operator instances
+/// alias the same simulated memory.
+class DecodePass {
+ public:
+  DecodePass(RequestBatch batch, DecodePassConfig pass_cfg,
+             const SimConfig& cfg);
+
+  [[nodiscard]] const RequestBatch& batch() const { return batch_; }
+  [[nodiscard]] const DecodePassConfig& pass_config() const {
+    return pass_cfg_;
+  }
+  /// The full operator schedule, request-major then layer-major, each layer
+  /// in Logit -> Attend [-> GEMV] order.
+  [[nodiscard]] const std::vector<ScheduledOp>& schedule() const {
+    return schedule_;
+  }
+
+  /// Runs every scheduled operator through run_experiments (`threads`-wide,
+  /// 0 = hardware concurrency) and aggregates. Deterministic for a fixed
+  /// config: per-operator simulations are single-threaded and seeded, and
+  /// aggregation follows schedule order regardless of worker timing.
+  [[nodiscard]] BatchStats run(std::size_t threads = 0,
+                               bool verbose = false) const;
+
+ private:
+  RequestBatch batch_;
+  DecodePassConfig pass_cfg_;
+  SimConfig cfg_;
+  std::vector<ScheduledOp> schedule_;
+};
+
+}  // namespace llamcat::scenario

@@ -29,26 +29,23 @@ TbOrder order_for(TbDispatch dispatch) {
 
 Workload Workload::logit(const ModelShape& model, std::uint64_t seq_len,
                          const SimConfig& cfg) {
-  Workload wl;
-  wl.op = OperatorSpec::logit(model, seq_len);
-  wl.mapping = Mapper().search(wl.op, cfg.core, cfg.llc).mapping;
-  wl.mapping.order = order_for(cfg.core.tb_dispatch);
-  return wl;
+  return from_spec(OperatorSpec::logit(model, seq_len), cfg);
 }
 
 Workload Workload::attend(const ModelShape& model, std::uint64_t seq_len,
                           const SimConfig& cfg) {
-  Workload wl;
-  wl.op = OperatorSpec::attend(model, seq_len);
-  wl.mapping = Mapper().search(wl.op, cfg.core, cfg.llc).mapping;
-  wl.mapping.order = order_for(cfg.core.tb_dispatch);
-  return wl;
+  return from_spec(OperatorSpec::attend(model, seq_len), cfg);
 }
 
 Workload Workload::gemv(std::uint64_t rows, std::uint32_t cols,
                         const SimConfig& cfg) {
+  return from_spec(OperatorSpec::gemv(rows, cols), cfg);
+}
+
+Workload Workload::from_spec(OperatorSpec op, const SimConfig& cfg) {
+  op.validate();
   Workload wl;
-  wl.op = OperatorSpec::gemv(rows, cols);
+  wl.op = std::move(op);
   wl.mapping = Mapper().search(wl.op, cfg.core, cfg.llc).mapping;
   wl.mapping.order = order_for(cfg.core.tb_dispatch);
   return wl;

@@ -30,6 +30,10 @@ struct Workload {
   static Workload gemv(std::uint64_t rows, std::uint32_t cols,
                        const SimConfig& cfg);
   static Workload with_mapping(OperatorSpec op, Mapping m);
+  /// Auto-maps an arbitrary pre-built spec (e.g. one whose tensor bases were
+  /// relocated for a specific request/layer slot) the same way the named
+  /// constructors above do.
+  static Workload from_spec(OperatorSpec op, const SimConfig& cfg);
 };
 
 /// Runs one simulation to completion.

@@ -16,6 +16,22 @@ std::optional<T> parse_uint(std::string_view s) {
   return value;
 }
 
+/// "256,512,1024" -> vector of positive integers; nullopt on any bad entry.
+std::optional<std::vector<std::uint64_t>> parse_uint_list(std::string_view s) {
+  std::vector<std::uint64_t> out;
+  while (!s.empty()) {
+    const std::size_t comma = s.find(',');
+    const auto v = parse_uint<std::uint64_t>(s.substr(0, comma));
+    if (!v || *v == 0) return std::nullopt;
+    out.push_back(*v);
+    if (comma == std::string_view::npos) break;
+    s.remove_prefix(comma + 1);
+    if (s.empty()) return std::nullopt;  // trailing comma
+  }
+  if (out.empty()) return std::nullopt;
+  return out;
+}
+
 std::optional<double> parse_double(std::string_view s) {
   try {
     std::size_t pos = 0;
@@ -119,11 +135,19 @@ usage: llamcat_cli [--flag=value ...]
 workload
   --model=NAME       llama3-70b (default) | llama3-405b | llama3-8b |
                      gemma2-27b | qwen2-72b
-  --op=KIND          logit (default) | attend | gemv | decode
-                     (decode = Logit followed by Attend)
+  --op=KIND          logit (default) | attend | gemv | decode | batch
+                     (decode = Logit followed by Attend; batch = the
+                     scenario subsystem's multi-request decode pass)
   --seq=N            sequence length L (default 4096)
   --gemv-rows=N      gemv only: weight-matrix rows (default 8192)
   --gemv-cols=N      gemv only: weight-matrix columns (default 4096)
+
+batch scenario (--op=batch)
+  --requests=N       concurrent decode requests (default 2)
+  --layers=N         decode layers per request (default 2)
+  --seqs=A,B,...     per-request sequence lengths (overrides --requests and
+                     --seq; one request per entry)
+  --no-gemv          drop the per-layer projection/FFN GEMV stage
 
 policy
   --policy=COMBO     throttle+arbitration, e.g. dynmg+BMA, dyncta, unopt+MA,
@@ -172,6 +196,10 @@ ParseResult parse_cli_options(const std::vector<std::string_view>& args) {
       opt.print_counters = true;
       continue;
     }
+    if (arg == "--no-gemv") {
+      opt.batch_gemv = false;
+      continue;
+    }
     if (arg == "--energy") {
       opt.print_energy = true;
       continue;
@@ -193,7 +221,7 @@ ParseResult parse_cli_options(const std::vector<std::string_view>& args) {
       opt.model = *m;
     } else if (key == "op") {
       if (val != "logit" && val != "attend" && val != "gemv" &&
-          val != "decode") {
+          val != "decode" && val != "batch") {
         return fail("unknown op: " + std::string(val));
       }
       opt.op = std::string(val);
@@ -209,6 +237,18 @@ ParseResult parse_cli_options(const std::vector<std::string_view>& args) {
       const auto v = parse_uint<std::uint32_t>(val);
       if (!v || *v == 0) return fail("bad --gemv-cols");
       opt.gemv_cols = *v;
+    } else if (key == "requests") {
+      const auto v = parse_uint<std::uint32_t>(val);
+      if (!v || *v == 0) return fail("bad --requests");
+      opt.batch_requests = *v;
+    } else if (key == "layers") {
+      const auto v = parse_uint<std::uint32_t>(val);
+      if (!v || *v == 0) return fail("bad --layers");
+      opt.batch_layers = *v;
+    } else if (key == "seqs") {
+      const auto v = parse_uint_list(val);
+      if (!v) return fail("bad --seqs (expect e.g. 256,512,1024)");
+      opt.batch_seq_lens = *v;
     } else if (key == "policy") {
       const auto combo = policy_combo_from_string(val);
       if (!combo) return fail("unknown policy combo: " + std::string(val));

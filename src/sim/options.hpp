@@ -35,10 +35,19 @@ std::optional<PolicyCombo> policy_combo_from_string(std::string_view s);
 struct CliOptions {
   SimConfig cfg;
   ModelShape model = ModelShape::llama3_70b();
-  std::string op = "logit";  // logit | attend | gemv | decode (pipeline)
+  /// logit | attend | gemv | decode (pipeline) | batch (scenario subsystem)
+  std::string op = "logit";
   std::uint64_t seq_len = 4096;
   std::uint64_t gemv_rows = 8192;
   std::uint32_t gemv_cols = 4096;
+
+  // --op=batch: multi-request, multi-layer decode pass (scenario layer).
+  std::uint32_t batch_requests = 2;
+  std::uint32_t batch_layers = 2;
+  /// Per-request sequence lengths; empty = every request at `seq_len`.
+  std::vector<std::uint64_t> batch_seq_lens;
+  /// Include the per-layer projection/FFN GEMV stage.
+  bool batch_gemv = true;
   std::string csv_path;      // empty = no CSV export
   std::string json_path;     // empty = no JSON export
   bool print_counters = false;

@@ -4,6 +4,44 @@
 
 namespace llamcat {
 
+void SimStats::accumulate(const SimStats& other) {
+  const Cycle combined_cycles = cycles + other.cycles;
+  const double w_self =
+      combined_cycles > 0
+          ? static_cast<double>(cycles) / static_cast<double>(combined_cycles)
+          : 0.0;
+  const double w_other = combined_cycles > 0 ? 1.0 - w_self : 0.0;
+
+  // Time-averaged occupancy/stall rates combine cycle-weighted.
+  mshr_entry_util = w_self * mshr_entry_util + w_other * other.mshr_entry_util;
+  t_cs = w_self * t_cs + w_other * other.t_cs;
+
+  cycles = combined_cycles;
+  if (core_hz == 0.0) core_hz = other.core_hz;
+  instructions += other.instructions;
+  thread_blocks += other.thread_blocks;
+  dram_reads += other.dram_reads;
+  dram_writes += other.dram_writes;
+  counters.merge(other.counters);
+
+  ipc = cycles > 0 ? static_cast<double>(instructions) /
+                         static_cast<double>(cycles)
+                   : 0.0;
+
+  // Ratio metrics recompute exactly from the merged LLC counters.
+  const std::uint64_t lookups = counters.get("llc.lookups");
+  const std::uint64_t hits = counters.get("llc.hits");
+  const std::uint64_t misses = counters.get("llc.misses");
+  const std::uint64_t merges = counters.get("llc.mshr_hits");
+  l2_hit_rate = lookups ? static_cast<double>(hits) / lookups : 0.0;
+  mshr_hit_rate = misses ? static_cast<double>(merges) / misses : 0.0;
+  dram_bw_gbps =
+      seconds() > 0
+          ? static_cast<double>((dram_reads + dram_writes) * kLineBytes) /
+                seconds() / 1e9
+          : 0.0;
+}
+
 void SimStats::print(std::ostream& os) const {
   os << std::fixed << std::setprecision(4);
   os << "cycles            " << cycles << "\n";

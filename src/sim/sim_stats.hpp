@@ -38,6 +38,14 @@ struct SimStats {
     return static_cast<double>(baseline.cycles) / static_cast<double>(cycles);
   }
 
+  /// Folds another run's stats into this one, as if the two simulations ran
+  /// back-to-back on the same machine: integer counters add, and the derived
+  /// rates are recomputed over the combined run (hit rates from the merged
+  /// LLC counters, occupancy/stall rates cycle-weighted, bandwidth over the
+  /// combined wall time). Used by the scenario layer to aggregate operator
+  /// runs into per-request and per-batch totals.
+  void accumulate(const SimStats& other);
+
   void print(std::ostream& os) const;
 };
 

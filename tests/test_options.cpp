@@ -159,6 +159,39 @@ TEST(ParseCli, HelpShortCircuits) {
   EXPECT_FALSE(parse({"--help"}).ok());
 }
 
+// ----------------------------------------------------------- batch flags --
+
+TEST(ParseCli, BatchFlagsParse) {
+  const ParseResult r = parse({"--op=batch", "--requests=4", "--layers=3",
+                               "--seqs=256,512,1024", "--no-gemv"});
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(r.options->op, "batch");
+  EXPECT_EQ(r.options->batch_requests, 4u);
+  EXPECT_EQ(r.options->batch_layers, 3u);
+  EXPECT_EQ(r.options->batch_seq_lens,
+            (std::vector<std::uint64_t>{256, 512, 1024}));
+  EXPECT_FALSE(r.options->batch_gemv);
+}
+
+TEST(ParseCli, BatchDefaults) {
+  const ParseResult r = parse({"--op=batch"});
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(r.options->batch_requests, 2u);
+  EXPECT_EQ(r.options->batch_layers, 2u);
+  EXPECT_TRUE(r.options->batch_seq_lens.empty());
+  EXPECT_TRUE(r.options->batch_gemv);
+}
+
+TEST(ParseCli, MalformedBatchFlagsAreErrors) {
+  EXPECT_FALSE(parse({"--requests=0"}).ok());
+  EXPECT_FALSE(parse({"--layers=x"}).ok());
+  EXPECT_FALSE(parse({"--seqs="}).ok());
+  EXPECT_FALSE(parse({"--seqs=256,,512"}).ok());
+  EXPECT_FALSE(parse({"--seqs=256,"}).ok());
+  EXPECT_FALSE(parse({"--seqs=256,0"}).ok());
+  EXPECT_FALSE(parse({"--seqs=256,abc"}).ok());
+}
+
 // ------------------------------------------------------------ diagnostics --
 
 TEST(ParseCli, UnknownFlagIsAnError) {
@@ -191,7 +224,8 @@ TEST(ParseCli, UsageMentionsEveryFlag) {
        {"--model", "--op", "--seq", "--policy", "--resp-arb", "--dispatch",
         "--cores", "--llc-mb", "--slices", "--mshr-entries", "--mshr-targets",
         "--repl", "--bypass", "--seed", "--csv", "--json", "--counters",
-        "--energy", "--verbose"}) {
+        "--energy", "--verbose", "--requests", "--layers", "--seqs",
+        "--no-gemv"}) {
     EXPECT_NE(usage.find(flag), std::string::npos) << flag;
   }
 }

@@ -1,0 +1,213 @@
+// Scenario layer: DecodePass schedule composition, per-request vs batch
+// stats aggregation, and cross-run determinism.
+#include <gtest/gtest.h>
+
+#include "scenario/scenario.hpp"
+
+namespace llamcat {
+namespace {
+
+using scenario::BatchStats;
+using scenario::DecodePass;
+using scenario::DecodePassConfig;
+using scenario::RequestBatch;
+using scenario::ScheduledOp;
+using scenario::StageKind;
+
+SimConfig small_config() {
+  SimConfig cfg = SimConfig::table5();
+  cfg.core.num_cores = 4;
+  cfg.llc.size_bytes = 1ull << 20;
+  cfg.llc.num_slices = 2;
+  cfg.dram.num_channels = 2;
+  cfg.max_cycles = 20'000'000;
+  return cfg;
+}
+
+ModelShape tiny_model() {
+  ModelShape m = ModelShape::llama3_70b();
+  m.num_kv_heads = 2;
+  m.group_size = 4;
+  return m;
+}
+
+TEST(RequestBatch, ConstructorsAndFootprint) {
+  const RequestBatch u = RequestBatch::uniform(tiny_model(), 3, 256);
+  EXPECT_EQ(u.size(), 3u);
+  EXPECT_EQ(u.total_seq_len(), 3u * 256u);
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(u.requests()[i].id, i);
+    EXPECT_EQ(u.requests()[i].seq_len, 256u);
+  }
+
+  const RequestBatch v =
+      RequestBatch::with_seq_lens(tiny_model(), {128, 512});
+  EXPECT_EQ(v.size(), 2u);
+  EXPECT_EQ(v.requests()[0].seq_len, 128u);
+  EXPECT_EQ(v.requests()[1].seq_len, 512u);
+
+  EXPECT_THROW(RequestBatch(tiny_model(), {}), std::invalid_argument);
+  EXPECT_THROW(RequestBatch(tiny_model(), {{0, 0}}), std::invalid_argument);
+  // Duplicate ids would silently mis-aggregate per-request stats.
+  EXPECT_THROW(RequestBatch(tiny_model(), {{7, 128}, {7, 256}}),
+               std::invalid_argument);
+}
+
+// DecodePass composes the right operator sequence for the paper's
+// llama3-70b shape: per request, per layer, Logit -> Attend -> GEMV, with
+// the GEMV tile defaulting to the model width E = H*G*D = 8192.
+TEST(DecodePass, ComposesLayerChainForLlama70b) {
+  const SimConfig cfg = small_config();
+  const ModelShape model = ModelShape::llama3_70b();
+  const RequestBatch batch = RequestBatch::uniform(model, 2, 256);
+  DecodePassConfig pass_cfg;
+  pass_cfg.num_layers = 3;
+  const DecodePass pass(batch, pass_cfg, cfg);
+
+  const auto& sched = pass.schedule();
+  ASSERT_EQ(sched.size(), 2u * 3u * 3u);
+  std::size_t i = 0;
+  for (std::uint32_t req = 0; req < 2; ++req) {
+    for (std::uint32_t layer = 0; layer < 3; ++layer) {
+      for (StageKind stage :
+           {StageKind::kLogit, StageKind::kAttend, StageKind::kGemv}) {
+        const ScheduledOp& op = sched[i++];
+        EXPECT_EQ(op.request_id, req);
+        EXPECT_EQ(op.layer, layer);
+        EXPECT_EQ(op.stage, stage);
+        if (stage == StageKind::kGemv) {
+          // E x E projection tile on the degenerate H=1/G=1 shape.
+          EXPECT_EQ(op.workload.op.seq_len, 8192u);
+          EXPECT_EQ(op.workload.op.model.head_dim, 8192u);
+          EXPECT_EQ(op.workload.op.model.num_kv_heads, 1u);
+        } else {
+          EXPECT_EQ(op.workload.op.seq_len, 256u);
+          EXPECT_EQ(op.workload.op.kind, stage == StageKind::kLogit
+                                             ? OpKind::kLogit
+                                             : OpKind::kAttend);
+        }
+      }
+    }
+  }
+}
+
+TEST(DecodePass, SkipsGemvWhenDisabled) {
+  DecodePassConfig pass_cfg;
+  pass_cfg.num_layers = 2;
+  pass_cfg.include_gemv = false;
+  const DecodePass pass(RequestBatch::uniform(tiny_model(), 2, 128), pass_cfg,
+                        small_config());
+  ASSERT_EQ(pass.schedule().size(), 2u * 2u * 2u);
+  for (const ScheduledOp& op : pass.schedule()) {
+    EXPECT_NE(op.stage, StageKind::kGemv);
+  }
+}
+
+TEST(DecodePass, DistinctAddressSlotsPerRequestAndLayer) {
+  DecodePassConfig pass_cfg;
+  pass_cfg.num_layers = 2;
+  const DecodePass pass(RequestBatch::uniform(tiny_model(), 2, 128), pass_cfg,
+                        small_config());
+  // Logit ops of different (request, layer) slots must not share KV bases.
+  std::vector<Addr> kv_bases;
+  for (const ScheduledOp& op : pass.schedule()) {
+    if (op.stage == StageKind::kLogit) {
+      kv_bases.push_back(op.workload.op.kv_base);
+    }
+  }
+  ASSERT_EQ(kv_bases.size(), 4u);
+  for (std::size_t a = 0; a < kv_bases.size(); ++a) {
+    for (std::size_t b = a + 1; b < kv_bases.size(); ++b) {
+      EXPECT_NE(kv_bases[a], kv_bases[b]);
+    }
+  }
+}
+
+TEST(DecodePass, BatchStatsEqualSumOfPerRequestStats) {
+  DecodePassConfig pass_cfg;
+  pass_cfg.num_layers = 2;
+  pass_cfg.include_gemv = false;  // keep the run small
+  const DecodePass pass(
+      RequestBatch::with_seq_lens(tiny_model(), {128, 256}), pass_cfg,
+      small_config());
+  const BatchStats stats = pass.run();
+
+  ASSERT_EQ(stats.per_request.size(), 2u);
+  ASSERT_EQ(stats.per_op.size(), pass.schedule().size());
+
+  Cycle cycles = 0;
+  std::uint64_t instructions = 0, tbs = 0, reads = 0, writes = 0;
+  for (const scenario::RequestStats& r : stats.per_request) {
+    EXPECT_GT(r.stats.cycles, 0u);
+    cycles += r.stats.cycles;
+    instructions += r.stats.instructions;
+    tbs += r.stats.thread_blocks;
+    reads += r.stats.dram_reads;
+    writes += r.stats.dram_writes;
+  }
+  EXPECT_EQ(stats.total.cycles, cycles);
+  EXPECT_EQ(stats.total.instructions, instructions);
+  EXPECT_EQ(stats.total.thread_blocks, tbs);
+  EXPECT_EQ(stats.total.dram_reads, reads);
+  EXPECT_EQ(stats.total.dram_writes, writes);
+
+  // Merged counters likewise add up across the per-op runs.
+  std::uint64_t lookups = 0;
+  for (const ExperimentResult& r : stats.per_op) {
+    lookups += r.stats.counters.get("llc.lookups");
+  }
+  EXPECT_EQ(stats.total.counters.get("llc.lookups"), lookups);
+
+  // Throughput identities.
+  EXPECT_DOUBLE_EQ(stats.tokens_per_cycle(),
+                   2.0 / static_cast<double>(stats.total.cycles));
+  EXPECT_DOUBLE_EQ(stats.per_request[0].tokens_per_cycle(),
+                   1.0 / static_cast<double>(stats.per_request[0].stats.cycles));
+}
+
+TEST(DecodePass, TwoRequestBatchDeterministicAcrossRuns) {
+  const SimConfig cfg = small_config();
+  DecodePassConfig pass_cfg;
+  pass_cfg.num_layers = 2;
+  pass_cfg.include_gemv = false;
+  const RequestBatch batch =
+      RequestBatch::with_seq_lens(tiny_model(), {128, 256});
+  const DecodePass pass(batch, pass_cfg, cfg);
+
+  const BatchStats a = pass.run();
+  const BatchStats b = pass.run();
+
+  EXPECT_EQ(a.total.cycles, b.total.cycles);
+  EXPECT_EQ(a.total.instructions, b.total.instructions);
+  EXPECT_EQ(a.total.dram_reads, b.total.dram_reads);
+  EXPECT_EQ(a.total.dram_writes, b.total.dram_writes);
+  EXPECT_EQ(a.total.counters.counters(), b.total.counters.counters());
+  ASSERT_EQ(a.per_request.size(), b.per_request.size());
+  for (std::size_t i = 0; i < a.per_request.size(); ++i) {
+    EXPECT_EQ(a.per_request[i].stats.cycles, b.per_request[i].stats.cycles);
+    EXPECT_EQ(a.per_request[i].stats.dram_reads,
+              b.per_request[i].stats.dram_reads);
+  }
+}
+
+TEST(SimStatsAccumulate, RecomputesDerivedMetrics) {
+  const SimConfig cfg = small_config();
+  const Workload wl = Workload::logit(tiny_model(), 128, cfg);
+  const SimStats one = run_simulation(cfg, wl);
+
+  SimStats acc;  // accumulate into a default (empty) stats object
+  acc.accumulate(one);
+  acc.accumulate(one);
+  EXPECT_EQ(acc.cycles, 2 * one.cycles);
+  EXPECT_EQ(acc.instructions, 2 * one.instructions);
+  EXPECT_EQ(acc.dram_reads, 2 * one.dram_reads);
+  // Self-similar runs leave every rate unchanged.
+  EXPECT_NEAR(acc.l2_hit_rate, one.l2_hit_rate, 1e-12);
+  EXPECT_NEAR(acc.mshr_hit_rate, one.mshr_hit_rate, 1e-12);
+  EXPECT_NEAR(acc.t_cs, one.t_cs, 1e-12);
+  EXPECT_NEAR(acc.mshr_entry_util, one.mshr_entry_util, 1e-12);
+  EXPECT_NEAR(acc.ipc, one.ipc, 1e-12);
+}
+
+}  // namespace
+}  // namespace llamcat

@@ -5,10 +5,12 @@
 //   llamcat_cli --model=llama3-70b --seq=8192 --policy=dynmg+BMA --energy
 //   llamcat_cli --op=gemv --gemv-rows=16384 --json=run.json
 //   llamcat_cli --op=decode --seq=4096 --dispatch=wave
+//   llamcat_cli --op=batch --seqs=256,512 --layers=2 --policy=dynmg+BMA
 #include <fstream>
 #include <iostream>
 #include <vector>
 
+#include "scenario/scenario.hpp"
 #include "sim/energy.hpp"
 #include "sim/experiment.hpp"
 #include "sim/options.hpp"
@@ -32,7 +34,61 @@ std::vector<Workload> build_workloads(const CliOptions& opt) {
   return decode_attention_step(opt.model, opt.seq_len, opt.cfg);
 }
 
+int export_results(const CliOptions& opt,
+                   const std::vector<ExperimentResult>& results) {
+  if (!opt.csv_path.empty()) {
+    std::ofstream csv(opt.csv_path);
+    if (!csv) {
+      std::cerr << "cannot open " << opt.csv_path << "\n";
+      return 1;
+    }
+    write_csv(csv, results, ReportOptions{/*include_counters=*/true});
+    std::cout << "wrote " << opt.csv_path << "\n";
+  }
+  if (!opt.json_path.empty()) {
+    std::ofstream json(opt.json_path);
+    if (!json) {
+      std::cerr << "cannot open " << opt.json_path << "\n";
+      return 1;
+    }
+    write_json(json, results);
+    std::cout << "wrote " << opt.json_path << "\n";
+  }
+  return 0;
+}
+
+int run_batch(const CliOptions& opt) {
+  std::vector<std::uint64_t> seq_lens = opt.batch_seq_lens;
+  if (seq_lens.empty()) {
+    seq_lens.assign(opt.batch_requests, opt.seq_len);
+  }
+  const scenario::RequestBatch batch =
+      scenario::RequestBatch::with_seq_lens(opt.model, seq_lens);
+  scenario::DecodePassConfig pass_cfg;
+  pass_cfg.num_layers = opt.batch_layers;
+  pass_cfg.include_gemv = opt.batch_gemv;
+
+  const scenario::DecodePass pass(batch, pass_cfg, opt.cfg);
+  std::cout << "machine: " << opt.cfg.summary() << "\n"
+            << "batch:   " << batch.size() << " requests, "
+            << pass_cfg.num_layers << " layers, " << pass.schedule().size()
+            << " operator runs\n\n";
+
+  const scenario::BatchStats stats = pass.run(0, opt.verbose);
+  stats.print(std::cout);
+  if (opt.print_energy) {
+    estimate_energy(EnergyConfig{}, opt.cfg, stats.total).print(std::cout);
+  }
+  if (opt.print_counters) {
+    stats.total.counters.print(std::cout, "  ");
+  }
+  return export_results(opt, stats.per_op);
+}
+
 int run(const CliOptions& opt) {
+  if (opt.op == "batch") {
+    return run_batch(opt);
+  }
   const std::vector<Workload> workloads = build_workloads(opt);
   const PipelineResult pipeline =
       run_pipeline(opt.cfg, workloads, opt.verbose);
@@ -53,25 +109,7 @@ int run(const CliOptions& opt) {
               << " cycles (" << pipeline.total_seconds() * 1e3 << " ms simulated)\n";
   }
 
-  if (!opt.csv_path.empty()) {
-    std::ofstream csv(opt.csv_path);
-    if (!csv) {
-      std::cerr << "cannot open " << opt.csv_path << "\n";
-      return 1;
-    }
-    write_csv(csv, pipeline.ops, ReportOptions{/*include_counters=*/true});
-    std::cout << "wrote " << opt.csv_path << "\n";
-  }
-  if (!opt.json_path.empty()) {
-    std::ofstream json(opt.json_path);
-    if (!json) {
-      std::cerr << "cannot open " << opt.json_path << "\n";
-      return 1;
-    }
-    write_json(json, pipeline.ops);
-    std::cout << "wrote " << opt.json_path << "\n";
-  }
-  return 0;
+  return export_results(opt, pipeline.ops);
 }
 
 }  // namespace
