@@ -1,8 +1,12 @@
 // batch_decode: a multi-request, multi-layer decode pass on a scaled-down
-// Table 5 machine. Three concurrent requests with different KV lengths each
-// run a 2-layer Logit -> Attend -> GEMV chain; the report shows how
-// per-request decode throughput falls with sequence length and what the
-// batch sustains in aggregate.
+// Table 5 machine, run twice: once with every operator simulated in its own
+// private System (independent: the optimistic no-contention sum) and once
+// co-scheduled, where each layer-stage wave fuses the requests' operators
+// into one shared System so they contend for cores, the shared LLC and
+// DRAM. The closing comparison shows the contention slowdown the
+// independent sum hides - the effect LLaMCAT's arbitration and throttling
+// policies exist to manage.
+#include <iomanip>
 #include <iostream>
 
 #include "scenario/scenario.hpp"
@@ -19,7 +23,7 @@ int main() {
   cfg.arb.policy = ArbPolicy::kBma;
 
   ModelShape model = ModelShape::llama3_70b();
-  model.num_kv_heads = 2;  // scaled down to keep the example < 1s
+  model.num_kv_heads = 2;  // scaled down to keep the example < a few seconds
   model.group_size = 4;
 
   const scenario::RequestBatch batch =
@@ -27,13 +31,36 @@ int main() {
   scenario::DecodePassConfig pass_cfg;
   pass_cfg.num_layers = 2;
 
-  const scenario::DecodePass pass(batch, pass_cfg, cfg);
+  const scenario::DecodePass independent(batch, pass_cfg, cfg);
+  pass_cfg.mode = scenario::ExecutionMode::kCoScheduled;
+  const scenario::DecodePass coscheduled(batch, pass_cfg, cfg);
+
   std::cout << "machine:  " << cfg.summary() << "\n"
             << "batch:    " << batch.size() << " requests, "
             << pass_cfg.num_layers << " layers, "
-            << pass.schedule().size() << " operator runs\n\n";
+            << independent.schedule().size() << " operator runs\n";
 
-  const scenario::BatchStats stats = pass.run();
-  stats.print(std::cout);
+  std::cout << "\n--- independent (per-operator Systems, stats summed) ---\n";
+  const scenario::BatchStats ind = independent.run();
+  ind.print(std::cout);
+
+  std::cout << "\n--- coscheduled (one shared System per wave) ---\n";
+  const scenario::BatchStats cos = coscheduled.run();
+  cos.print(std::cout);
+
+  // Co-scheduling both overlaps requests (a wave lasts as long as its
+  // slowest member, not the sum) and makes them interfere in the shared
+  // LLC/DRAM. Which effect wins depends on how much of the machine one
+  // request can use alone - neither is visible to the independent sum.
+  const double ratio = static_cast<double>(cos.total.cycles) /
+                       static_cast<double>(ind.total.cycles);
+  std::cout << "\ncoscheduled/independent total cycles = " << std::fixed
+            << std::setprecision(3) << ratio << "x: "
+            << (ratio > 1.0
+                    ? "contention dominates (sharing the LLC costs more "
+                      "than overlap saves)"
+                    : "overlap dominates (lone operators underuse the "
+                      "machine, so co-residency wins despite interference)")
+            << "\n";
   return 0;
 }

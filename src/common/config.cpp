@@ -67,6 +67,23 @@ std::string to_string(ThrottlePolicy p) {
   return "?";
 }
 
+std::string to_string(RequestDispatch d) {
+  switch (d) {
+    case RequestDispatch::kShared: return "shared";
+    case RequestDispatch::kInterleave: return "interleave";
+    case RequestDispatch::kPartitioned: return "partitioned";
+  }
+  return "?";
+}
+
+std::string to_string(ExecutionMode m) {
+  switch (m) {
+    case ExecutionMode::kIndependent: return "independent";
+    case ExecutionMode::kCoScheduled: return "coscheduled";
+  }
+  return "?";
+}
+
 SimConfig SimConfig::table5() {
   SimConfig cfg;  // defaults in the struct definitions *are* Table 5
   cfg.validate();

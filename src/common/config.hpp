@@ -90,6 +90,26 @@ enum class TbDispatch : std::uint8_t {
   kGlobalQueue,          // dynamic single queue (idealized scheduler)
 };
 
+/// Request-aware dispatch for fused multi-request sources (CompositeTbSource
+/// tags each TbDesc with its serving request). Controls how co-resident
+/// requests share the cores; single-request sources behave identically
+/// under every mode.
+enum class RequestDispatch : std::uint8_t {
+  kShared,        // request-blind: TBs dealt in source order (default)
+  kInterleave,    // dispatch order round-robins across requests, so every
+                  // core's queue alternates requests (max LLC mixing)
+  kPartitioned,   // cores split into contiguous per-request groups; a
+                  // request's TBs stay on its own cores (stealing included)
+};
+
+/// How the scenario layer executes a multi-request decode batch: every
+/// operator in its own private System with stats summed (kIndependent, the
+/// optimistic no-contention bound) vs one fused System per layer-stage wave
+/// in which co-resident requests contend for the shared LLC (kCoScheduled).
+/// Lives in the shared vocabulary header so the CLI option layer does not
+/// depend upward on the scenario layer.
+enum class ExecutionMode : std::uint8_t { kIndependent, kCoScheduled };
+
 /// Thread-throttling controller (paper §4.2 + baselines §6.2.3).
 enum class ThrottlePolicy : std::uint8_t {
   kNone,    // "unoptimized"
@@ -101,6 +121,8 @@ enum class ThrottlePolicy : std::uint8_t {
 std::string to_string(ArbPolicy p);
 std::string to_string(RespArbPolicy p);
 std::string to_string(ThrottlePolicy p);
+std::string to_string(RequestDispatch d);
+std::string to_string(ExecutionMode m);
 std::string to_string(BypassPolicy p);
 std::string to_string(ReplPolicy p);
 std::string to_string(InsertPolicy p);
@@ -118,6 +140,7 @@ struct CoreConfig {
   std::uint32_t vector_lanes = 128;      // elements per vector instruction
   std::uint32_t store_buffer_size = 64;  // posted write-through stores
   TbDispatch tb_dispatch = TbDispatch::kStaticBlocked;
+  RequestDispatch request_dispatch = RequestDispatch::kShared;
 };
 
 struct L1Config {

@@ -28,6 +28,28 @@ constexpr Addr line_index(Addr a) { return a / kLineBytes; }
 
 enum class AccessType : std::uint8_t { kLoad, kStore };
 
+/// Request-index value meaning "address belongs to no tracked request".
+inline constexpr std::uint32_t kNoRequest = 0xFFFFFFFF;
+
+/// Maps simulated addresses back to the serving request that owns them.
+/// Implemented by the trace layer's CompositeTbSource (requests occupy
+/// disjoint 16 GiB address slots, so the mapping is exact); consumed by the
+/// LLC slices and the System to attribute shared-run statistics per request
+/// without threading tags through every in-flight message.
+class IRequestTagger {
+ public:
+  virtual ~IRequestTagger() = default;
+  /// Number of distinct requests in the fused run.
+  [[nodiscard]] virtual std::uint32_t num_requests() const = 0;
+  /// Dense index (0 .. num_requests-1) of the request owning `line_addr`,
+  /// or kNoRequest for untracked addresses.
+  [[nodiscard]] virtual std::uint32_t request_index_of(Addr line_addr)
+      const = 0;
+  /// External request id for a dense index.
+  [[nodiscard]] virtual std::uint32_t request_id_at(
+      std::uint32_t index) const = 0;
+};
+
 /// One line-granular memory request travelling core -> L1 -> NoC -> LLC.
 ///
 /// `req_id` is a core-local tag the issuing core uses to wake the right

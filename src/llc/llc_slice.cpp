@@ -58,6 +58,17 @@ void LlcSlice::on_dram_fill(Addr line_addr) {
   pending_fills_.push_back(line_addr);
 }
 
+void LlcSlice::set_tagger(const IRequestTagger* tagger) {
+  tagger_ = tagger;
+  by_req_.assign(tagger_ ? tagger_->num_requests() : 0, ReqCounters{});
+}
+
+LlcSlice::ReqCounters* LlcSlice::req_counters_of(Addr line_addr) {
+  if (tagger_ == nullptr) return nullptr;
+  const std::uint32_t idx = tagger_->request_index_of(line_addr);
+  return idx < by_req_.size() ? &by_req_[idx] : nullptr;
+}
+
 void LlcSlice::process_fills(Cycle now) {
   // Fill return (paper Fig 4 step 4/4'): free the MSHR entry, forward the
   // data directly to every merged requester (bypassing the response queue),
@@ -89,6 +100,9 @@ void LlcSlice::drain_writebacks(DramSystem& dram) {
     DramRequest wr{wb_buffer_.front(), /*is_write=*/true, slice_id_};
     if (!dram.can_accept(wr)) break;
     dram.enqueue(wr);
+    if (ReqCounters* rc = req_counters_of(wb_buffer_.front())) {
+      ++rc->dram_writes;
+    }
     wb_buffer_.pop_front();
     ++counters_.writebacks;
   }
@@ -146,6 +160,10 @@ void LlcSlice::advance_lookup(Cycle now) {
     array_.touch(set, line);
     ++counters_.lookups;
     ++counters_.hits;
+    if (ReqCounters* rc = req_counters_of(line)) {
+      ++rc->lookups;
+      ++rc->hits;
+    }
     arbiter_.on_hit_determined(line);
     bypass_.on_cache_hit(line);
     if (head.req.type == AccessType::kLoad) {
@@ -165,6 +183,10 @@ void LlcSlice::advance_lookup(Cycle now) {
   if (mshr_pipe_.size() < cfg_.mshr_latency) {
     ++counters_.lookups;
     ++counters_.misses;
+    if (ReqCounters* rc = req_counters_of(line)) {
+      ++rc->lookups;
+      ++rc->misses;
+    }
     bypass_.on_cache_miss(line);
     mshr_pipe_.push_back(PipeEntry{head.req, now + cfg_.mshr_latency});
     lookup_pipe_.pop_front();
@@ -191,6 +213,7 @@ void LlcSlice::advance_mshr_stage(Cycle now, DramSystem& dram) {
     }
     e->targets.push_back(target);
     ++counters_.mshr_hits;
+    if (ReqCounters* rc = req_counters_of(line)) ++rc->mshr_hits;
     mshr_pipe_.pop_front();
     return;
   }
@@ -215,6 +238,7 @@ void LlcSlice::advance_mshr_stage(Cycle now, DramSystem& dram) {
   mshr_.find(line)->issued_to_dram = true;
   dram.enqueue(rd);
   ++counters_.mshr_allocs;
+  if (ReqCounters* rc = req_counters_of(line)) ++rc->dram_reads;
   mshr_pipe_.pop_front();
 }
 

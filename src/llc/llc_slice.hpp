@@ -60,6 +60,13 @@ class LlcSlice {
   /// DRAM read completion for a line this slice requested.
   void on_dram_fill(Addr line_addr);
 
+  /// Enables per-request attribution: lookups/hits/misses/MSHR merges and
+  /// the DRAM traffic this slice originates are additionally counted per
+  /// request, keyed by the owner of the accessed address (requests occupy
+  /// disjoint address slots, so this equals the issuing TB's request tag).
+  /// Pass nullptr to disable. The tagger must outlive the slice.
+  void set_tagger(const IRequestTagger* tagger);
+
   // ---- per-cycle ------------------------------------------------------------
   void tick(Cycle now, DramSystem& dram);
 
@@ -90,9 +97,23 @@ class LlcSlice {
     std::uint64_t lookup_backpressure = 0;
   };
 
+  /// Per-request share of this slice's activity (see set_tagger).
+  struct ReqCounters {
+    std::uint64_t lookups = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t mshr_hits = 0;
+    std::uint64_t dram_reads = 0;   // MSHR allocations (reads issued)
+    std::uint64_t dram_writes = 0;  // writebacks issued
+  };
+
   // ---- introspection ----------------------------------------------------------
   [[nodiscard]] bool drained() const;
   [[nodiscard]] const Counters& counters() const { return counters_; }
+  /// Indexed by dense request index; empty when no tagger is set.
+  [[nodiscard]] const std::vector<ReqCounters>& request_counters() const {
+    return by_req_;
+  }
   [[nodiscard]] StatSet stats() const;
   [[nodiscard]] const Mshr& mshr() const { return mshr_; }
   [[nodiscard]] RequestArbiter& arbiter() { return arbiter_; }
@@ -133,6 +154,10 @@ class LlcSlice {
     bool operator>(const OutResp& o) const { return ready > o.ready; }
   };
 
+  /// Per-request counters for the owner of `line_addr`, or nullptr when
+  /// untagged (no tagger, or address outside every registered slot).
+  [[nodiscard]] ReqCounters* req_counters_of(Addr line_addr);
+
   void process_fills(Cycle now);
   void drain_writebacks(DramSystem& dram);
   bool serve_response(Cycle now, DramSystem& dram);
@@ -162,6 +187,8 @@ class LlcSlice {
   bool mshr_resource_stall_ = false;  // freezes lookup+arbiter this cycle
   Cycle stall_cycles_ = 0;
   Counters counters_;
+  const IRequestTagger* tagger_ = nullptr;
+  std::vector<ReqCounters> by_req_;
 };
 
 }  // namespace llamcat

@@ -1,31 +1,16 @@
 #include "scenario/scenario.hpp"
 
+#include <chrono>
 #include <iomanip>
+#include <iostream>
 #include <ostream>
 #include <stdexcept>
 #include <unordered_set>
 #include <utility>
 
+#include "sim/system.hpp"
+
 namespace llamcat::scenario {
-
-namespace {
-
-/// Address-space stride between (request, layer) slots. Every operator of a
-/// slot has all four tensor bases shifted by slot * kSlotStride, so distinct
-/// requests/layers occupy distinct DRAM rows (and hash to different LLC
-/// slices) without perturbing the intra-operator layout the defaults encode.
-constexpr Addr kSlotStride = 0x4'0000'0000;  // 16 GiB
-
-OperatorSpec shift_bases(OperatorSpec spec, std::uint64_t slot) {
-  const Addr delta = static_cast<Addr>(slot) * kSlotStride;
-  spec.q_base += delta;
-  spec.kv_base += delta;
-  spec.s_base += delta;
-  spec.out_base += delta;
-  return spec;
-}
-
-}  // namespace
 
 std::string to_string(StageKind k) {
   switch (k) {
@@ -35,6 +20,7 @@ std::string to_string(StageKind k) {
   }
   return "?";
 }
+
 
 RequestBatch::RequestBatch(ModelShape model, std::vector<RequestSpec> requests)
     : model_(std::move(model)), requests_(std::move(requests)) {
@@ -78,16 +64,29 @@ std::uint64_t RequestBatch::total_seq_len() const {
 }
 
 void BatchStats::print(std::ostream& os) const {
+  os << "mode: " << to_string(mode) << "\n";
   os << std::left << std::setw(10) << "request" << std::setw(10) << "seq_len"
-     << std::setw(14) << "cycles" << std::setw(16) << "tokens/cycle" << "\n";
+     << std::setw(14) << "cycles" << std::setw(16) << "tokens/cycle";
+  if (mode == ExecutionMode::kCoScheduled) {
+    os << std::setw(12) << "in_flight" << std::setw(10) << "dram_rd"
+       << std::setw(10) << "dram_wr" << std::setw(10) << "l2_hit";
+  }
+  os << "\n";
   for (const RequestStats& r : per_request) {
     os << std::left << std::setw(10) << r.id << std::setw(10) << r.seq_len
        << std::setw(14) << r.stats.cycles << std::scientific
-       << std::setprecision(3) << r.tokens_per_cycle() << std::defaultfloat
-       << "\n";
+       << std::setprecision(3) << std::setw(16) << r.tokens_per_cycle()
+       << std::defaultfloat;
+    if (mode == ExecutionMode::kCoScheduled) {
+      os << std::setw(12) << r.slice.cycles_in_flight << std::setw(10)
+         << r.slice.dram_reads << std::setw(10) << r.slice.dram_writes
+         << std::fixed << std::setprecision(4) << std::setw(10)
+         << r.slice.l2_hit_rate() << std::defaultfloat;
+    }
+    os << "\n";
   }
   os << "\nbatch totals\n";
-  total.print(os);
+  total.print(os, /*include_per_request=*/false);
   os << std::scientific << std::setprecision(3) << "tokens/cycle      "
      << tokens_per_cycle() << "\n"
      << std::fixed << std::setprecision(1) << "tokens/s          "
@@ -122,7 +121,7 @@ DecodePass::DecodePass(RequestBatch batch, DecodePassConfig pass_cfg,
         op.stage = stage;
         op.name = "req" + std::to_string(req.id) + "/L" +
                   std::to_string(layer) + "/" + to_string(stage);
-        op.workload = Workload::from_spec(shift_bases(std::move(spec), slot),
+        op.workload = Workload::from_spec(shift_to_slot(std::move(spec), slot),
                                           cfg_);
         schedule_.push_back(std::move(op));
       };
@@ -137,6 +136,13 @@ DecodePass::DecodePass(RequestBatch batch, DecodePassConfig pass_cfg,
 }
 
 BatchStats DecodePass::run(std::size_t threads, bool verbose) const {
+  return pass_cfg_.mode == ExecutionMode::kCoScheduled
+             ? run_coscheduled(verbose)
+             : run_independent(threads, verbose);
+}
+
+BatchStats DecodePass::run_independent(std::size_t threads,
+                                       bool verbose) const {
   std::vector<ExperimentSpec> specs;
   specs.reserve(schedule_.size());
   for (const ScheduledOp& op : schedule_) {
@@ -144,6 +150,7 @@ BatchStats DecodePass::run(std::size_t threads, bool verbose) const {
   }
 
   BatchStats out;
+  out.mode = ExecutionMode::kIndependent;
   out.per_op = run_experiments(specs, threads, verbose);
 
   out.per_request.reserve(batch_.size());
@@ -164,6 +171,85 @@ BatchStats DecodePass::run(std::size_t threads, bool verbose) const {
       }
     }
     out.total.accumulate(out.per_op[i].stats);
+  }
+  return out;
+}
+
+BatchStats DecodePass::run_coscheduled(bool verbose) const {
+  BatchStats out;
+  out.mode = ExecutionMode::kCoScheduled;
+  out.per_request.reserve(batch_.size());
+  for (const RequestSpec& req : batch_.requests()) {
+    RequestStats rs;
+    rs.id = req.id;
+    rs.seq_len = req.seq_len;
+    rs.slice.request_id = req.id;
+    out.per_request.push_back(rs);
+  }
+
+  // One fused System per layer-stage wave: each wave holds the same stage of
+  // every request (stages of one request are dependent, same-stage operators
+  // of different requests are not), so co-resident requests contend for the
+  // shared LLC while the Logit -> Attend -> GEMV chain stays sequential.
+  std::vector<StageKind> stages{StageKind::kLogit, StageKind::kAttend};
+  if (pass_cfg_.include_gemv) stages.push_back(StageKind::kGemv);
+
+  for (std::uint32_t layer = 0; layer < pass_cfg_.num_layers; ++layer) {
+    for (const StageKind stage : stages) {
+      CompositeTbSource src(pass_cfg_.interleave);
+      for (const ScheduledOp& op : schedule_) {
+        if (op.layer == layer && op.stage == stage) {
+          src.add(op.request_id, op.workload.op, op.workload.mapping);
+        }
+      }
+      std::string name = "L";
+      name += std::to_string(layer);
+      name += "/";
+      name += to_string(stage);
+      name += "x";
+      name += std::to_string(src.num_ops());
+      if (verbose) std::cerr << "[coscheduled] " << name << "\n";
+
+      System sys(cfg_, src, &src);
+      const auto t0 = std::chrono::steady_clock::now();
+      SimStats wave = sys.run();
+      const std::chrono::duration<double> dt =
+          std::chrono::steady_clock::now() - t0;
+
+      for (const RequestSlice& sl : wave.per_request) {
+        for (RequestStats& rs : out.per_request) {
+          if (rs.id != sl.request_id) continue;
+          rs.slice.accumulate(sl);
+          // Resident time: a co-scheduled request occupies the machine for
+          // the whole wave, so its latency grows by the wave's duration.
+          rs.stats.cycles += wave.cycles;
+          rs.stats.core_hz = wave.core_hz;
+          rs.stats.instructions += sl.instructions;
+          rs.stats.thread_blocks += sl.thread_blocks;
+          rs.stats.dram_reads += sl.dram_reads;
+          rs.stats.dram_writes += sl.dram_writes;
+          rs.stats.counters.set("llc.lookups", rs.slice.llc_lookups);
+          rs.stats.counters.set("llc.hits", rs.slice.llc_hits);
+          rs.stats.counters.set("llc.misses", rs.slice.llc_misses);
+          rs.stats.counters.set("llc.mshr_hits", rs.slice.llc_mshr_hits);
+          rs.stats.counters.set("req.cycles_in_flight",
+                                rs.slice.cycles_in_flight);
+          rs.stats.l2_hit_rate = rs.slice.l2_hit_rate();
+          rs.stats.mshr_hit_rate =
+              rs.slice.llc_misses
+                  ? static_cast<double>(rs.slice.llc_mshr_hits) /
+                        static_cast<double>(rs.slice.llc_misses)
+                  : 0.0;
+          rs.stats.ipc = rs.stats.cycles
+                             ? static_cast<double>(rs.stats.instructions) /
+                                   static_cast<double>(rs.stats.cycles)
+                             : 0.0;
+          break;
+        }
+      }
+      out.total.accumulate(wave);
+      out.per_op.push_back(ExperimentResult{name, std::move(wave), dt.count()});
+    }
   }
   return out;
 }

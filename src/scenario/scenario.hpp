@@ -1,10 +1,19 @@
 // Scenario layer: composes the single-operator simulator into end-to-end
 // decode workloads. A RequestBatch holds concurrent decode requests (each
 // with its own sequence length); a DecodePass expands the batch into the
-// per-layer Logit -> Attend -> GEMV operator chain of one decode step,
-// runs every operator through the ExperimentSpec thread-pool harness, and
+// per-layer Logit -> Attend -> GEMV operator chain of one decode step and
 // aggregates SimStats into per-request and per-batch totals with
 // tokens-per-cycle throughput.
+//
+// Two execution modes:
+//  - kIndependent: every operator runs in its own private System (the
+//    thread-pool harness); per-request stats are sums of isolated runs.
+//    Requests never contend - an optimistic upper bound.
+//  - kCoScheduled: per layer-stage wave, the batch's operators are fused
+//    into one CompositeTbSource and run through a single shared System, so
+//    co-resident requests genuinely contend for cores, the shared LLC and
+//    DRAM. Per-request stats come from address-slot attribution of that
+//    shared run (RequestSlice).
 #pragma once
 
 #include <cstdint>
@@ -14,6 +23,7 @@
 #include "common/config.hpp"
 #include "sim/experiment.hpp"
 #include "sim/sim_stats.hpp"
+#include "trace/composite.hpp"
 #include "trace/operator.hpp"
 
 namespace llamcat::scenario {
@@ -58,6 +68,10 @@ enum class StageKind : std::uint8_t { kLogit, kAttend, kGemv };
 
 std::string to_string(StageKind k);
 
+/// How the pass executes the batch (see the header comment); defined in
+/// common/config.hpp, re-exported here as the scenario vocabulary.
+using llamcat::ExecutionMode;
+
 struct DecodePassConfig {
   std::uint32_t num_layers = 2;
   /// Include the per-layer GEMV stage after attention.
@@ -66,6 +80,10 @@ struct DecodePassConfig {
   /// E = H * G * D (a square E x E projection tile).
   std::uint64_t gemv_rows = 0;
   std::uint32_t gemv_cols = 0;
+  ExecutionMode mode = ExecutionMode::kIndependent;
+  /// kCoScheduled: how each wave's CompositeTbSource interleaves the
+  /// requests' thread blocks.
+  FuseOrder interleave = FuseOrder::kRoundRobin;
 };
 
 /// One operator instance in the pass's schedule.
@@ -78,10 +96,18 @@ struct ScheduledOp {
 };
 
 /// Aggregated stats for one request across all of its layers/operators.
+///
+/// kIndependent: `stats` is the sum of the request's isolated operator runs
+/// and `slice` stays zero. kCoScheduled: `stats.cycles` is the request's
+/// resident time (the sum of the shared waves it ran in - co-scheduled
+/// requests occupy the machine together, so their latency is the wave's),
+/// the traffic fields are the request's attributed share of each shared
+/// run, and `slice` keeps the raw attribution including cycles_in_flight.
 struct RequestStats {
   std::uint32_t id = 0;
   std::uint64_t seq_len = 0;
   SimStats stats;
+  RequestSlice slice;
 
   /// One token is produced per request per pass.
   [[nodiscard]] double tokens_per_cycle() const {
@@ -89,10 +115,12 @@ struct RequestStats {
   }
 };
 
-/// Aggregated stats for the whole batch. `total` folds every operator run
-/// (sequential-equivalent cycles); `per_op` keeps the raw harness results
-/// for reporting/export.
+/// Aggregated stats for the whole batch. `total` folds every simulation run
+/// (sequential-equivalent cycles); `per_op` keeps the raw results for
+/// reporting/export - one entry per operator under kIndependent, one per
+/// fused layer-stage wave under kCoScheduled.
 struct BatchStats {
+  ExecutionMode mode = ExecutionMode::kIndependent;
   SimStats total;
   std::vector<RequestStats> per_request;
   std::vector<ExperimentResult> per_op;
@@ -129,14 +157,21 @@ class DecodePass {
     return schedule_;
   }
 
-  /// Runs every scheduled operator through run_experiments (`threads`-wide,
-  /// 0 = hardware concurrency) and aggregates. Deterministic for a fixed
-  /// config: per-operator simulations are single-threaded and seeded, and
-  /// aggregation follows schedule order regardless of worker timing.
+  /// Runs the pass and aggregates. kIndependent routes every scheduled
+  /// operator through run_experiments (`threads`-wide, 0 = hardware
+  /// concurrency); kCoScheduled runs one fused System per layer-stage wave
+  /// (waves are sequential; `threads` is ignored). Both modes are
+  /// deterministic for a fixed config: every simulation is single-threaded
+  /// and seeded, and aggregation follows schedule/wave order regardless of
+  /// worker timing.
   [[nodiscard]] BatchStats run(std::size_t threads = 0,
                                bool verbose = false) const;
 
  private:
+  [[nodiscard]] BatchStats run_independent(std::size_t threads,
+                                           bool verbose) const;
+  [[nodiscard]] BatchStats run_coscheduled(bool verbose) const;
+
   RequestBatch batch_;
   DecodePassConfig pass_cfg_;
   SimConfig cfg_;

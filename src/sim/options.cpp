@@ -79,6 +79,26 @@ std::optional<TbDispatch> dispatch_from_string(std::string_view s) {
   return std::nullopt;
 }
 
+std::optional<RequestDispatch> request_dispatch_from_string(
+    std::string_view s) {
+  if (s == "shared") return RequestDispatch::kShared;
+  if (s == "interleave") return RequestDispatch::kInterleave;
+  if (s == "partitioned") return RequestDispatch::kPartitioned;
+  return std::nullopt;
+}
+
+std::optional<FuseOrder> fuse_order_from_string(std::string_view s) {
+  if (s == "rr" || s == "round-robin") return FuseOrder::kRoundRobin;
+  if (s == "concat") return FuseOrder::kConcat;
+  return std::nullopt;
+}
+
+std::optional<ExecutionMode> execution_mode_from_string(std::string_view s) {
+  if (s == "independent") return ExecutionMode::kIndependent;
+  if (s == "coscheduled") return ExecutionMode::kCoScheduled;
+  return std::nullopt;
+}
+
 std::optional<ReplPolicy> repl_policy_from_string(std::string_view s) {
   if (s == "lru") return ReplPolicy::kLru;
   if (s == "tree-plru" || s == "plru") return ReplPolicy::kTreePlru;
@@ -148,6 +168,13 @@ batch scenario (--op=batch)
   --seqs=A,B,...     per-request sequence lengths (overrides --requests and
                      --seq; one request per entry)
   --no-gemv          drop the per-layer projection/FFN GEMV stage
+  --mode=M           independent (default): every operator in its own
+                     System, stats summed | coscheduled: one fused System
+                     per layer-stage wave - requests contend for the
+                     shared LLC, per-request stats by address attribution
+  --interleave=I     coscheduled TB fusing: rr (default) | concat
+  --req-dispatch=R   request-aware core dispatch for fused sources:
+                     shared (default) | interleave | partitioned
 
 policy
   --policy=COMBO     throttle+arbitration, e.g. dynmg+BMA, dyncta, unopt+MA,
@@ -249,6 +276,18 @@ ParseResult parse_cli_options(const std::vector<std::string_view>& args) {
       const auto v = parse_uint_list(val);
       if (!v) return fail("bad --seqs (expect e.g. 256,512,1024)");
       opt.batch_seq_lens = *v;
+    } else if (key == "mode") {
+      const auto m = execution_mode_from_string(val);
+      if (!m) return fail("unknown mode: " + std::string(val));
+      opt.batch_mode = *m;
+    } else if (key == "interleave") {
+      const auto f = fuse_order_from_string(val);
+      if (!f) return fail("unknown interleave: " + std::string(val));
+      opt.batch_interleave = *f;
+    } else if (key == "req-dispatch") {
+      const auto r = request_dispatch_from_string(val);
+      if (!r) return fail("unknown req-dispatch: " + std::string(val));
+      opt.cfg.core.request_dispatch = *r;
     } else if (key == "policy") {
       const auto combo = policy_combo_from_string(val);
       if (!combo) return fail("unknown policy combo: " + std::string(val));

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/config.hpp"
+#include "trace/composite.hpp"
 #include "trace/operator.hpp"
 
 namespace llamcat {
@@ -19,6 +20,10 @@ std::optional<ArbPolicy> arb_policy_from_string(std::string_view s);
 std::optional<ThrottlePolicy> throttle_policy_from_string(std::string_view s);
 std::optional<RespArbPolicy> resp_arb_from_string(std::string_view s);
 std::optional<TbDispatch> dispatch_from_string(std::string_view s);
+std::optional<RequestDispatch> request_dispatch_from_string(
+    std::string_view s);
+std::optional<FuseOrder> fuse_order_from_string(std::string_view s);
+std::optional<ExecutionMode> execution_mode_from_string(std::string_view s);
 std::optional<ReplPolicy> repl_policy_from_string(std::string_view s);
 std::optional<BypassPolicy> bypass_policy_from_string(std::string_view s);
 std::optional<ModelShape> model_from_string(std::string_view s);
@@ -48,6 +53,10 @@ struct CliOptions {
   std::vector<std::uint64_t> batch_seq_lens;
   /// Include the per-layer projection/FFN GEMV stage.
   bool batch_gemv = true;
+  /// Independent per-operator Systems vs one fused System per wave.
+  ExecutionMode batch_mode = ExecutionMode::kIndependent;
+  /// kCoScheduled: TB interleaving across the wave's requests.
+  FuseOrder batch_interleave = FuseOrder::kRoundRobin;
   std::string csv_path;      // empty = no CSV export
   std::string json_path;     // empty = no JSON export
   bool print_counters = false;

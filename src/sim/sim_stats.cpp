@@ -4,6 +4,18 @@
 
 namespace llamcat {
 
+void RequestSlice::accumulate(const RequestSlice& other) {
+  cycles_in_flight += other.cycles_in_flight;
+  instructions += other.instructions;
+  thread_blocks += other.thread_blocks;
+  llc_lookups += other.llc_lookups;
+  llc_hits += other.llc_hits;
+  llc_misses += other.llc_misses;
+  llc_mshr_hits += other.llc_mshr_hits;
+  dram_reads += other.dram_reads;
+  dram_writes += other.dram_writes;
+}
+
 void SimStats::accumulate(const SimStats& other) {
   const Cycle combined_cycles = cycles + other.cycles;
   const double w_self =
@@ -40,9 +52,22 @@ void SimStats::accumulate(const SimStats& other) {
           ? static_cast<double>((dram_reads + dram_writes) * kLineBytes) /
                 seconds() / 1e9
           : 0.0;
+
+  // Per-request slices merge by request id (sequential-wave semantics).
+  for (const RequestSlice& o : other.per_request) {
+    bool merged = false;
+    for (RequestSlice& mine : per_request) {
+      if (mine.request_id == o.request_id) {
+        mine.accumulate(o);
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) per_request.push_back(o);
+  }
 }
 
-void SimStats::print(std::ostream& os) const {
+void SimStats::print(std::ostream& os, bool include_per_request) const {
   os << std::fixed << std::setprecision(4);
   os << "cycles            " << cycles << "\n";
   os << "time_ms           " << seconds() * 1e3 << "\n";
@@ -56,6 +81,13 @@ void SimStats::print(std::ostream& os) const {
   os << "thread_blocks     " << thread_blocks << "\n";
   os << "dram_reads        " << dram_reads << "\n";
   os << "dram_writes       " << dram_writes << "\n";
+  if (!include_per_request) return;
+  for (const RequestSlice& r : per_request) {
+    os << "req" << r.request_id << "             "
+       << " in_flight=" << r.cycles_in_flight << " tbs=" << r.thread_blocks
+       << " dram_rd=" << r.dram_reads << " dram_wr=" << r.dram_writes
+       << " l2_hit=" << r.l2_hit_rate() << "\n";
+  }
 }
 
 }  // namespace llamcat

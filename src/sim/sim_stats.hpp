@@ -5,11 +5,39 @@
 
 #include <cstdint>
 #include <ostream>
+#include <vector>
 
 #include "common/stats.hpp"
 #include "common/types.hpp"
 
 namespace llamcat {
+
+/// Per-request share of one shared (co-scheduled) simulation run. Filled by
+/// System::collect_stats when the run carries an IRequestTagger: events are
+/// attributed to the request owning the accessed address, which - requests
+/// occupying disjoint address slots - equals the issuing TB's request tag.
+struct RequestSlice {
+  std::uint32_t request_id = 0;
+  /// Cycles between the request's first TB dispatch and last TB completion.
+  Cycle cycles_in_flight = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t thread_blocks = 0;
+  std::uint64_t llc_lookups = 0;
+  std::uint64_t llc_hits = 0;
+  std::uint64_t llc_misses = 0;
+  std::uint64_t llc_mshr_hits = 0;
+  std::uint64_t dram_reads = 0;
+  std::uint64_t dram_writes = 0;
+
+  [[nodiscard]] double l2_hit_rate() const {
+    return llc_lookups ? static_cast<double>(llc_hits) /
+                             static_cast<double>(llc_lookups)
+                       : 0.0;
+  }
+
+  /// Field-wise sum (cycles_in_flight adds: slices of sequential waves).
+  void accumulate(const RequestSlice& other);
+};
 
 struct SimStats {
   Cycle cycles = 0;
@@ -30,6 +58,10 @@ struct SimStats {
 
   StatSet counters;  // every component counter, merged
 
+  /// Per-request attribution of this run (empty for untagged runs). Order
+  /// follows first dispatch; `accumulate` merges entries by request_id.
+  std::vector<RequestSlice> per_request;
+
   [[nodiscard]] double seconds() const {
     return core_hz > 0 ? static_cast<double>(cycles) / core_hz : 0.0;
   }
@@ -46,7 +78,9 @@ struct SimStats {
   /// runs into per-request and per-batch totals.
   void accumulate(const SimStats& other);
 
-  void print(std::ostream& os) const;
+  /// `include_per_request` = false suppresses the per-request lines (used
+  /// by callers that already printed their own per-request table).
+  void print(std::ostream& os, bool include_per_request = true) const;
 };
 
 }  // namespace llamcat

@@ -4,14 +4,24 @@
 
 namespace llamcat {
 
-System::System(const SimConfig& cfg, const ITbSource& source)
+System::System(const SimConfig& cfg, const ITbSource& source,
+               const IRequestTagger* tagger)
     : cfg_(cfg),
-      scheduler_(source, cfg.core.num_cores, cfg.core.tb_dispatch),
+      scheduler_(source, cfg.core.num_cores, cfg.core.tb_dispatch,
+                 cfg.core.request_dispatch),
       slice_map_(cfg.llc),
       net_(cfg.noc, cfg.core.num_cores, cfg.llc.num_slices),
       dram_(cfg.dram, cfg.core_hz),
-      throttle_(make_throttle_controller(cfg.throttle, cfg.core)) {
+      throttle_(make_throttle_controller(cfg.throttle, cfg.core)),
+      tagger_(tagger) {
   cfg_.validate();
+  if (tagger_ != nullptr) {
+    const std::uint32_t n = scheduler_.num_requests();
+    req_started_.assign(n, false);
+    req_first_dispatch_.assign(n, 0);
+    req_last_complete_.assign(n, 0);
+    req_prev_completed_.assign(n, 0);
+  }
   cores_.reserve(cfg_.core.num_cores);
   for (std::uint32_t c = 0; c < cfg_.core.num_cores; ++c) {
     cores_.push_back(std::make_unique<VectorCore>(
@@ -22,6 +32,7 @@ System::System(const SimConfig& cfg, const ITbSource& source)
   for (std::uint32_t s = 0; s < cfg_.llc.num_slices; ++s) {
     slices_.push_back(std::make_unique<LlcSlice>(
         cfg_.llc, cfg_.arb, s, cfg_.core.num_cores, cfg_.seed + 1000 + s));
+    slices_.back()->set_tagger(tagger_);
   }
   dram_.on_read_complete = [this](const DramCompletion& d) {
     slices_[d.payload]->on_dram_fill(d.line_addr);
@@ -133,6 +144,21 @@ void System::step() {
   }
   dram_.tick_core_cycle();
   sample_throttling();
+  if (tagger_ != nullptr) track_request_flight();
+}
+
+void System::track_request_flight() {
+  for (std::uint32_t r = 0; r < scheduler_.num_requests(); ++r) {
+    if (!req_started_[r] && scheduler_.dispatched_of(r) > 0) {
+      req_started_[r] = true;
+      req_first_dispatch_[r] = cycle_;
+    }
+    const std::uint64_t done = scheduler_.completed_of(r);
+    if (done != req_prev_completed_[r]) {
+      req_prev_completed_[r] = done;
+      req_last_complete_[r] = cycle_;
+    }
+  }
 }
 
 bool System::done() const {
@@ -200,6 +226,48 @@ SimStats System::collect_stats() const {
           : 0.0;
   s.counters.set("core.c_mem_total", total_c_mem_);
   s.counters.set("core.c_idle_total", total_c_idle_);
+
+  if (tagger_ != nullptr) {
+    // The scheduler and the tagger both index requests densely but may
+    // disagree on order; reconcile through the external request id. The
+    // emitted order follows the scheduler (first dispatch-list appearance).
+    std::vector<std::uint32_t> tagger_index(scheduler_.num_requests(),
+                                            kNoRequest);
+    for (std::uint32_t r = 0; r < scheduler_.num_requests(); ++r) {
+      const std::uint32_t id = scheduler_.request_id_at(r);
+      for (std::uint32_t t = 0; t < tagger_->num_requests(); ++t) {
+        if (tagger_->request_id_at(t) == id) {
+          tagger_index[r] = t;
+          break;
+        }
+      }
+    }
+    s.per_request.reserve(scheduler_.num_requests());
+    for (std::uint32_t r = 0; r < scheduler_.num_requests(); ++r) {
+      RequestSlice rs;
+      rs.request_id = scheduler_.request_id_at(r);
+      rs.thread_blocks = scheduler_.completed_of(r);
+      if (req_started_[r] && req_last_complete_[r] >= req_first_dispatch_[r]) {
+        rs.cycles_in_flight =
+            req_last_complete_[r] - req_first_dispatch_[r] + 1;
+      }
+      for (const auto& core : cores_) {
+        rs.instructions += core->issued_by_request()[r];
+      }
+      if (tagger_index[r] != kNoRequest) {
+        for (const auto& slice : slices_) {
+          const auto& rc = slice->request_counters()[tagger_index[r]];
+          rs.llc_lookups += rc.lookups;
+          rs.llc_hits += rc.hits;
+          rs.llc_misses += rc.misses;
+          rs.llc_mshr_hits += rc.mshr_hits;
+          rs.dram_reads += rc.dram_reads;
+          rs.dram_writes += rc.dram_writes;
+        }
+      }
+      s.per_request.push_back(rs);
+    }
+  }
   return s;
 }
 

@@ -20,7 +20,12 @@ namespace llamcat {
 
 class System {
  public:
-  System(const SimConfig& cfg, const ITbSource& source);
+  /// `tagger` (optional, must outlive the System) enables per-request
+  /// attribution of a fused multi-request source: LLC slices count their
+  /// activity per owning request and collect_stats() emits one RequestSlice
+  /// per request alongside the machine-wide totals.
+  System(const SimConfig& cfg, const ITbSource& source,
+         const IRequestTagger* tagger = nullptr);
 
   /// Runs the operator to completion and returns the collected statistics.
   /// Throws std::runtime_error if cfg.max_cycles is exceeded (deadlock
@@ -51,6 +56,8 @@ class System {
   void inject_core_traffic();
   void deliver_slice_requests();
   void sample_throttling();
+  /// Per-request first-dispatch / last-completion observation (tagged runs).
+  void track_request_flight();
   /// Sum of per-core progress counters across all slice arbiters.
   [[nodiscard]] std::vector<std::uint64_t> aggregate_progress() const;
 
@@ -69,6 +76,14 @@ class System {
   Cycle prev_stall_total_ = 0;
   std::uint64_t total_c_mem_ = 0;
   std::uint64_t total_c_idle_ = 0;
+
+  // Per-request flight tracking (indexed by the scheduler's dense request
+  // index; empty when no tagger is attached).
+  const IRequestTagger* tagger_ = nullptr;
+  std::vector<bool> req_started_;
+  std::vector<Cycle> req_first_dispatch_;
+  std::vector<Cycle> req_last_complete_;
+  std::vector<std::uint64_t> req_prev_completed_;
 };
 
 }  // namespace llamcat

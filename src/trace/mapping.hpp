@@ -26,12 +26,19 @@ enum class TbOrder : std::uint8_t {
 std::string to_string(TbOrder o);
 
 /// One thread block: a contiguous L-range of one (h, g) pair.
+///
+/// `request_id` / `source_op` record provenance when thread blocks of
+/// several operators are fused into one dispatch list (CompositeTbSource):
+/// the serving request the block belongs to and the index of its operator
+/// within the fused source. Single-operator sources leave both at 0.
 struct TbDesc {
   TbId id = 0;
   std::uint32_t h = 0;
   std::uint32_t g = 0;
   std::uint64_t l_begin = 0;
   std::uint64_t l_end = 0;  // exclusive
+  std::uint32_t request_id = 0;
+  std::uint32_t source_op = 0;
 
   [[nodiscard]] std::uint64_t l_count() const { return l_end - l_begin; }
 };

@@ -7,15 +7,16 @@
 namespace llamcat {
 
 namespace {
-constexpr const char* kMagic = "# llamcat-trace v1";
+constexpr const char* kMagicV2 = "# llamcat-trace v2";
+constexpr const char* kMagicV1 = "# llamcat-trace v1";
 }
 
 void write_trace(std::ostream& os, const ITbSource& source) {
-  os << kMagic << "\n";
+  os << kMagicV2 << "\n";
   for (std::uint64_t t = 0; t < source.num_tbs(); ++t) {
     const TbDesc& d = source.tb(t);
     os << "tb " << d.id << " " << d.h << " " << d.g << " " << d.l_begin << " "
-       << d.l_end << "\n";
+       << d.l_end << " " << d.request_id << " " << d.source_op << "\n";
     const std::uint32_t n = source.instr_count(t);
     for (std::uint32_t i = 0; i < n; ++i) {
       const Instr ins = source.instr_at(t, i);
@@ -43,9 +44,10 @@ void write_trace_file(const std::string& path, const ITbSource& source) {
 
 std::unique_ptr<ReplayTrace> read_trace(std::istream& is) {
   std::string line;
-  if (!std::getline(is, line) || line != kMagic) {
+  if (!std::getline(is, line) || (line != kMagicV2 && line != kMagicV1)) {
     throw std::runtime_error("trace: bad magic line");
   }
+  const bool v2 = line == kMagicV2;
   std::vector<TbDesc> tbs;
   std::vector<std::vector<Instr>> streams;
   std::vector<Instr>* cur = nullptr;
@@ -57,6 +59,9 @@ std::unique_ptr<ReplayTrace> read_trace(std::istream& is) {
     if (tok == "tb") {
       TbDesc d;
       ls >> d.id >> d.h >> d.g >> d.l_begin >> d.l_end;
+      // v2 headers carry provenance; v1 headers stop after l_end (fields
+      // stay 0). A truncated v2 row is malformed, not a v1 fallback.
+      if (v2) ls >> d.request_id >> d.source_op;
       if (!ls) throw std::runtime_error("trace: malformed tb header");
       tbs.push_back(d);
       streams.emplace_back();

@@ -11,10 +11,13 @@
 namespace llamcat {
 
 /// Writes `source` (all thread blocks) as a text trace:
-///   # llamcat-trace v1
-///   tb <id> <h> <g> <l_begin> <l_end>
+///   # llamcat-trace v2
+///   tb <id> <h> <g> <l_begin> <l_end> <request_id> <source_op>
 ///   L <hex line addr> | S <hex line addr> | C <cycles>
 ///   end
+/// v2 appends the request/operator provenance of fused multi-request
+/// sources; the reader also accepts v1 (five-field tb headers, provenance
+/// defaulting to 0).
 void write_trace(std::ostream& os, const ITbSource& source);
 void write_trace_file(const std::string& path, const ITbSource& source);
 

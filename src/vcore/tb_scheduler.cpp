@@ -1,48 +1,152 @@
 #include "vcore/tb_scheduler.hpp"
 
+#include <algorithm>
 #include <cassert>
+#include <unordered_map>
 
 namespace llamcat {
 
 TbScheduler::TbScheduler(const ITbSource& source, std::uint32_t num_cores,
-                         TbDispatch mode)
-    : source_(source), mode_(mode), total_(source.num_tbs()) {
+                         TbDispatch mode, RequestDispatch req_mode)
+    : source_(source),
+      mode_(mode),
+      req_mode_(req_mode),
+      total_(source.num_tbs()) {
   assert(num_cores > 0);
+
+  // Request provenance scan (dense indices in order of first appearance).
+  tb_req_idx_.reserve(total_);
+  std::unordered_map<std::uint32_t, std::uint32_t> dense;
+  for (std::uint64_t t = 0; t < total_; ++t) {
+    const std::uint32_t rid = source_.tb(t).request_id;
+    const auto [it, inserted] = dense.try_emplace(
+        rid, static_cast<std::uint32_t>(request_ids_.size()));
+    if (inserted) {
+      request_ids_.push_back(rid);
+      req_total_.push_back(0);
+    }
+    tb_req_idx_.push_back(it->second);
+    ++req_total_[it->second];
+  }
+  if (request_ids_.empty()) {  // empty source: keep the vectors well-formed
+    request_ids_.push_back(0);
+    req_total_.push_back(0);
+  }
+  req_dispatched_.assign(request_ids_.size(), 0);
+  req_completed_.assign(request_ids_.size(), 0);
+  done_.assign(total_, false);
+
+  if (req_mode_ == RequestDispatch::kPartitioned && num_requests() > 1) {
+    build_partitioned_queues(num_cores);
+    return;
+  }
+
+  // Dispatch order: source order, or round-robin across requests.
+  std::vector<std::uint64_t> order(total_);
+  for (std::uint64_t t = 0; t < total_; ++t) order[t] = t;
+  if (req_mode_ == RequestDispatch::kInterleave && num_requests() > 1) {
+    std::vector<std::vector<std::uint64_t>> by_req(num_requests());
+    for (std::uint64_t t = 0; t < total_; ++t) {
+      by_req[tb_req_idx_[t]].push_back(t);
+    }
+    order.clear();
+    std::vector<std::size_t> next(by_req.size(), 0);
+    while (order.size() < total_) {
+      for (std::size_t r = 0; r < by_req.size(); ++r) {
+        if (next[r] < by_req[r].size()) order.push_back(by_req[r][next[r]++]);
+      }
+    }
+  }
+  build_queues(num_cores, order);
+}
+
+void TbScheduler::build_queues(std::uint32_t num_cores,
+                               const std::vector<std::uint64_t>& order) {
   if (mode_ == TbDispatch::kGlobalQueue) {
     queues_.resize(1);
-    for (std::uint64_t t = 0; t < total_; ++t) queues_[0].push_back(t);
+    for (const std::uint64_t t : order) queues_[0].push_back(t);
   } else if (mode_ == TbDispatch::kPartitionedStealing) {
     queues_.resize(num_cores);
-    for (std::uint64_t t = 0; t < total_; ++t) {
-      queues_[t % num_cores].push_back(t);
+    for (std::uint64_t i = 0; i < order.size(); ++i) {
+      queues_[i % num_cores].push_back(order[i]);
     }
   } else {  // kStaticBlocked: per-core trace files = contiguous chunks
     queues_.resize(num_cores);
-    for (std::uint64_t t = 0; t < total_; ++t) {
-      const std::uint64_t c = t * num_cores / total_;
-      queues_[c].push_back(t);
+    for (std::uint64_t i = 0; i < order.size(); ++i) {
+      const std::uint64_t c = i * num_cores / order.size();
+      queues_[c].push_back(order[i]);
     }
   }
 }
 
+void TbScheduler::build_partitioned_queues(std::uint32_t num_cores) {
+  // Contiguous core groups: request r owns cores [r*C/R, (r+1)*C/R). With
+  // more requests than cores the groups wrap (request r -> core r % C) and
+  // a core serves several requests in arrival order.
+  const std::uint32_t nreq = num_requests();
+  queues_.resize(num_cores);
+  core_group_.assign(num_cores, kNoRequest);
+  std::vector<std::uint32_t> group_begin(nreq), group_size(nreq);
+  for (std::uint32_t r = 0; r < nreq; ++r) {
+    if (nreq <= num_cores) {
+      group_begin[r] = r * num_cores / nreq;
+      group_size[r] = (r + 1) * num_cores / nreq - group_begin[r];
+    } else {
+      group_begin[r] = r % num_cores;
+      group_size[r] = 1;
+    }
+  }
+  if (nreq <= num_cores) {
+    for (std::uint32_t r = 0; r < nreq; ++r) {
+      for (std::uint32_t c = 0; c < group_size[r]; ++c) {
+        core_group_[group_begin[r] + c] = r;
+      }
+    }
+  }  // else cores stay kNoRequest (mixed): stealing is unrestricted.
+
+  // Within a group, deal the request's TBs by the underlying mode
+  // (kGlobalQueue has no per-core queues to partition; treat it as
+  // round-robin inside the group).
+  std::vector<std::uint64_t> req_seen(nreq, 0);
+  for (std::uint64_t t = 0; t < total_; ++t) {
+    const std::uint32_t r = tb_req_idx_[t];
+    const std::uint64_t i = req_seen[r]++;
+    std::uint32_t c;
+    if (mode_ == TbDispatch::kStaticBlocked) {
+      c = static_cast<std::uint32_t>(i * group_size[r] / req_total_[r]);
+    } else {
+      c = static_cast<std::uint32_t>(i % group_size[r]);
+    }
+    queues_[group_begin[r] + c].push_back(t);
+  }
+}
+
 std::optional<std::uint64_t> TbScheduler::next_tb(CoreId core) {
-  if (mode_ == TbDispatch::kGlobalQueue) {
+  const auto dispatch = [this](std::uint64_t tb) {
+    ++req_dispatched_[tb_req_idx_[tb]];
+    return tb;
+  };
+  if (queues_.size() == 1) {  // global queue
     if (queues_[0].empty()) return std::nullopt;
     const std::uint64_t tb = queues_[0].front();
     queues_[0].pop_front();
-    return tb;
+    return dispatch(tb);
   }
   auto& own = queues_[core];
   if (!own.empty()) {
     const std::uint64_t tb = own.front();
     own.pop_front();
-    return tb;
+    return dispatch(tb);
   }
   // Redistribution: steal the front of the most-loaded partition (the
-  // slowest core's oldest pending block).
+  // slowest core's oldest pending block). Under kPartitioned, only cores of
+  // the same request group are eligible victims.
+  const std::uint32_t group =
+      core_group_.empty() ? kNoRequest : core_group_[core];
   std::size_t victim = queues_.size();
   std::size_t most = 0;
   for (std::size_t c = 0; c < queues_.size(); ++c) {
+    if (group != kNoRequest && core_group_[c] != group) continue;
     if (queues_[c].size() > most) {
       most = queues_[c].size();
       victim = c;
@@ -52,7 +156,15 @@ std::optional<std::uint64_t> TbScheduler::next_tb(CoreId core) {
   const std::uint64_t tb = queues_[victim].front();
   queues_[victim].pop_front();
   ++stolen_;
-  return tb;
+  return dispatch(tb);
+}
+
+void TbScheduler::mark_complete(std::uint64_t tb_idx) {
+  assert(tb_idx < total_);
+  assert(!done_[tb_idx] && "thread block completed twice");
+  done_[tb_idx] = true;
+  ++completed_;
+  ++req_completed_[tb_req_idx_[tb_idx]];
 }
 
 }  // namespace llamcat

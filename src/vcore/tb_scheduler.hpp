@@ -6,6 +6,13 @@
 //
 // kPartitionedStealing reproduces that scheme (default). kGlobalQueue is a
 // dynamic single-queue dispatcher kept for ablation studies.
+//
+// For fused multi-request sources (CompositeTbSource) the scheduler is
+// additionally request-aware: it reads each TbDesc's request tag, tracks
+// per-request dispatch/completion, and supports RequestDispatch modes that
+// either interleave co-resident requests across every core or pin each
+// request to its own contiguous core group (stealing stays inside the
+// group, so requests contend only in the shared LLC and DRAM).
 #pragma once
 
 #include <cstdint>
@@ -22,33 +29,76 @@ namespace llamcat {
 class TbScheduler {
  public:
   TbScheduler(const ITbSource& source, std::uint32_t num_cores,
-              TbDispatch mode = TbDispatch::kPartitionedStealing);
+              TbDispatch mode = TbDispatch::kPartitionedStealing,
+              RequestDispatch req_mode = RequestDispatch::kShared);
 
-  /// Next thread block for `core`: its own partition first, then (mode
-  /// kPartitionedStealing) the front of the most-loaded other partition.
+  /// Next thread block for `core`: its own partition first, then (stealing
+  /// modes) the front of the most-loaded other partition - restricted to
+  /// the core's own request group under RequestDispatch::kPartitioned.
   std::optional<std::uint64_t> next_tb(CoreId core);
 
-  void mark_complete(std::uint64_t tb_idx) {
-    (void)tb_idx;
-    ++completed_;
-  }
+  /// Records completion of `tb_idx` (per-request attribution) and asserts,
+  /// in debug builds, that no thread block completes twice.
+  void mark_complete(std::uint64_t tb_idx);
 
   [[nodiscard]] bool all_complete() const { return completed_ >= total_; }
   [[nodiscard]] std::uint64_t total() const { return total_; }
   [[nodiscard]] std::uint64_t completed() const { return completed_; }
+  /// Pending queue depth feeding `core` (the shared queue depth under
+  /// kGlobalQueue, which has a single queue regardless of core count).
   [[nodiscard]] std::uint64_t remaining_for(CoreId core) const {
-    return queues_[core].size();
+    return queues_.size() == 1 ? queues_[0].size() : queues_[core].size();
   }
   [[nodiscard]] std::uint64_t stolen() const { return stolen_; }
   [[nodiscard]] const ITbSource& source() const { return source_; }
 
+  // -- per-request attribution ------------------------------------------------
+  /// Distinct request tags seen in the source (>= 1; plain single-operator
+  /// sources tag every TB with request 0).
+  [[nodiscard]] std::uint32_t num_requests() const {
+    return static_cast<std::uint32_t>(request_ids_.size());
+  }
+  /// External request id for a dense request index.
+  [[nodiscard]] std::uint32_t request_id_at(std::uint32_t index) const {
+    return request_ids_[index];
+  }
+  /// Dense request index of a thread block (O(1) array lookup; safe on the
+  /// core's issue path).
+  [[nodiscard]] std::uint32_t request_index_of_tb(std::uint64_t tb_idx) const {
+    return tb_req_idx_[tb_idx];
+  }
+  [[nodiscard]] std::uint64_t total_of(std::uint32_t req_index) const {
+    return req_total_[req_index];
+  }
+  [[nodiscard]] std::uint64_t dispatched_of(std::uint32_t req_index) const {
+    return req_dispatched_[req_index];
+  }
+  [[nodiscard]] std::uint64_t completed_of(std::uint32_t req_index) const {
+    return req_completed_[req_index];
+  }
+
  private:
+  void build_queues(std::uint32_t num_cores,
+                    const std::vector<std::uint64_t>& order);
+  void build_partitioned_queues(std::uint32_t num_cores);
+
   const ITbSource& source_;
   TbDispatch mode_;
+  RequestDispatch req_mode_;
   std::uint64_t total_;
   std::uint64_t completed_ = 0;
   std::uint64_t stolen_ = 0;
   std::vector<std::deque<std::uint64_t>> queues_;  // per core; [0] if global
+
+  // Request bookkeeping (dense indices, order of first appearance).
+  std::vector<std::uint32_t> request_ids_;
+  std::vector<std::uint32_t> tb_req_idx_;
+  std::vector<std::uint64_t> req_total_;
+  std::vector<std::uint64_t> req_dispatched_;
+  std::vector<std::uint64_t> req_completed_;
+  /// kPartitioned: request group owning each core (kNoRequest = any).
+  std::vector<std::uint32_t> core_group_;
+  std::vector<bool> done_;  // double-complete guard
 };
 
 }  // namespace llamcat

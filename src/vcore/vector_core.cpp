@@ -72,6 +72,7 @@ void VectorCore::fetch_tb(Cycle now) {
     if (!tb) return;
     w.has_tb = true;
     w.tb_idx = *tb;
+    w.req_idx = scheduler_->request_index_of_tb(*tb);
     w.next_instr = 0;
     w.instr_count = scheduler_->source().instr_count(*tb);
     w.slots.clear();
@@ -159,6 +160,7 @@ void VectorCore::tick(Cycle now) {
     const BlockReason r = try_issue(w, now);
     if (r == BlockReason::kNone) {
       ++issued_;
+      ++issued_by_req_[w.req_idx];
       ++issued_count;
       issued_any = true;
       // Stay on this window (switch only on blockage).

@@ -25,7 +25,10 @@ class VectorCore {
   VectorCore(const CoreConfig& cfg, const L1Config& l1cfg, CoreId id,
              std::uint64_t seed);
 
-  void bind(TbScheduler* scheduler) { scheduler_ = scheduler; }
+  void bind(TbScheduler* scheduler) {
+    scheduler_ = scheduler;
+    issued_by_req_.assign(scheduler->num_requests(), 0);
+  }
 
   /// LLC load data arriving through the NoC: fills L1 and wakes waiters.
   void on_load_fill(Addr line_addr);
@@ -58,6 +61,11 @@ class VectorCore {
   [[nodiscard]] bool fully_idle() const;
   [[nodiscard]] std::uint32_t active_windows() const;
   [[nodiscard]] std::uint64_t instructions_issued() const { return issued_; }
+  /// Issued instructions split by the dense request index of the issuing
+  /// thread block (single-request sources put everything in element 0).
+  [[nodiscard]] const std::vector<std::uint64_t>& issued_by_request() const {
+    return issued_by_req_;
+  }
   [[nodiscard]] std::uint64_t tbs_completed() const { return tbs_completed_; }
   [[nodiscard]] StatSet l1_stats() const { return l1_.stats(); }
   [[nodiscard]] const L1Cache& l1() const { return l1_; }
@@ -73,6 +81,7 @@ class VectorCore {
   struct Window {
     bool has_tb = false;
     std::uint64_t tb_idx = 0;
+    std::uint32_t req_idx = 0;  // dense request index, cached at fetch
     std::uint32_t next_instr = 0;
     std::uint32_t instr_count = 0;
     std::deque<Slot> slots;
@@ -104,6 +113,7 @@ class VectorCore {
   Cycle c_idle_ = 0;     // reset by take_sample()
   Cycle c_mem_abs_ = 0;  // never reset (first-TB observation)
   std::uint64_t issued_ = 0;
+  std::vector<std::uint64_t> issued_by_req_;
   std::uint64_t tbs_completed_ = 0;
 
   // first-TB observation for LCS

@@ -180,6 +180,24 @@ TEST(ParseCli, BatchDefaults) {
   EXPECT_EQ(r.options->batch_layers, 2u);
   EXPECT_TRUE(r.options->batch_seq_lens.empty());
   EXPECT_TRUE(r.options->batch_gemv);
+  EXPECT_EQ(r.options->batch_mode, ExecutionMode::kIndependent);
+  EXPECT_EQ(r.options->batch_interleave, FuseOrder::kRoundRobin);
+  EXPECT_EQ(r.options->cfg.core.request_dispatch, RequestDispatch::kShared);
+}
+
+TEST(ParseCli, ExecutionModeFlagsParse) {
+  const ParseResult r =
+      parse({"--op=batch", "--mode=coscheduled", "--interleave=concat",
+             "--req-dispatch=partitioned"});
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(r.options->batch_mode, ExecutionMode::kCoScheduled);
+  EXPECT_EQ(r.options->batch_interleave, FuseOrder::kConcat);
+  EXPECT_EQ(r.options->cfg.core.request_dispatch,
+            RequestDispatch::kPartitioned);
+
+  EXPECT_FALSE(parse({"--mode=fused"}).ok());
+  EXPECT_FALSE(parse({"--interleave=zipper"}).ok());
+  EXPECT_FALSE(parse({"--req-dispatch=pinned"}).ok());
 }
 
 TEST(ParseCli, MalformedBatchFlagsAreErrors) {
@@ -225,7 +243,7 @@ TEST(ParseCli, UsageMentionsEveryFlag) {
         "--cores", "--llc-mb", "--slices", "--mshr-entries", "--mshr-targets",
         "--repl", "--bypass", "--seed", "--csv", "--json", "--counters",
         "--energy", "--verbose", "--requests", "--layers", "--seqs",
-        "--no-gemv"}) {
+        "--no-gemv", "--mode", "--interleave", "--req-dispatch"}) {
     EXPECT_NE(usage.find(flag), std::string::npos) << flag;
   }
 }

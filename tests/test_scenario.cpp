@@ -190,6 +190,101 @@ TEST(DecodePass, TwoRequestBatchDeterministicAcrossRuns) {
   }
 }
 
+// Acceptance anchor: with a single request there is nothing to contend
+// with, so the fused shared-System path must reproduce the independent
+// per-operator path exactly - totals and per-request stats alike.
+TEST(DecodePass, CoScheduledMatchesIndependentAtBatchOne) {
+  const SimConfig cfg = small_config();
+  const RequestBatch batch = RequestBatch::uniform(tiny_model(), 1, 128);
+  DecodePassConfig pass_cfg;
+  pass_cfg.num_layers = 2;
+  pass_cfg.include_gemv = false;
+
+  const BatchStats ind = DecodePass(batch, pass_cfg, cfg).run();
+  pass_cfg.mode = scenario::ExecutionMode::kCoScheduled;
+  const BatchStats cos = DecodePass(batch, pass_cfg, cfg).run();
+
+  EXPECT_EQ(cos.total.cycles, ind.total.cycles);
+  EXPECT_EQ(cos.total.instructions, ind.total.instructions);
+  EXPECT_EQ(cos.total.thread_blocks, ind.total.thread_blocks);
+  EXPECT_EQ(cos.total.dram_reads, ind.total.dram_reads);
+  EXPECT_EQ(cos.total.dram_writes, ind.total.dram_writes);
+  EXPECT_EQ(cos.total.counters.counters(), ind.total.counters.counters());
+
+  ASSERT_EQ(cos.per_request.size(), 1u);
+  ASSERT_EQ(ind.per_request.size(), 1u);
+  EXPECT_EQ(cos.per_request[0].stats.cycles, ind.per_request[0].stats.cycles);
+  EXPECT_EQ(cos.per_request[0].stats.dram_reads,
+            ind.per_request[0].stats.dram_reads);
+  EXPECT_EQ(cos.per_request[0].stats.instructions,
+            ind.per_request[0].stats.instructions);
+  EXPECT_EQ(cos.per_request[0].stats.thread_blocks,
+            ind.per_request[0].stats.thread_blocks);
+}
+
+// Acceptance: at batch >= 4 the co-scheduled run shares one LLC among all
+// requests' KV streams, so total cycles strictly exceed the independent
+// no-contention sum - the interference the old path could not see.
+TEST(DecodePass, CoScheduledShowsContentionAtBatchFour) {
+  const SimConfig cfg = small_config();
+  const RequestBatch batch = RequestBatch::uniform(tiny_model(), 4, 256);
+  DecodePassConfig pass_cfg;
+  pass_cfg.num_layers = 1;
+  pass_cfg.include_gemv = false;
+
+  const BatchStats ind = DecodePass(batch, pass_cfg, cfg).run();
+  pass_cfg.mode = scenario::ExecutionMode::kCoScheduled;
+  const BatchStats cos = DecodePass(batch, pass_cfg, cfg).run();
+
+  EXPECT_GT(cos.total.cycles, ind.total.cycles);
+
+  // One fused System per layer-stage wave.
+  ASSERT_EQ(cos.per_op.size(), 2u);  // L0/logit, L0/attend
+  EXPECT_EQ(cos.per_op[0].name, "L0/logitx4");
+  EXPECT_EQ(cos.per_op[1].name, "L0/attendx4");
+
+  // Per-request attribution from the shared run is complete: the slices'
+  // DRAM traffic adds up to the machine totals, every request ran all of
+  // its thread blocks, and every request was genuinely in flight.
+  std::uint64_t reads = 0, writes = 0, tbs = 0, instrs = 0;
+  for (const scenario::RequestStats& r : cos.per_request) {
+    reads += r.slice.dram_reads;
+    writes += r.slice.dram_writes;
+    tbs += r.slice.thread_blocks;
+    instrs += r.slice.instructions;
+    EXPECT_GT(r.slice.cycles_in_flight, 0u);
+    // Resident time equals the summed wave durations for every request.
+    EXPECT_EQ(r.stats.cycles, cos.total.cycles);
+  }
+  EXPECT_EQ(reads, cos.total.dram_reads);
+  EXPECT_EQ(writes, cos.total.dram_writes);
+  EXPECT_EQ(tbs, cos.total.thread_blocks);
+  EXPECT_EQ(instrs, cos.total.instructions);
+}
+
+TEST(DecodePass, CoScheduledDeterministicAcrossRuns) {
+  const SimConfig cfg = small_config();
+  DecodePassConfig pass_cfg;
+  pass_cfg.num_layers = 2;
+  pass_cfg.include_gemv = false;
+  pass_cfg.mode = scenario::ExecutionMode::kCoScheduled;
+  const DecodePass pass(RequestBatch::with_seq_lens(tiny_model(), {128, 256}),
+                        pass_cfg, cfg);
+
+  const BatchStats a = pass.run();
+  const BatchStats b = pass.run();
+  EXPECT_EQ(a.total.cycles, b.total.cycles);
+  EXPECT_EQ(a.total.counters.counters(), b.total.counters.counters());
+  ASSERT_EQ(a.per_request.size(), b.per_request.size());
+  for (std::size_t i = 0; i < a.per_request.size(); ++i) {
+    EXPECT_EQ(a.per_request[i].slice.cycles_in_flight,
+              b.per_request[i].slice.cycles_in_flight);
+    EXPECT_EQ(a.per_request[i].slice.dram_reads,
+              b.per_request[i].slice.dram_reads);
+    EXPECT_EQ(a.per_request[i].slice.llc_hits, b.per_request[i].slice.llc_hits);
+  }
+}
+
 TEST(SimStatsAccumulate, RecomputesDerivedMetrics) {
   const SimConfig cfg = small_config();
   const Workload wl = Workload::logit(tiny_model(), 128, cfg);

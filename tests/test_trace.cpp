@@ -5,6 +5,7 @@
 #include <set>
 #include <sstream>
 
+#include "trace/composite.hpp"
 #include "trace/mapper.hpp"
 #include "trace/trace_io.hpp"
 #include "trace/tracegen.hpp"
@@ -216,6 +217,40 @@ TEST(TraceIo, RoundTrip) {
   }
 }
 
+// A fused multi-request trace keeps its request/operator provenance across
+// a write/read round trip (v2 headers), so replayed traces stay usable for
+// co-scheduled simulation and per-request attribution.
+TEST(TraceIo, RoundTripPreservesRequestProvenance) {
+  ModelShape model = ModelShape::llama3_70b();
+  model.num_kv_heads = 1;
+  model.group_size = 2;
+  Mapping m;
+  m.l_tile = 32;
+  CompositeTbSource src(FuseOrder::kRoundRobin);
+  src.add(4, shift_to_slot(OperatorSpec::logit(model, 64), 0), m);
+  src.add(9, shift_to_slot(OperatorSpec::logit(model, 64), 1), m);
+
+  std::stringstream ss;
+  write_trace(ss, src);
+  const auto replay = read_trace(ss);
+  ASSERT_EQ(replay->num_tbs(), src.num_tbs());
+  for (std::uint64_t t = 0; t < src.num_tbs(); ++t) {
+    EXPECT_EQ(replay->tb(t).request_id, src.tb(t).request_id);
+    EXPECT_EQ(replay->tb(t).source_op, src.tb(t).source_op);
+  }
+}
+
+// v1 traces (five-field tb headers) still parse; provenance defaults to 0.
+TEST(TraceIo, ReadsLegacyV1Headers) {
+  std::stringstream v1(
+      "# llamcat-trace v1\ntb 0 1 2 0 32\nC 3\nend\n");
+  const auto replay = read_trace(v1);
+  ASSERT_EQ(replay->num_tbs(), 1u);
+  EXPECT_EQ(replay->tb(0).h, 1u);
+  EXPECT_EQ(replay->tb(0).request_id, 0u);
+  EXPECT_EQ(replay->tb(0).source_op, 0u);
+}
+
 TEST(TraceIo, RejectsMalformedInput) {
   std::stringstream bad1("not a trace\n");
   EXPECT_THROW(read_trace(bad1), std::runtime_error);
@@ -225,6 +260,9 @@ TEST(TraceIo, RejectsMalformedInput) {
   EXPECT_THROW(read_trace(bad3), std::runtime_error);
   std::stringstream bad4("# llamcat-trace v1\ntb 0 0 0 0 32\nL 40\n");
   EXPECT_THROW(read_trace(bad4), std::runtime_error);  // unterminated
+  // A v2 header truncated to v1's five fields is malformed, not a fallback.
+  std::stringstream bad5("# llamcat-trace v2\ntb 0 0 0 0 32\nC 1\nend\n");
+  EXPECT_THROW(read_trace(bad5), std::runtime_error);
 }
 
 }  // namespace

@@ -45,6 +45,31 @@ class SyntheticSource final : public ITbSource {
   std::uint32_t compute_;
 };
 
+// A source whose TBs carry explicit request tags (as CompositeTbSource
+// produces); tags are assigned from `request_ids` in TB order.
+class TaggedSource final : public ITbSource {
+ public:
+  explicit TaggedSource(const std::vector<std::uint32_t>& request_ids) {
+    for (std::size_t i = 0; i < request_ids.size(); ++i) {
+      TbDesc d;
+      d.id = static_cast<TbId>(i);
+      d.l_begin = 0;
+      d.l_end = 1;
+      d.request_id = request_ids[i];
+      tbs_.push_back(d);
+    }
+  }
+  std::uint64_t num_tbs() const override { return tbs_.size(); }
+  const TbDesc& tb(std::uint64_t i) const override { return tbs_[i]; }
+  std::uint32_t instr_count(std::uint64_t) const override { return 1; }
+  Instr instr_at(std::uint64_t, std::uint32_t) const override {
+    return Instr{Instr::Kind::kCompute, 0, 1};
+  }
+
+ private:
+  std::vector<TbDesc> tbs_;
+};
+
 CoreConfig small_core() {
   CoreConfig cfg;
   cfg.num_cores = 2;
@@ -101,6 +126,93 @@ TEST(TbScheduler, StealsFromMostLoadedWhenEmpty) {
   EXPECT_EQ(*sched.next_tb(1), 4u);
   EXPECT_EQ(*sched.next_tb(1), 5u);
   EXPECT_FALSE(sched.next_tb(1).has_value());
+}
+
+// Regression: remaining_for used to index queues_[core] even in kGlobalQueue
+// mode, where queues_ has size 1 - an out-of-bounds read for core > 0. It
+// now reports the shared queue depth for every core.
+TEST(TbScheduler, GlobalQueueRemainingForAnyCore) {
+  SyntheticSource src(6, 1);
+  TbScheduler sched(src, 4, TbDispatch::kGlobalQueue);
+  EXPECT_EQ(sched.remaining_for(0), 6u);
+  EXPECT_EQ(sched.remaining_for(3), 6u);
+  sched.next_tb(2);
+  EXPECT_EQ(sched.remaining_for(0), 5u);
+  EXPECT_EQ(sched.remaining_for(3), 5u);
+}
+
+TEST(TbScheduler, TracksPerRequestDispatchAndCompletion) {
+  TaggedSource src({7, 7, 7, 3, 3, 3});
+  TbScheduler sched(src, 2, TbDispatch::kGlobalQueue);
+  ASSERT_EQ(sched.num_requests(), 2u);
+  EXPECT_EQ(sched.request_id_at(0), 7u);
+  EXPECT_EQ(sched.request_id_at(1), 3u);
+  EXPECT_EQ(sched.total_of(0), 3u);
+  EXPECT_EQ(sched.total_of(1), 3u);
+  EXPECT_EQ(sched.request_index_of_tb(0), 0u);
+  EXPECT_EQ(sched.request_index_of_tb(4), 1u);
+
+  sched.next_tb(0);  // tb 0 (request 7)
+  sched.next_tb(1);  // tb 1 (request 7)
+  EXPECT_EQ(sched.dispatched_of(0), 2u);
+  EXPECT_EQ(sched.dispatched_of(1), 0u);
+  sched.mark_complete(0);
+  sched.mark_complete(3);
+  EXPECT_EQ(sched.completed_of(0), 1u);
+  EXPECT_EQ(sched.completed_of(1), 1u);
+  EXPECT_EQ(sched.completed(), 2u);
+  // mark_complete no longer ignores tb_idx: completing a second block of
+  // request 3 moves only that request's counter.
+  sched.mark_complete(4);
+  EXPECT_EQ(sched.completed_of(0), 1u);
+  EXPECT_EQ(sched.completed_of(1), 2u);
+}
+
+TEST(TbScheduler, DoubleCompleteAssertsInDebug) {
+  TaggedSource src({0, 0});
+  TbScheduler sched(src, 1, TbDispatch::kGlobalQueue);
+  sched.next_tb(0);
+  sched.mark_complete(0);
+  EXPECT_DEBUG_DEATH(sched.mark_complete(0), "completed twice");
+}
+
+TEST(TbScheduler, InterleaveRoundRobinsAcrossRequests) {
+  // Concatenated per-request TBs: [0,0,0,1,1,1]. Interleave dispatch must
+  // alternate requests in the global order: 0,3,1,4,2,5.
+  TaggedSource src({0, 0, 0, 1, 1, 1});
+  TbScheduler sched(src, 1, TbDispatch::kGlobalQueue,
+                    RequestDispatch::kInterleave);
+  EXPECT_EQ(*sched.next_tb(0), 0u);
+  EXPECT_EQ(*sched.next_tb(0), 3u);
+  EXPECT_EQ(*sched.next_tb(0), 1u);
+  EXPECT_EQ(*sched.next_tb(0), 4u);
+  EXPECT_EQ(*sched.next_tb(0), 2u);
+  EXPECT_EQ(*sched.next_tb(0), 5u);
+}
+
+TEST(TbScheduler, PartitionedPinsRequestsToCoreGroups) {
+  // 2 requests on 4 cores: request 0 owns cores {0,1}, request 1 owns
+  // {2,3}. Dispatch and stealing both stay inside the owning group.
+  TaggedSource src({0, 0, 0, 0, 1, 1, 1, 1});
+  TbScheduler sched(src, 4, TbDispatch::kPartitionedStealing,
+                    RequestDispatch::kPartitioned);
+  for (CoreId core : {CoreId{0}, CoreId{1}}) {
+    const auto tb = sched.next_tb(core);
+    ASSERT_TRUE(tb.has_value());
+    EXPECT_EQ(src.tb(*tb).request_id, 0u);
+  }
+  for (CoreId core : {CoreId{2}, CoreId{3}}) {
+    const auto tb = sched.next_tb(core);
+    ASSERT_TRUE(tb.has_value());
+    EXPECT_EQ(src.tb(*tb).request_id, 1u);
+  }
+  // Drain request 0's group; core 0 must not steal request 1's blocks.
+  ASSERT_TRUE(sched.next_tb(0).has_value());
+  ASSERT_TRUE(sched.next_tb(1).has_value());
+  EXPECT_FALSE(sched.next_tb(0).has_value());
+  EXPECT_EQ(sched.stolen(), 0u);
+  // Request 1's group still has its remaining blocks.
+  EXPECT_TRUE(sched.next_tb(2).has_value());
 }
 
 TEST(VectorCore, RunsTbsToCompletionWithImmediateFills) {

@@ -6,6 +6,7 @@
 //   llamcat_cli --op=gemv --gemv-rows=16384 --json=run.json
 //   llamcat_cli --op=decode --seq=4096 --dispatch=wave
 //   llamcat_cli --op=batch --seqs=256,512 --layers=2 --policy=dynmg+BMA
+//   llamcat_cli --op=batch --mode=coscheduled --requests=4 --seq=512
 #include <fstream>
 #include <iostream>
 #include <vector>
@@ -67,12 +68,14 @@ int run_batch(const CliOptions& opt) {
   scenario::DecodePassConfig pass_cfg;
   pass_cfg.num_layers = opt.batch_layers;
   pass_cfg.include_gemv = opt.batch_gemv;
+  pass_cfg.mode = opt.batch_mode;
+  pass_cfg.interleave = opt.batch_interleave;
 
   const scenario::DecodePass pass(batch, pass_cfg, opt.cfg);
   std::cout << "machine: " << opt.cfg.summary() << "\n"
             << "batch:   " << batch.size() << " requests, "
             << pass_cfg.num_layers << " layers, " << pass.schedule().size()
-            << " operator runs\n\n";
+            << " operator runs, mode=" << to_string(pass_cfg.mode) << "\n\n";
 
   const scenario::BatchStats stats = pass.run(0, opt.verbose);
   stats.print(std::cout);
