@@ -45,8 +45,9 @@ ModelShape bench_model() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   print_header("Ablation: co-scheduled contention vs independent sum");
+  JsonRows json;
 
   const std::uint64_t seq = paper_scale() ? 2048 : 256;
   std::vector<std::uint32_t> batch_sizes = {1, 2, 4, 8};
@@ -93,6 +94,16 @@ int main() {
                  std::to_string(cos.total.cycles), TextTable::num(slowdown),
                  TextTable::num(cos.total.l2_hit_rate),
                  TextTable::num(spread)});
+      json.begin_row()
+          .field("bench", "ablation_coschedule")
+          .field("policy", p.name)
+          .field("batch", static_cast<std::uint64_t>(n))
+          .field("seq", seq)
+          .field("independent_cycles", ind.total.cycles)
+          .field("coscheduled_cycles", cos.total.cycles)
+          .field("slowdown", slowdown)
+          .field("cos_l2_hit_rate", cos.total.l2_hit_rate)
+          .field("request_spread", spread);
     }
   }
   t.print(std::cout);
@@ -100,5 +111,5 @@ int main() {
   std::cout << "\nslowdown > 1: cross-request LLC/DRAM interference the "
                "independent sum hides.\nbatch 1 is the sanity anchor: both "
                "modes simulate the identical machine, so slowdown = 1.\n";
-  return 0;
+  return json.write_if_requested(argc, argv) ? 0 : 1;
 }

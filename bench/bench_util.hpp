@@ -2,8 +2,11 @@
 #pragma once
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/math_util.hpp"
@@ -11,6 +14,73 @@
 #include "sim/experiment.hpp"
 
 namespace llamcat::bench {
+
+/// Machine-readable bench output: a flat JSON array of measurement rows,
+/// written next to the human tables so CI can archive the perf trajectory
+/// across PRs. Usage:
+///   JsonRows json;
+///   json.begin_row().field("policy", name).field("cycles", cycles);
+///   ...
+///   json.write_if_requested(argc, argv);  // honors --json=PATH
+class JsonRows {
+ public:
+  JsonRows& begin_row() {
+    rows_.emplace_back();
+    return *this;
+  }
+  JsonRows& field(std::string_view key, std::string_view value) {
+    std::ostringstream os;
+    os << '"' << value << '"';  // bench keys/values never need escaping
+    return raw(key, os.str());
+  }
+  JsonRows& field(std::string_view key, double value) {
+    std::ostringstream os;
+    os << value;
+    return raw(key, os.str());
+  }
+  JsonRows& field(std::string_view key, std::uint64_t value) {
+    return raw(key, std::to_string(value));
+  }
+
+  void write(std::ostream& os) const {
+    os << "[\n";
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      os << "  {" << rows_[i] << (i + 1 < rows_.size() ? "},\n" : "}\n");
+    }
+    os << "]\n";
+  }
+
+  /// Scans argv for --json=PATH and writes the rows there when present.
+  /// Returns false (after a diagnostic) only if the file cannot be opened.
+  bool write_if_requested(int argc, char** argv) const {
+    for (int i = 1; i < argc; ++i) {
+      const std::string_view arg(argv[i]);
+      if (arg.rfind("--json=", 0) != 0) continue;
+      const std::string path(arg.substr(7));
+      std::ofstream out(path);
+      if (!out) {
+        std::cerr << "cannot open " << path << "\n";
+        return false;
+      }
+      write(out);
+      std::cout << "wrote " << path << "\n";
+    }
+    return true;
+  }
+
+ private:
+  JsonRows& raw(std::string_view key, const std::string& value) {
+    std::string& row = rows_.back();
+    if (!row.empty()) row += ", ";
+    row += '"';
+    row += key;
+    row += "\": ";
+    row += value;
+    return *this;
+  }
+
+  std::vector<std::string> rows_;
+};
 
 /// True when LLAMCAT_PAPER_SCALE=1: run the paper's full problem sizes
 /// (32K sequences, both models everywhere). The default is a reduced scale

@@ -80,6 +80,7 @@ std::string to_string(ExecutionMode m) {
   switch (m) {
     case ExecutionMode::kIndependent: return "independent";
     case ExecutionMode::kCoScheduled: return "coscheduled";
+    case ExecutionMode::kContinuous: return "continuous";
   }
   return "?";
 }

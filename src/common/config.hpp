@@ -104,11 +104,19 @@ enum class RequestDispatch : std::uint8_t {
 
 /// How the scenario layer executes a multi-request decode batch: every
 /// operator in its own private System with stats summed (kIndependent, the
-/// optimistic no-contention bound) vs one fused System per layer-stage wave
-/// in which co-resident requests contend for the shared LLC (kCoScheduled).
-/// Lives in the shared vocabulary header so the CLI option layer does not
-/// depend upward on the scenario layer.
-enum class ExecutionMode : std::uint8_t { kIndependent, kCoScheduled };
+/// optimistic no-contention bound), one fused System per layer-stage wave
+/// in which co-resident requests contend for the shared LLC (kCoScheduled),
+/// or one long-lived streaming System per decode pass in which each request
+/// flows into its next operator the moment its own previous one completes
+/// and new requests are admitted mid-pass by arrival cycle (kContinuous,
+/// vLLM-style iteration-level batching). Lives in the shared vocabulary
+/// header so the CLI option layer does not depend upward on the scenario
+/// layer.
+enum class ExecutionMode : std::uint8_t {
+  kIndependent,
+  kCoScheduled,
+  kContinuous,
+};
 
 /// Thread-throttling controller (paper §4.2 + baselines §6.2.3).
 enum class ThrottlePolicy : std::uint8_t {

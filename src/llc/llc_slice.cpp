@@ -63,6 +63,12 @@ void LlcSlice::set_tagger(const IRequestTagger* tagger) {
   by_req_.assign(tagger_ ? tagger_->num_requests() : 0, ReqCounters{});
 }
 
+void LlcSlice::sync_tagger_requests() {
+  if (tagger_ != nullptr && by_req_.size() < tagger_->num_requests()) {
+    by_req_.resize(tagger_->num_requests());
+  }
+}
+
 LlcSlice::ReqCounters* LlcSlice::req_counters_of(Addr line_addr) {
   if (tagger_ == nullptr) return nullptr;
   const std::uint32_t idx = tagger_->request_index_of(line_addr);

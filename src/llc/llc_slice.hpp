@@ -67,6 +67,10 @@ class LlcSlice {
   /// Pass nullptr to disable. The tagger must outlive the slice.
   void set_tagger(const IRequestTagger* tagger);
 
+  /// Grows the per-request counter array to the tagger's current request
+  /// count (mid-run admission through a dynamic source). Never shrinks.
+  void sync_tagger_requests();
+
   // ---- per-cycle ------------------------------------------------------------
   void tick(Cycle now, DramSystem& dram);
 

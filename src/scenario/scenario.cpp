@@ -1,14 +1,17 @@
 #include "scenario/scenario.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <iomanip>
 #include <iostream>
 #include <ostream>
 #include <stdexcept>
+#include <unordered_map>
 #include <unordered_set>
 #include <utility>
 
 #include "sim/system.hpp"
+#include "trace/dynamic_source.hpp"
 
 namespace llamcat::scenario {
 
@@ -31,6 +34,9 @@ RequestBatch::RequestBatch(ModelShape model, std::vector<RequestSpec> requests)
   for (const RequestSpec& r : requests_) {
     if (r.seq_len == 0) {
       throw std::invalid_argument("RequestBatch: zero seq_len");
+    }
+    if (r.decode_steps == 0) {
+      throw std::invalid_argument("RequestBatch: zero decode_steps");
     }
     if (!ids.insert(r.id).second) {
       throw std::invalid_argument("RequestBatch: duplicate request id " +
@@ -67,7 +73,11 @@ void BatchStats::print(std::ostream& os) const {
   os << "mode: " << to_string(mode) << "\n";
   os << std::left << std::setw(10) << "request" << std::setw(10) << "seq_len"
      << std::setw(14) << "cycles" << std::setw(16) << "tokens/cycle";
-  if (mode == ExecutionMode::kCoScheduled) {
+  if (mode == ExecutionMode::kContinuous) {
+    os << std::setw(10) << "arrival" << std::setw(10) << "admit"
+       << std::setw(12) << "finish" << std::setw(12) << "latency"
+       << std::setw(10) << "dram_rd" << std::setw(10) << "l2_hit";
+  } else if (mode == ExecutionMode::kCoScheduled) {
     os << std::setw(12) << "in_flight" << std::setw(10) << "dram_rd"
        << std::setw(10) << "dram_wr" << std::setw(10) << "l2_hit";
   }
@@ -77,7 +87,13 @@ void BatchStats::print(std::ostream& os) const {
        << std::setw(14) << r.stats.cycles << std::scientific
        << std::setprecision(3) << std::setw(16) << r.tokens_per_cycle()
        << std::defaultfloat;
-    if (mode == ExecutionMode::kCoScheduled) {
+    if (mode == ExecutionMode::kContinuous) {
+      os << std::setw(10) << r.arrival_cycle << std::setw(10) << r.admit_cycle
+         << std::setw(12) << r.finish_cycle << std::setw(12) << r.latency()
+         << std::setw(10) << r.slice.dram_reads << std::fixed
+         << std::setprecision(4) << std::setw(10) << r.slice.l2_hit_rate()
+         << std::defaultfloat;
+    } else if (mode == ExecutionMode::kCoScheduled) {
       os << std::setw(12) << r.slice.cycles_in_flight << std::setw(10)
          << r.slice.dram_reads << std::setw(10) << r.slice.dram_writes
          << std::fixed << std::setprecision(4) << std::setw(10)
@@ -87,6 +103,9 @@ void BatchStats::print(std::ostream& os) const {
   }
   os << "\nbatch totals\n";
   total.print(os, /*include_per_request=*/false);
+  if (mode == ExecutionMode::kContinuous) {
+    os << "makespan          " << makespan << "\n";
+  }
   os << std::scientific << std::setprecision(3) << "tokens/cycle      "
      << tokens_per_cycle() << "\n"
      << std::fixed << std::setprecision(1) << "tokens/s          "
@@ -100,6 +119,15 @@ DecodePass::DecodePass(RequestBatch batch, DecodePassConfig pass_cfg,
   if (pass_cfg_.num_layers == 0) {
     throw std::invalid_argument("DecodePass: zero layers");
   }
+  if (pass_cfg_.mode != ExecutionMode::kContinuous) {
+    for (const RequestSpec& req : batch_.requests()) {
+      if (req.arrival_cycle != 0) {
+        throw std::invalid_argument(
+            "DecodePass: arrival cycles require ExecutionMode::kContinuous "
+            "(the barrier modes have no notion of mid-pass admission)");
+      }
+    }
+  }
   const ModelShape& m = batch_.model();
   const std::uint64_t model_width =
       static_cast<std::uint64_t>(m.num_kv_heads) * m.group_size * m.head_dim;
@@ -110,36 +138,117 @@ DecodePass::DecodePass(RequestBatch batch, DecodePassConfig pass_cfg,
                           : static_cast<std::uint32_t>(model_width);
 
   const std::uint32_t stages_per_layer = pass_cfg_.include_gemv ? 3u : 2u;
-  schedule_.reserve(batch_.size() * pass_cfg_.num_layers * stages_per_layer);
-  std::uint64_t slot = 0;
+  std::size_t total_ops = 0;
   for (const RequestSpec& req : batch_.requests()) {
-    for (std::uint32_t layer = 0; layer < pass_cfg_.num_layers; ++layer) {
-      auto push = [&](StageKind stage, OperatorSpec spec) {
-        ScheduledOp op;
-        op.request_id = req.id;
-        op.layer = layer;
-        op.stage = stage;
-        op.name = "req" + std::to_string(req.id) + "/L" +
-                  std::to_string(layer) + "/" + to_string(stage);
-        op.workload = Workload::from_spec(shift_to_slot(std::move(spec), slot),
-                                          cfg_);
-        schedule_.push_back(std::move(op));
-      };
-      push(StageKind::kLogit, OperatorSpec::logit(m, req.seq_len));
-      push(StageKind::kAttend, OperatorSpec::attend(m, req.seq_len));
-      if (pass_cfg_.include_gemv) {
-        push(StageKind::kGemv, OperatorSpec::gemv(gemv_rows, gemv_cols));
+    total_ops += static_cast<std::size_t>(req.decode_steps) *
+                 pass_cfg_.num_layers * stages_per_layer;
+  }
+  schedule_.reserve(total_ops);
+  std::uint64_t req_pos = 0;
+  for (const RequestSpec& req : batch_.requests()) {
+    for (std::uint32_t step = 0; step < req.decode_steps; ++step) {
+      // Decode step s extends a KV cache the previous steps grew to
+      // seq_len + s tokens, reusing the request's per-layer address slot so
+      // the resident KV lines stay hot across steps. The operator mapper
+      // tiles L at cache-line granularity, so the grown length is rounded
+      // up to a whole line of elements - block-granular KV allocation.
+      const std::uint64_t granule = kLineBytes / m.dtype_bytes;
+      const std::uint64_t step_seq =
+          step == 0 ? req.seq_len
+                    : (req.seq_len + step + granule - 1) / granule * granule;
+      for (std::uint32_t layer = 0; layer < pass_cfg_.num_layers; ++layer) {
+        const std::uint64_t slot = req_pos * pass_cfg_.num_layers + layer;
+        auto push = [&](StageKind stage, OperatorSpec spec) {
+          ScheduledOp op;
+          op.request_id = req.id;
+          op.step = step;
+          op.layer = layer;
+          op.stage = stage;
+          op.name = "req" + std::to_string(req.id);
+          if (step > 0) {
+            op.name += "/s";
+            op.name += std::to_string(step);
+          }
+          op.name += "/L";
+          op.name += std::to_string(layer);
+          op.name += "/";
+          op.name += to_string(stage);
+          op.workload = Workload::from_spec(
+              shift_to_slot(std::move(spec), slot), cfg_);
+          schedule_.push_back(std::move(op));
+        };
+        push(StageKind::kLogit, OperatorSpec::logit(m, step_seq));
+        push(StageKind::kAttend, OperatorSpec::attend(m, step_seq));
+        if (pass_cfg_.include_gemv) {
+          push(StageKind::kGemv, OperatorSpec::gemv(gemv_rows, gemv_cols));
+        }
       }
-      ++slot;
     }
+    ++req_pos;
   }
 }
 
 BatchStats DecodePass::run(std::size_t threads, bool verbose) const {
-  return pass_cfg_.mode == ExecutionMode::kCoScheduled
-             ? run_coscheduled(verbose)
-             : run_independent(threads, verbose);
+  switch (pass_cfg_.mode) {
+    case ExecutionMode::kCoScheduled: return run_coscheduled(verbose);
+    case ExecutionMode::kContinuous: return run_continuous(verbose);
+    case ExecutionMode::kIndependent: break;
+  }
+  return run_independent(threads, verbose);
 }
+
+namespace {
+
+/// id -> per_request index for O(1) per-request aggregation (the batches
+/// here are small, but passes with many decode steps fold thousands of
+/// per-op results).
+std::unordered_map<std::uint32_t, std::size_t> request_index_map(
+    const std::vector<RequestStats>& per_request) {
+  std::unordered_map<std::uint32_t, std::size_t> map;
+  map.reserve(per_request.size());
+  for (std::size_t i = 0; i < per_request.size(); ++i) {
+    map.emplace(per_request[i].id, i);
+  }
+  return map;
+}
+
+/// Recomputes a fused-run request's derived stats from its accumulated
+/// slice. `rs.stats.cycles` (resident time / latency, mode-defined) must
+/// already be set. Shared by the co-scheduled and continuous folds.
+void finalize_request_stats(RequestStats& rs, double core_hz) {
+  rs.stats.core_hz = core_hz;
+  rs.stats.instructions = rs.slice.instructions;
+  rs.stats.thread_blocks = rs.slice.thread_blocks;
+  rs.stats.dram_reads = rs.slice.dram_reads;
+  rs.stats.dram_writes = rs.slice.dram_writes;
+  rs.stats.counters.set("llc.lookups", rs.slice.llc_lookups);
+  rs.stats.counters.set("llc.hits", rs.slice.llc_hits);
+  rs.stats.counters.set("llc.misses", rs.slice.llc_misses);
+  rs.stats.counters.set("llc.mshr_hits", rs.slice.llc_mshr_hits);
+  rs.stats.counters.set("req.cycles_in_flight", rs.slice.cycles_in_flight);
+  rs.stats.l2_hit_rate = rs.slice.l2_hit_rate();
+  rs.stats.mshr_hit_rate =
+      rs.slice.llc_misses
+          ? static_cast<double>(rs.slice.llc_mshr_hits) /
+                static_cast<double>(rs.slice.llc_misses)
+          : 0.0;
+  rs.stats.ipc = rs.stats.cycles
+                     ? static_cast<double>(rs.stats.instructions) /
+                           static_cast<double>(rs.stats.cycles)
+                     : 0.0;
+}
+
+/// Shifts a shared run's per-request flight landmarks onto the stream
+/// timeline at `base`, in place, so both the per-request folds and the
+/// batch-total accumulation see stream-time values.
+void shift_slices(SimStats& run, Cycle base) {
+  for (RequestSlice& sl : run.per_request) {
+    if (sl.first_dispatch_cycle != 0) sl.first_dispatch_cycle += base;
+    if (sl.last_complete_cycle != 0) sl.last_complete_cycle += base;
+  }
+}
+
+}  // namespace
 
 BatchStats DecodePass::run_independent(std::size_t threads,
                                        bool verbose) const {
@@ -158,20 +267,18 @@ BatchStats DecodePass::run_independent(std::size_t threads,
     RequestStats rs;
     rs.id = req.id;
     rs.seq_len = req.seq_len;
+    rs.decode_steps = req.decode_steps;
     out.per_request.push_back(rs);
   }
+  const auto by_id = request_index_map(out.per_request);
   // Aggregation walks schedule order, so the result is independent of which
   // worker thread finished each simulation first.
   for (std::size_t i = 0; i < schedule_.size(); ++i) {
-    const std::uint32_t rid = schedule_[i].request_id;
-    for (RequestStats& rs : out.per_request) {
-      if (rs.id == rid) {
-        rs.stats.accumulate(out.per_op[i].stats);
-        break;
-      }
-    }
+    out.per_request[by_id.at(schedule_[i].request_id)].stats.accumulate(
+        out.per_op[i].stats);
     out.total.accumulate(out.per_op[i].stats);
   }
+  out.makespan = out.total.cycles;
   return out;
 }
 
@@ -179,77 +286,291 @@ BatchStats DecodePass::run_coscheduled(bool verbose) const {
   BatchStats out;
   out.mode = ExecutionMode::kCoScheduled;
   out.per_request.reserve(batch_.size());
+  std::uint32_t max_steps = 0;
   for (const RequestSpec& req : batch_.requests()) {
     RequestStats rs;
     rs.id = req.id;
     rs.seq_len = req.seq_len;
+    rs.decode_steps = req.decode_steps;
     rs.slice.request_id = req.id;
     out.per_request.push_back(rs);
+    max_steps = std::max(max_steps, req.decode_steps);
   }
+  const auto by_id = request_index_map(out.per_request);
 
-  // One fused System per layer-stage wave: each wave holds the same stage of
-  // every request (stages of one request are dependent, same-stage operators
-  // of different requests are not), so co-resident requests contend for the
-  // shared LLC while the Logit -> Attend -> GEMV chain stays sequential.
+  // One fused System per step-layer-stage wave: each wave holds the same
+  // stage of every request still decoding at that step (stages of one
+  // request are dependent, same-stage operators of different requests are
+  // not), so co-resident requests contend for the shared LLC while each
+  // request's Logit -> Attend -> GEMV chain stays sequential. Every wave is
+  // a barrier: the machine drains before the next wave starts.
   std::vector<StageKind> stages{StageKind::kLogit, StageKind::kAttend};
   if (pass_cfg_.include_gemv) stages.push_back(StageKind::kGemv);
 
-  for (std::uint32_t layer = 0; layer < pass_cfg_.num_layers; ++layer) {
-    for (const StageKind stage : stages) {
-      CompositeTbSource src(pass_cfg_.interleave);
-      for (const ScheduledOp& op : schedule_) {
-        if (op.layer == layer && op.stage == stage) {
+  // Bucket the schedule by (step, layer, stage) once - StageKind values
+  // match the `stages` order - so wave assembly is linear in the schedule
+  // instead of rescanning it per wave.
+  const std::size_t nstages = stages.size();
+  std::vector<std::vector<std::size_t>> wave_ops(
+      static_cast<std::size_t>(max_steps) * pass_cfg_.num_layers * nstages);
+  for (std::size_t i = 0; i < schedule_.size(); ++i) {
+    const ScheduledOp& op = schedule_[i];
+    wave_ops[(static_cast<std::size_t>(op.step) * pass_cfg_.num_layers +
+              op.layer) *
+                 nstages +
+             static_cast<std::size_t>(op.stage)]
+        .push_back(i);
+  }
+
+  Cycle base = 0;  // stream cycle where the current wave starts
+  std::size_t wave_idx = 0;
+  for (std::uint32_t step = 0; step < max_steps; ++step) {
+    for (std::uint32_t layer = 0; layer < pass_cfg_.num_layers; ++layer) {
+      for (const StageKind stage : stages) {
+        CompositeTbSource src(pass_cfg_.interleave);
+        for (const std::size_t i : wave_ops[wave_idx++]) {
+          const ScheduledOp& op = schedule_[i];
           src.add(op.request_id, op.workload.op, op.workload.mapping);
         }
-      }
-      std::string name = "L";
-      name += std::to_string(layer);
-      name += "/";
-      name += to_string(stage);
-      name += "x";
-      name += std::to_string(src.num_ops());
-      if (verbose) std::cerr << "[coscheduled] " << name << "\n";
+        std::string name;
+        if (max_steps > 1) {
+          name += "s";
+          name += std::to_string(step);
+          name += "/";
+        }
+        name += "L";
+        name += std::to_string(layer);
+        name += "/";
+        name += to_string(stage);
+        name += "x";
+        name += std::to_string(src.num_ops());
+        if (verbose) std::cerr << "[coscheduled] " << name << "\n";
 
-      System sys(cfg_, src, &src);
-      const auto t0 = std::chrono::steady_clock::now();
-      SimStats wave = sys.run();
-      const std::chrono::duration<double> dt =
-          std::chrono::steady_clock::now() - t0;
+        System sys(cfg_, src, &src);
+        const auto t0 = std::chrono::steady_clock::now();
+        SimStats wave = sys.run();
+        const std::chrono::duration<double> dt =
+            std::chrono::steady_clock::now() - t0;
 
-      for (const RequestSlice& sl : wave.per_request) {
-        for (RequestStats& rs : out.per_request) {
-          if (rs.id != sl.request_id) continue;
+        shift_slices(wave, base);
+        for (const RequestSlice& sl : wave.per_request) {
+          RequestStats& rs = out.per_request[by_id.at(sl.request_id)];
           rs.slice.accumulate(sl);
           // Resident time: a co-scheduled request occupies the machine for
           // the whole wave, so its latency grows by the wave's duration.
           rs.stats.cycles += wave.cycles;
-          rs.stats.core_hz = wave.core_hz;
-          rs.stats.instructions += sl.instructions;
-          rs.stats.thread_blocks += sl.thread_blocks;
-          rs.stats.dram_reads += sl.dram_reads;
-          rs.stats.dram_writes += sl.dram_writes;
-          rs.stats.counters.set("llc.lookups", rs.slice.llc_lookups);
-          rs.stats.counters.set("llc.hits", rs.slice.llc_hits);
-          rs.stats.counters.set("llc.misses", rs.slice.llc_misses);
-          rs.stats.counters.set("llc.mshr_hits", rs.slice.llc_mshr_hits);
-          rs.stats.counters.set("req.cycles_in_flight",
-                                rs.slice.cycles_in_flight);
-          rs.stats.l2_hit_rate = rs.slice.l2_hit_rate();
-          rs.stats.mshr_hit_rate =
-              rs.slice.llc_misses
-                  ? static_cast<double>(rs.slice.llc_mshr_hits) /
-                        static_cast<double>(rs.slice.llc_misses)
-                  : 0.0;
-          rs.stats.ipc = rs.stats.cycles
-                             ? static_cast<double>(rs.stats.instructions) /
-                                   static_cast<double>(rs.stats.cycles)
-                             : 0.0;
-          break;
+        }
+        base += wave.cycles;
+        out.total.accumulate(wave);
+        out.per_op.push_back(
+            ExperimentResult{name, std::move(wave), dt.count()});
+      }
+    }
+  }
+  for (RequestStats& rs : out.per_request) {
+    finalize_request_stats(rs, out.total.core_hz);
+  }
+  out.makespan = out.total.cycles;
+  return out;
+}
+
+BatchStats DecodePass::run_continuous(bool verbose) const {
+  BatchStats out;
+  out.mode = ExecutionMode::kContinuous;
+  const std::vector<RequestSpec>& reqs = batch_.requests();
+  out.per_request.reserve(reqs.size());
+  for (const RequestSpec& req : reqs) {
+    RequestStats rs;
+    rs.id = req.id;
+    rs.seq_len = req.seq_len;
+    rs.decode_steps = req.decode_steps;
+    rs.arrival_cycle = req.arrival_cycle;
+    rs.slice.request_id = req.id;
+    out.per_request.push_back(rs);
+  }
+  const auto by_id = request_index_map(out.per_request);
+
+  // Per-request operator chains in schedule order (step-major, then layer,
+  // then Logit -> Attend [-> GEMV]).
+  std::vector<std::vector<std::size_t>> chains(reqs.size());
+  for (std::size_t i = 0; i < schedule_.size(); ++i) {
+    chains[by_id.at(schedule_[i].request_id)].push_back(i);
+  }
+
+  struct ReqState {
+    std::size_t cursor = 0;  // next chain op to enqueue
+    bool admitted = false;
+    bool finished = false;
+  };
+  std::vector<ReqState> st(reqs.size());
+
+  // The stream is simulated as a chain of System segments sharing one
+  // timeline (`base` = stream cycle where the current segment starts).
+  // While two or more requests overlap, one segment hosts them all: the
+  // admission hook enqueues a request's next operator the moment its
+  // previous one completes and admits arrivals mid-flight, so the machine
+  // never drains and the whole overlap runs in one long-lived System. A
+  // request *alone* in the machine instead hands off at the drain boundary:
+  // the segment ends and its next operator starts in a fresh System -
+  // exactly a one-request co-scheduled wave, which is what makes the
+  // zero-arrival batch-of-one reproduce kCoScheduled bit for bit.
+  Cycle base = 0;
+  std::size_t seg_id = 0;
+
+  const auto unfinished = [&] {
+    for (const ReqState& s : st) {
+      if (!s.finished) return true;
+    }
+    return false;
+  };
+
+  while (unfinished()) {
+    // Requests startable right now: admitted requests between stages plus
+    // arrivals whose clock has struck. If there are none, the machine is
+    // idle until the next arrival - skip the dead cycles but keep them on
+    // the stream clock.
+    const auto ready_now = [&] {
+      std::vector<std::size_t> ready;
+      for (std::size_t i = 0; i < reqs.size(); ++i) {
+        if (st[i].finished) continue;
+        if (st[i].admitted || reqs[i].arrival_cycle <= base) {
+          ready.push_back(i);
         }
       }
-      out.total.accumulate(wave);
-      out.per_op.push_back(ExperimentResult{name, std::move(wave), dt.count()});
+      return ready;
+    };
+    std::vector<std::size_t> ready = ready_now();
+    if (ready.empty()) {
+      Cycle next_arrival = kNeverCycle;
+      for (std::size_t i = 0; i < reqs.size(); ++i) {
+        if (!st[i].finished && !st[i].admitted) {
+          next_arrival = std::min(next_arrival, reqs[i].arrival_cycle);
+        }
+      }
+      base = next_arrival;  // unfinished implies a pending arrival exists
+      ready = ready_now();
     }
+
+    DynamicTbSource src;
+    const auto enqueue_next = [&](std::size_t i) {
+      const ScheduledOp& op = schedule_[chains[i][st[i].cursor]];
+      src.add(op.request_id, op.workload.op, op.workload.mapping);
+      ++st[i].cursor;
+    };
+    // Segment-local caches, refreshed only when work is committed: each
+    // request's committed TB count and its dense scheduler index (the hook
+    // runs every cycle, so the steady-state check must be plain array
+    // reads, not hash lookups).
+    std::vector<std::uint64_t> seg_enq(reqs.size(), 0);
+    std::vector<std::uint32_t> dense(reqs.size(), kNoRequest);
+
+    for (const std::size_t i : ready) {
+      enqueue_next(i);
+      if (!st[i].admitted) {
+        st[i].admitted = true;
+        out.per_request[i].admit_cycle = base;
+      }
+    }
+    src.commit(pass_cfg_.interleave);
+    for (const std::size_t i : ready) {
+      seg_enq[i] = src.tbs_of_request(reqs[i].id);
+    }
+    System sys(cfg_, src, &src);
+    if (verbose) {
+      std::cerr << "[continuous] segment " << seg_id << " @" << base << ": "
+                << ready.size() << " request(s)\n";
+    }
+
+    const auto hook = [&](System& s, Cycle now) {
+      const Cycle global = base + now;
+      const auto commit_and_refresh = [&](const std::vector<std::size_t>& is) {
+        src.commit(pass_cfg_.interleave);
+        s.inject_work();
+        for (const std::size_t i : is) {
+          seg_enq[i] = src.tbs_of_request(reqs[i].id);
+        }
+      };
+      // 1) Admissions: arrivals land in the live machine mid-flight.
+      std::vector<std::size_t> touched;
+      for (std::size_t i = 0; i < reqs.size(); ++i) {
+        if (!st[i].admitted && !st[i].finished &&
+            reqs[i].arrival_cycle <= global) {
+          enqueue_next(i);
+          st[i].admitted = true;
+          out.per_request[i].admit_cycle = global;
+          touched.push_back(i);
+        }
+      }
+      if (!touched.empty()) commit_and_refresh(touched);
+      // 2) Stage handoff. A request whose current operator just completed
+      // advances (or finishes) eagerly as long as it has company - any
+      // other admitted, unfinished request keeps the machine live, so the
+      // stream never drains (simultaneous completions included: the tied
+      // requests advance together rather than forcing a barrier). A
+      // request *alone* in the machine instead hands off at the drain
+      // boundary: the segment ends and its next operator starts in a
+      // fresh System, exactly like a one-request wave.
+      std::size_t live = 0;
+      for (std::size_t i = 0; i < reqs.size(); ++i) {
+        if (st[i].admitted && !st[i].finished) ++live;
+      }
+      if (live < 2) return;
+      const auto seg_completed = [&](std::size_t i) -> std::uint64_t {
+        if (dense[i] == kNoRequest) {
+          dense[i] = s.scheduler().dense_index_of(reqs[i].id);
+          if (dense[i] == kNoRequest) return 0;
+        }
+        return s.scheduler().completed_of(dense[i]);
+      };
+      touched.clear();
+      for (std::size_t i = 0; i < reqs.size(); ++i) {
+        if (!st[i].admitted || st[i].finished) continue;
+        if (seg_enq[i] == 0 || seg_completed(i) != seg_enq[i]) continue;
+        if (st[i].cursor < chains[i].size()) {
+          enqueue_next(i);
+          touched.push_back(i);
+        } else {
+          st[i].finished = true;
+          out.per_request[i].finish_cycle = global;
+          src.retire_request(reqs[i].id);
+        }
+      }
+      if (!touched.empty()) commit_and_refresh(touched);
+    };
+
+    const auto t0 = std::chrono::steady_clock::now();
+    SimStats seg = sys.run(hook);
+    const std::chrono::duration<double> dt =
+        std::chrono::steady_clock::now() - t0;
+
+    // Drain boundary: requests that ran out of chain with no co-resident
+    // work finish here, with the drain included in their latency (their
+    // final stage ends exactly like a one-request wave).
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+      if (st[i].admitted && !st[i].finished &&
+          st[i].cursor == chains[i].size()) {
+        st[i].finished = true;
+        out.per_request[i].finish_cycle = base + seg.cycles;
+      }
+    }
+    shift_slices(seg, base);
+    for (const RequestSlice& sl : seg.per_request) {
+      out.per_request[by_id.at(sl.request_id)].slice.accumulate(sl);
+    }
+    base += seg.cycles;
+    out.total.accumulate(seg);
+    out.per_op.push_back(ExperimentResult{
+        "seg" + std::to_string(seg_id) + "@" +
+            std::to_string(base - seg.cycles),
+        std::move(seg), dt.count()});
+    ++seg_id;
+  }
+
+  out.makespan = base;
+  for (RequestStats& rs : out.per_request) {
+    // True per-request latency: finish minus arrival, queueing included.
+    rs.stats.cycles = rs.latency();
+    finalize_request_stats(rs, out.total.core_hz);
   }
   return out;
 }

@@ -5,7 +5,7 @@
 // aggregates SimStats into per-request and per-batch totals with
 // tokens-per-cycle throughput.
 //
-// Two execution modes:
+// Three execution modes:
 //  - kIndependent: every operator runs in its own private System (the
 //    thread-pool harness); per-request stats are sums of isolated runs.
 //    Requests never contend - an optimistic upper bound.
@@ -13,7 +13,19 @@
 //    into one CompositeTbSource and run through a single shared System, so
 //    co-resident requests genuinely contend for cores, the shared LLC and
 //    DRAM. Per-request stats come from address-slot attribution of that
-//    shared run (RequestSlice).
+//    shared run (RequestSlice). Every wave is a barrier: a short request
+//    waits for the batch's longest member before its next stage starts.
+//  - kContinuous: one long-lived streaming System per decode pass, fed by a
+//    DynamicTbSource. Each request's next operator is enqueued the moment
+//    its own previous operator's thread blocks complete (while other
+//    requests are still mid-flight), and new requests are admitted mid-pass
+//    at their arrival_cycle - vLLM-style iteration-level batching. A
+//    request alone in the machine hands off stage-to-stage at a full-drain
+//    boundary instead (the engine recycles the System there, identical to
+//    a one-request wave), which makes a zero-arrival batch of one
+//    reproduce kCoScheduled exactly while batches with skewed lengths
+//    stream past the barrier. Stats report true per-request latency
+//    (finish - arrival) plus the batch makespan.
 #pragma once
 
 #include <cstdint>
@@ -29,10 +41,17 @@
 namespace llamcat::scenario {
 
 /// One in-flight decode request: a KV cache of `seq_len` tokens being
-/// extended by one token this pass.
+/// extended by `decode_steps` tokens this pass. `arrival_cycle` is when the
+/// request enters the serving queue (kContinuous admits it mid-pass at that
+/// cycle; the barrier modes require 0 - they have no notion of time before
+/// the batch starts).
 struct RequestSpec {
   std::uint32_t id = 0;
   std::uint64_t seq_len = 4096;
+  Cycle arrival_cycle = 0;
+  /// Tokens decoded this pass; step s runs the layer chain against a KV
+  /// cache grown to seq_len + s.
+  std::uint32_t decode_steps = 1;
 };
 
 /// A set of concurrent decode requests sharing one model shape.
@@ -89,9 +108,10 @@ struct DecodePassConfig {
 /// One operator instance in the pass's schedule.
 struct ScheduledOp {
   std::uint32_t request_id = 0;
+  std::uint32_t step = 0;  // decode step within the request
   std::uint32_t layer = 0;
   StageKind stage = StageKind::kLogit;
-  std::string name;  // "req0/L1/attend"
+  std::string name;  // "req0/L1/attend" ("req0/s1/L1/attend" for step > 0)
   Workload workload;
 };
 
@@ -106,12 +126,27 @@ struct ScheduledOp {
 struct RequestStats {
   std::uint32_t id = 0;
   std::uint64_t seq_len = 0;
+  std::uint32_t decode_steps = 1;
   SimStats stats;
   RequestSlice slice;
 
-  /// One token is produced per request per pass.
+  // Stream-time landmarks (kContinuous only; zero elsewhere). admit_cycle
+  // is when the engine actually enqueued the request's first operator
+  // (>= arrival_cycle when the request arrived at a segment boundary);
+  // finish_cycle is when its last operator completed (its drain boundary
+  // when it finished alone in the machine).
+  Cycle arrival_cycle = 0;
+  Cycle admit_cycle = 0;
+  Cycle finish_cycle = 0;
+
+  /// End-to-end latency in stream time (kContinuous; equals stats.cycles).
+  [[nodiscard]] Cycle latency() const { return finish_cycle - arrival_cycle; }
+
+  /// `decode_steps` tokens are produced per request per pass.
   [[nodiscard]] double tokens_per_cycle() const {
-    return stats.cycles > 0 ? 1.0 / static_cast<double>(stats.cycles) : 0.0;
+    return stats.cycles > 0 ? static_cast<double>(decode_steps) /
+                                  static_cast<double>(stats.cycles)
+                            : 0.0;
   }
 };
 
@@ -124,13 +159,28 @@ struct BatchStats {
   SimStats total;
   std::vector<RequestStats> per_request;
   std::vector<ExperimentResult> per_op;
+  /// Stream cycles from pass start to the last request's finish.
+  /// kContinuous: the true end-to-end makespan including arrival gaps the
+  /// engine skipped over. Barrier modes: equals total.cycles (waves run
+  /// back-to-back; kIndependent's "makespan" is its sequential-equivalent
+  /// sum).
+  Cycle makespan = 0;
+
+  /// Tokens produced this pass (sum of per-request decode steps).
+  [[nodiscard]] std::uint64_t tokens() const {
+    std::uint64_t n = 0;
+    for (const RequestStats& r : per_request) n += r.decode_steps;
+    return n;
+  }
 
   /// Batch throughput: tokens produced this pass over sequential-equivalent
-  /// cycles.
+  /// cycles (barrier modes) or the stream makespan (kContinuous).
   [[nodiscard]] double tokens_per_cycle() const {
-    return total.cycles > 0 ? static_cast<double>(per_request.size()) /
-                                  static_cast<double>(total.cycles)
-                            : 0.0;
+    const Cycle denom =
+        mode == ExecutionMode::kContinuous ? makespan : total.cycles;
+    return denom > 0 ? static_cast<double>(tokens()) /
+                           static_cast<double>(denom)
+                     : 0.0;
   }
 
   /// Per-request table (id, seq_len, cycles, tokens/cycle) followed by the
@@ -159,11 +209,11 @@ class DecodePass {
 
   /// Runs the pass and aggregates. kIndependent routes every scheduled
   /// operator through run_experiments (`threads`-wide, 0 = hardware
-  /// concurrency); kCoScheduled runs one fused System per layer-stage wave
-  /// (waves are sequential; `threads` is ignored). Both modes are
-  /// deterministic for a fixed config: every simulation is single-threaded
-  /// and seeded, and aggregation follows schedule/wave order regardless of
-  /// worker timing.
+  /// concurrency); kCoScheduled runs one fused System per layer-stage wave;
+  /// kContinuous runs the streaming engine (both sequential; `threads` is
+  /// ignored). All modes are deterministic for a fixed config: every
+  /// simulation is single-threaded and seeded, and aggregation follows
+  /// schedule/wave/stream order regardless of worker timing.
   [[nodiscard]] BatchStats run(std::size_t threads = 0,
                                bool verbose = false) const;
 
@@ -171,6 +221,7 @@ class DecodePass {
   [[nodiscard]] BatchStats run_independent(std::size_t threads,
                                            bool verbose) const;
   [[nodiscard]] BatchStats run_coscheduled(bool verbose) const;
+  [[nodiscard]] BatchStats run_continuous(bool verbose) const;
 
   RequestBatch batch_;
   DecodePassConfig pass_cfg_;

@@ -2,6 +2,7 @@
 
 #include <charconv>
 #include <sstream>
+#include <utility>
 
 namespace llamcat {
 
@@ -16,13 +17,16 @@ std::optional<T> parse_uint(std::string_view s) {
   return value;
 }
 
-/// "256,512,1024" -> vector of positive integers; nullopt on any bad entry.
-std::optional<std::vector<std::uint64_t>> parse_uint_list(std::string_view s) {
+/// "256,512,1024" -> vector of integers; nullopt on any bad entry (zero
+/// entries are rejected unless `allow_zero` - arrival cycles may be 0,
+/// sequence lengths and step counts may not).
+std::optional<std::vector<std::uint64_t>> parse_uint_list(
+    std::string_view s, bool allow_zero = false) {
   std::vector<std::uint64_t> out;
   while (!s.empty()) {
     const std::size_t comma = s.find(',');
     const auto v = parse_uint<std::uint64_t>(s.substr(0, comma));
-    if (!v || *v == 0) return std::nullopt;
+    if (!v || (*v == 0 && !allow_zero)) return std::nullopt;
     out.push_back(*v);
     if (comma == std::string_view::npos) break;
     s.remove_prefix(comma + 1);
@@ -96,6 +100,7 @@ std::optional<FuseOrder> fuse_order_from_string(std::string_view s) {
 std::optional<ExecutionMode> execution_mode_from_string(std::string_view s) {
   if (s == "independent") return ExecutionMode::kIndependent;
   if (s == "coscheduled") return ExecutionMode::kCoScheduled;
+  if (s == "continuous") return ExecutionMode::kContinuous;
   return std::nullopt;
 }
 
@@ -171,8 +176,16 @@ batch scenario (--op=batch)
   --mode=M           independent (default): every operator in its own
                      System, stats summed | coscheduled: one fused System
                      per layer-stage wave - requests contend for the
-                     shared LLC, per-request stats by address attribution
-  --interleave=I     coscheduled TB fusing: rr (default) | concat
+                     shared LLC, per-request stats by address attribution |
+                     continuous: one long-lived streaming System - each
+                     request advances the moment its own stage completes,
+                     arrivals are admitted mid-pass, per-request latency
+                     and makespan are reported
+  --arrivals=A,B,..  continuous only: per-request arrival cycles (one per
+                     request, or one value broadcast; default all 0)
+  --steps=N[,M,..]   decode steps (tokens) per request (broadcast like
+                     --arrivals; default 1)
+  --interleave=I     co-admitted TB fusing: rr (default) | concat
   --req-dispatch=R   request-aware core dispatch for fused sources:
                      shared (default) | interleave | partitioned
 
@@ -266,16 +279,48 @@ ParseResult parse_cli_options(const std::vector<std::string_view>& args) {
       opt.gemv_cols = *v;
     } else if (key == "requests") {
       const auto v = parse_uint<std::uint32_t>(val);
-      if (!v || *v == 0) return fail("bad --requests");
+      if (!v || *v == 0) {
+        return fail("bad --requests: \"" + std::string(val) +
+                    "\" (expect a positive request count)");
+      }
       opt.batch_requests = *v;
     } else if (key == "layers") {
       const auto v = parse_uint<std::uint32_t>(val);
-      if (!v || *v == 0) return fail("bad --layers");
+      if (!v || *v == 0) {
+        return fail("bad --layers: \"" + std::string(val) +
+                    "\" (expect a positive layer count)");
+      }
       opt.batch_layers = *v;
     } else if (key == "seqs") {
       const auto v = parse_uint_list(val);
-      if (!v) return fail("bad --seqs (expect e.g. 256,512,1024)");
+      if (!v) {
+        return fail("bad --seqs: \"" + std::string(val) +
+                    "\" (expect a comma-separated list of positive sequence "
+                    "lengths, e.g. 256,512,1024)");
+      }
       opt.batch_seq_lens = *v;
+    } else if (key == "arrivals") {
+      const auto v = parse_uint_list(val, /*allow_zero=*/true);
+      if (!v) {
+        return fail("bad --arrivals: \"" + std::string(val) +
+                    "\" (expect a comma-separated list of arrival cycles, "
+                    "e.g. 0,0,50000; zeros are allowed)");
+      }
+      opt.batch_arrivals = *v;
+    } else if (key == "steps") {
+      const auto v = parse_uint_list(val);
+      if (!v) {
+        return fail("bad --steps: \"" + std::string(val) +
+                    "\" (expect a positive decode-step count or list, e.g. "
+                    "4 or 4,1,2)");
+      }
+      for (const std::uint64_t steps : *v) {
+        if (steps > 0xFFFFFFFFull) {
+          return fail("bad --steps: " + std::to_string(steps) +
+                      " exceeds the 32-bit decode-step limit");
+        }
+      }
+      opt.batch_steps = *v;
     } else if (key == "mode") {
       const auto m = execution_mode_from_string(val);
       if (!m) return fail("unknown mode: " + std::string(val));
@@ -350,6 +395,31 @@ ParseResult parse_cli_options(const std::vector<std::string_view>& args) {
   }
 
   opt.cfg.llc.size_bytes = llc_mb << 20;
+
+  // Cross-field batch-scenario checks: catch arity mismatches and
+  // mode-dependent flags here, with the flag names in the message, instead
+  // of letting the scenario layer throw something less actionable.
+  const std::size_t n_requests = opt.batch_seq_lens.empty()
+                                     ? opt.batch_requests
+                                     : opt.batch_seq_lens.size();
+  if (!opt.batch_arrivals.empty() &&
+      opt.batch_mode != ExecutionMode::kContinuous) {
+    return fail("--arrivals requires --mode=continuous (the barrier modes "
+                "have no notion of mid-pass admission)");
+  }
+  const std::pair<const char*, std::size_t> arities[] = {
+      {"--arrivals", opt.batch_arrivals.size()},
+      {"--steps", opt.batch_steps.size()},
+  };
+  for (const auto& [flag, size] : arities) {
+    if (size > 1 && size != n_requests) {
+      return fail(std::string(flag) + " has " + std::to_string(size) +
+                  " entries but the batch has " + std::to_string(n_requests) +
+                  " requests (pass one entry per request, or a single entry "
+                  "to broadcast)");
+    }
+  }
+
   try {
     opt.cfg.validate();
   } catch (const std::invalid_argument& e) {

@@ -53,10 +53,17 @@ struct CliOptions {
   std::vector<std::uint64_t> batch_seq_lens;
   /// Include the per-layer projection/FFN GEMV stage.
   bool batch_gemv = true;
-  /// Independent per-operator Systems vs one fused System per wave.
+  /// Independent per-operator Systems, one fused System per wave, or the
+  /// long-lived streaming System (continuous batching).
   ExecutionMode batch_mode = ExecutionMode::kIndependent;
-  /// kCoScheduled: TB interleaving across the wave's requests.
+  /// kCoScheduled / kContinuous: TB interleaving across co-admitted ops.
   FuseOrder batch_interleave = FuseOrder::kRoundRobin;
+  /// kContinuous: per-request arrival cycles. Size 1 broadcasts to every
+  /// request; otherwise one entry per request. Empty = all arrive at 0.
+  std::vector<std::uint64_t> batch_arrivals;
+  /// Decode steps (tokens produced) per request; size 1 broadcasts.
+  /// Empty = one step per request.
+  std::vector<std::uint64_t> batch_steps;
   std::string csv_path;      // empty = no CSV export
   std::string json_path;     // empty = no JSON export
   bool print_counters = false;

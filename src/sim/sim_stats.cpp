@@ -6,6 +6,14 @@ namespace llamcat {
 
 void RequestSlice::accumulate(const RequestSlice& other) {
   cycles_in_flight += other.cycles_in_flight;
+  if (other.first_dispatch_cycle != 0 &&
+      (first_dispatch_cycle == 0 ||
+       other.first_dispatch_cycle < first_dispatch_cycle)) {
+    first_dispatch_cycle = other.first_dispatch_cycle;
+  }
+  if (other.last_complete_cycle > last_complete_cycle) {
+    last_complete_cycle = other.last_complete_cycle;
+  }
   instructions += other.instructions;
   thread_blocks += other.thread_blocks;
   llc_lookups += other.llc_lookups;

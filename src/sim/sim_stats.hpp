@@ -20,6 +20,13 @@ struct RequestSlice {
   std::uint32_t request_id = 0;
   /// Cycles between the request's first TB dispatch and last TB completion.
   Cycle cycles_in_flight = 0;
+  /// Cycle of the request's first TB dispatch / last TB completion in this
+  /// run (0 = never dispatched; real dispatches happen at cycle >= 1).
+  /// Callers folding sequential runs into one stream timeline (the
+  /// continuous-batching executor) offset these by the run's base cycle
+  /// before accumulate(), which keeps the earliest first / latest last.
+  Cycle first_dispatch_cycle = 0;
+  Cycle last_complete_cycle = 0;
   std::uint64_t instructions = 0;
   std::uint64_t thread_blocks = 0;
   std::uint64_t llc_lookups = 0;

@@ -173,8 +173,25 @@ bool System::done() const {
   return dram_.idle();
 }
 
-SimStats System::run() {
-  while (!done()) {
+std::uint64_t System::inject_work() {
+  const std::uint64_t added = scheduler_.sync_with_source();
+  if (added == 0) return 0;
+  const std::uint32_t n = scheduler_.num_requests();
+  if (tagger_ != nullptr && req_started_.size() < n) {
+    req_started_.resize(n, false);
+    req_first_dispatch_.resize(n, 0);
+    req_last_complete_.resize(n, 0);
+    req_prev_completed_.resize(n, 0);
+  }
+  for (auto& core : cores_) core->sync_requests(n);
+  for (auto& slice : slices_) slice->sync_tagger_requests();
+  return added;
+}
+
+SimStats System::run(const AdmissionHook& admission) {
+  while (true) {
+    if (admission) admission(*this, cycle_);
+    if (done()) break;
     step();
     if (cycle_ > cfg_.max_cycles) {
       throw std::runtime_error("System::run exceeded max_cycles (deadlock?)");
@@ -250,6 +267,8 @@ SimStats System::collect_stats() const {
       if (req_started_[r] && req_last_complete_[r] >= req_first_dispatch_[r]) {
         rs.cycles_in_flight =
             req_last_complete_[r] - req_first_dispatch_[r] + 1;
+        rs.first_dispatch_cycle = req_first_dispatch_[r];
+        rs.last_complete_cycle = req_last_complete_[r];
       }
       for (const auto& core : cores_) {
         rs.instructions += core->issued_by_request()[r];

@@ -1,8 +1,10 @@
 // Full-system wiring: cores + L1s -> NoC -> LLC slices -> DRAM, plus the
-// throttling controller sampling loop. One System runs one operator to
-// completion, single-threaded and deterministic.
+// throttling controller sampling loop. One System runs one operator (or,
+// through the admission hook, a stream of dynamically admitted operators)
+// to completion, single-threaded and deterministic.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -27,10 +29,27 @@ class System {
   System(const SimConfig& cfg, const ITbSource& source,
          const IRequestTagger* tagger = nullptr);
 
-  /// Runs the operator to completion and returns the collected statistics.
-  /// Throws std::runtime_error if cfg.max_cycles is exceeded (deadlock
-  /// guard).
-  SimStats run();
+  /// Admission callback for continuous batching: invoked once per cycle
+  /// (first at cycle 0, before any work happens; afterwards at cycle c once
+  /// every event of cycle c has settled). The hook may append work to the
+  /// System's dynamic source and publish it with inject_work(). run()
+  /// returns when the machine is drained and the hook's latest invocation
+  /// admitted nothing - the caller decides whether that is the end of the
+  /// stream or a segment boundary.
+  using AdmissionHook = std::function<void(System&, Cycle)>;
+
+  /// Runs to completion and returns the collected statistics. With an
+  /// admission hook, "completion" means drained with nothing newly admitted
+  /// (see AdmissionHook). Throws std::runtime_error if cfg.max_cycles is
+  /// exceeded (deadlock guard).
+  SimStats run(const AdmissionHook& admission = nullptr);
+
+  /// Publishes thread blocks appended to the source since the last call:
+  /// the scheduler deals them into its queues and every per-request
+  /// tracking array (flight observation, core issue counters, LLC slice
+  /// counters) grows to the new request population. Returns the number of
+  /// thread blocks injected.
+  std::uint64_t inject_work();
 
   /// Single-step API for tests.
   void step();

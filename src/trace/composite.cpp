@@ -22,27 +22,20 @@ std::string to_string(FuseOrder o) {
   return "?";
 }
 
-void CompositeTbSource::add(std::uint32_t request_id, OperatorSpec spec,
-                            Mapping mapping) {
-  // Dense request index (order of first appearance).
-  const auto [it, inserted] = request_index_.try_emplace(
-      request_id, static_cast<std::uint32_t>(request_ids_.size()));
-  if (inserted) request_ids_.push_back(request_id);
-  const std::uint32_t dense = it->second;
-
-  // Register every address slot the operator's tensors touch. Slots are the
-  // attribution granule, so two requests sharing one slot would make their
-  // stats indistinguishable - reject that as spec misuse.
+void claim_operator_slots(
+    std::unordered_map<std::uint64_t, std::uint32_t>& owner,
+    std::uint32_t dense, std::uint32_t request_id,
+    const std::vector<std::uint32_t>& request_ids, const OperatorSpec& spec) {
   const auto claim = [&](Addr base, std::uint64_t bytes) {
     const std::uint64_t first = base / kSlotStride;
     const std::uint64_t last = (base + (bytes ? bytes - 1 : 0)) / kSlotStride;
     for (std::uint64_t s = first; s <= last; ++s) {
-      const auto [slot_it, fresh] = slot_owner_.try_emplace(s, dense);
+      const auto [slot_it, fresh] = owner.try_emplace(s, dense);
       if (!fresh && slot_it->second != dense) {
         throw std::invalid_argument(
-            "CompositeTbSource: address slot " + std::to_string(s) +
+            "fused trace source: address slot " + std::to_string(s) +
             " aliased by requests " +
-            std::to_string(request_ids_[slot_it->second]) + " and " +
+            std::to_string(request_ids[slot_it->second]) + " and " +
             std::to_string(request_id));
       }
     }
@@ -51,6 +44,17 @@ void CompositeTbSource::add(std::uint32_t request_id, OperatorSpec spec,
   claim(spec.kv_base, spec.kv_bytes());
   claim(spec.s_base, spec.s_bytes());
   claim(spec.out_base, spec.q_bytes());  // O has Q's shape
+}
+
+void CompositeTbSource::add(std::uint32_t request_id, OperatorSpec spec,
+                            Mapping mapping) {
+  // Dense request index (order of first appearance).
+  const auto [it, inserted] = request_index_.try_emplace(
+      request_id, static_cast<std::uint32_t>(request_ids_.size()));
+  if (inserted) request_ids_.push_back(request_id);
+  const std::uint32_t dense = it->second;
+
+  claim_operator_slots(slot_owner_, dense, request_id, request_ids_, spec);
 
   gens_.push_back(std::make_unique<TraceGen>(std::move(spec), mapping));
   op_request_id_.push_back(request_id);

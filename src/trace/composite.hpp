@@ -28,6 +28,17 @@ inline constexpr Addr kSlotStride = 0x4'0000'0000;  // 16 GiB
 /// Relocates all four tensor bases of `spec` into address slot `slot`.
 OperatorSpec shift_to_slot(OperatorSpec spec, std::uint64_t slot);
 
+/// Registers every address slot `spec`'s tensors touch in `owner`
+/// (slot -> dense request index). Slots are the attribution granule, so two
+/// requests sharing one slot would make their stats indistinguishable;
+/// throws std::invalid_argument if a slot is already owned by a different
+/// dense index (`request_ids` maps dense -> external id for the message).
+/// Shared by CompositeTbSource and DynamicTbSource.
+void claim_operator_slots(
+    std::unordered_map<std::uint64_t, std::uint32_t>& owner,
+    std::uint32_t dense, std::uint32_t request_id,
+    const std::vector<std::uint32_t>& request_ids, const OperatorSpec& spec);
+
 /// How the fused dispatch list interleaves the sub-operators' thread blocks.
 enum class FuseOrder : std::uint8_t {
   kRoundRobin,  // one TB from each operator in turn: requests co-resident

@@ -1,0 +1,108 @@
+#include "trace/dynamic_source.hpp"
+
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace llamcat {
+
+std::uint32_t DynamicTbSource::dense_of(std::uint32_t request_id) {
+  const auto [it, inserted] = request_index_.try_emplace(
+      request_id, static_cast<std::uint32_t>(request_ids_.size()));
+  if (inserted) {
+    request_ids_.push_back(request_id);
+    req_tbs_.push_back(0);
+    req_retired_.push_back(false);
+  }
+  return it->second;
+}
+
+void DynamicTbSource::add(std::uint32_t request_id, OperatorSpec spec,
+                          Mapping mapping) {
+  const std::uint32_t dense = dense_of(request_id);
+  if (req_retired_[dense]) {
+    throw std::invalid_argument("DynamicTbSource: request " +
+                                std::to_string(request_id) +
+                                " was already retired");
+  }
+  claim_operator_slots(slot_owner_, dense, request_id, request_ids_, spec);
+  staged_.push_back(static_cast<std::uint32_t>(gens_.size()));
+  gens_.push_back(std::make_unique<TraceGen>(std::move(spec), mapping));
+  op_request_id_.push_back(request_id);
+}
+
+std::uint64_t DynamicTbSource::commit(FuseOrder order) {
+  std::uint64_t added = 0;
+  for (const std::uint32_t op : staged_) added += gens_[op]->num_tbs();
+  refs_.reserve(refs_.size() + added);
+  tbs_.reserve(tbs_.size() + added);
+
+  const auto append = [this](std::uint32_t op, std::uint64_t local) {
+    const std::uint64_t idx = refs_.size();
+    refs_.push_back(Ref{op, local});
+    TbDesc d = gens_[op]->tb(local);
+    d.id = static_cast<TbId>(idx);
+    d.request_id = op_request_id_[op];
+    d.source_op = op;
+    tbs_.push_back(d);
+    ++req_tbs_[request_index_.at(op_request_id_[op])];
+  };
+
+  if (order == FuseOrder::kConcat) {
+    for (const std::uint32_t op : staged_) {
+      for (std::uint64_t t = 0; t < gens_[op]->num_tbs(); ++t) append(op, t);
+    }
+  } else {  // kRoundRobin: one TB per staged operator in turn, staging order
+    std::vector<std::uint64_t> next(staged_.size(), 0);
+    std::uint64_t placed = 0;
+    while (placed < added) {
+      for (std::size_t i = 0; i < staged_.size(); ++i) {
+        const std::uint32_t op = staged_[i];
+        if (next[i] < gens_[op]->num_tbs()) {
+          append(op, next[i]++);
+          ++placed;
+        }
+      }
+    }
+  }
+  staged_.clear();
+  return added;
+}
+
+void DynamicTbSource::retire_request(std::uint32_t request_id) {
+  const auto it = request_index_.find(request_id);
+  if (it == request_index_.end()) return;
+  req_retired_[it->second] = true;
+  for (std::size_t op = 0; op < gens_.size(); ++op) {
+    if (op_request_id_[op] == request_id) gens_[op].reset();
+  }
+}
+
+bool DynamicTbSource::retired(std::uint32_t request_id) const {
+  const auto it = request_index_.find(request_id);
+  return it != request_index_.end() && req_retired_[it->second];
+}
+
+std::uint64_t DynamicTbSource::tbs_of_request(std::uint32_t request_id) const {
+  const auto it = request_index_.find(request_id);
+  return it == request_index_.end() ? 0 : req_tbs_[it->second];
+}
+
+std::uint32_t DynamicTbSource::instr_count(std::uint64_t tb_idx) const {
+  const Ref& r = refs_[tb_idx];
+  assert(gens_[r.op] && "instruction stream of a retired request");
+  return gens_[r.op]->instr_count(r.local);
+}
+
+Instr DynamicTbSource::instr_at(std::uint64_t tb_idx, std::uint32_t i) const {
+  const Ref& r = refs_[tb_idx];
+  assert(gens_[r.op] && "instruction stream of a retired request");
+  return gens_[r.op]->instr_at(r.local, i);
+}
+
+std::uint32_t DynamicTbSource::request_index_of(Addr line_addr) const {
+  const auto it = slot_owner_.find(line_addr / kSlotStride);
+  return it == slot_owner_.end() ? kNoRequest : it->second;
+}
+
+}  // namespace llamcat

@@ -1,0 +1,99 @@
+// Append-only multi-request trace source for the continuous-batching engine.
+// Unlike CompositeTbSource (whose operator set is fixed before the System is
+// built), a DynamicTbSource grows while a System is running: the streaming
+// executor stages a request's next-stage operator with add() the moment its
+// previous stage completes, commits the staged batch (optionally
+// interleaving simultaneously staged operators round-robin, exactly like
+// CompositeTbSource fuses a wave), and the scheduler picks the new thread
+// blocks up through TbScheduler::sync_with_source(). Committed thread-block
+// indices are stable forever, so in-flight work is never invalidated.
+//
+// Requests occupy disjoint 16 GiB address slots (see kSlotStride), which
+// keeps address -> request attribution exact across admissions and
+// retirements: retire_request() releases a finished request's instruction
+// streams (bounding memory over a long stream) but keeps its slot ownership
+// and dense index, so late writebacks of its lines still attribute
+// correctly.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+#include "trace/composite.hpp"
+#include "trace/mapping.hpp"
+#include "trace/operator.hpp"
+#include "trace/tracegen.hpp"
+
+namespace llamcat {
+
+class DynamicTbSource final : public ITbSource, public IRequestTagger {
+ public:
+  /// Stages one operator owned by `request_id` for the next commit(). The
+  /// spec must already sit in its final address slot (see shift_to_slot);
+  /// staging claims every slot the spec's tensors touch and throws
+  /// std::invalid_argument on cross-request aliasing.
+  void add(std::uint32_t request_id, OperatorSpec spec, Mapping mapping);
+
+  /// Appends the staged operators' thread blocks to the dispatch list and
+  /// returns how many were added. kRoundRobin interleaves one TB per staged
+  /// operator in turn (staging order); kConcat appends operator-major.
+  /// Previously committed TBs keep their indices.
+  std::uint64_t commit(FuseOrder order = FuseOrder::kRoundRobin);
+
+  /// Releases the instruction streams of every operator owned by
+  /// `request_id`. Only valid once all of the request's thread blocks have
+  /// completed; the request's TbDescs, slot ownership and dense index
+  /// survive so attribution of straggler traffic stays exact.
+  void retire_request(std::uint32_t request_id);
+  [[nodiscard]] bool retired(std::uint32_t request_id) const;
+
+  /// Total thread blocks ever committed for `request_id` (0 if unknown).
+  [[nodiscard]] std::uint64_t tbs_of_request(std::uint32_t request_id) const;
+
+  // -- ITbSource ------------------------------------------------------------
+  [[nodiscard]] std::uint64_t num_tbs() const override { return tbs_.size(); }
+  [[nodiscard]] const TbDesc& tb(std::uint64_t idx) const override {
+    return tbs_[idx];
+  }
+  [[nodiscard]] std::uint32_t instr_count(std::uint64_t tb_idx) const override;
+  [[nodiscard]] Instr instr_at(std::uint64_t tb_idx,
+                               std::uint32_t i) const override;
+
+  // -- IRequestTagger -------------------------------------------------------
+  [[nodiscard]] std::uint32_t num_requests() const override {
+    return static_cast<std::uint32_t>(request_ids_.size());
+  }
+  [[nodiscard]] std::uint32_t request_index_of(Addr line_addr) const override;
+  [[nodiscard]] std::uint32_t request_id_at(
+      std::uint32_t index) const override {
+    return request_ids_[index];
+  }
+
+  // -- introspection --------------------------------------------------------
+  [[nodiscard]] std::size_t num_ops() const { return gens_.size(); }
+  [[nodiscard]] std::size_t staged_ops() const { return staged_.size(); }
+
+ private:
+  struct Ref {
+    std::uint32_t op = 0;
+    std::uint64_t local = 0;  // TB index within gens_[op]
+  };
+
+  [[nodiscard]] std::uint32_t dense_of(std::uint32_t request_id);
+
+  std::vector<std::unique_ptr<TraceGen>> gens_;
+  std::vector<std::uint32_t> op_request_id_;  // per op: external request id
+  std::vector<std::uint32_t> staged_;         // op indices awaiting commit
+  std::vector<std::uint32_t> request_ids_;    // dense index -> external id
+  std::unordered_map<std::uint32_t, std::uint32_t> request_index_;
+  std::unordered_map<std::uint64_t, std::uint32_t> slot_owner_;  // -> dense
+  std::vector<std::uint64_t> req_tbs_;   // per dense: committed TB count
+  std::vector<bool> req_retired_;        // per dense
+  std::vector<Ref> refs_;    // global TB idx -> (op, local)
+  std::vector<TbDesc> tbs_;  // with provenance, ids renumbered
+};
+
+}  // namespace llamcat

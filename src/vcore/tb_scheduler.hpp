@@ -13,6 +13,19 @@
 // either interleave co-resident requests across every core or pin each
 // request to its own contiguous core group (stealing stays inside the
 // group, so requests contend only in the shared LLC and DRAM).
+//
+// For growing sources (DynamicTbSource, the continuous-batching engine) the
+// scheduler additionally supports mid-run injection: sync_with_source()
+// pulls thread blocks appended to the source since the last sync, growing
+// the per-request bookkeeping and dealing the new blocks into the queues by
+// the same TbDispatch rules applied to the injected batch. Under
+// RequestDispatch::kPartitioned, a request carved into a core group at
+// construction keeps that group for injected blocks too; requests first
+// seen via injection have no pre-carved group - their blocks are dealt
+// over the cores no group owns (or a single home core when every core is
+// carved) and stealing is unrestricted for them, because the static group
+// carve-up needs the full request population up front, which a streaming
+// admission source cannot provide.
 #pragma once
 
 #include <cstdint>
@@ -41,6 +54,12 @@ class TbScheduler {
   /// in debug builds, that no thread block completes twice.
   void mark_complete(std::uint64_t tb_idx);
 
+  /// Pulls thread blocks the source appended since construction / the last
+  /// sync into the dispatch queues (see the header comment) and returns how
+  /// many were injected. total() grows accordingly, so all_complete() means
+  /// "everything injected so far is done".
+  std::uint64_t sync_with_source();
+
   [[nodiscard]] bool all_complete() const { return completed_ >= total_; }
   [[nodiscard]] std::uint64_t total() const { return total_; }
   [[nodiscard]] std::uint64_t completed() const { return completed_; }
@@ -53,8 +72,9 @@ class TbScheduler {
   [[nodiscard]] const ITbSource& source() const { return source_; }
 
   // -- per-request attribution ------------------------------------------------
-  /// Distinct request tags seen in the source (>= 1; plain single-operator
-  /// sources tag every TB with request 0).
+  /// Distinct request tags seen in the source so far (plain single-operator
+  /// sources tag every TB with request 0; an empty source - a dynamic one
+  /// before its first sync - has 0 requests).
   [[nodiscard]] std::uint32_t num_requests() const {
     return static_cast<std::uint32_t>(request_ids_.size());
   }
@@ -76,11 +96,27 @@ class TbScheduler {
   [[nodiscard]] std::uint64_t completed_of(std::uint32_t req_index) const {
     return req_completed_[req_index];
   }
+  /// Dense index of an external request id, or kNoRequest if the scheduler
+  /// has not seen a thread block of that request yet. O(requests), intended
+  /// for the (cold) admission path, not per-TB use.
+  [[nodiscard]] std::uint32_t dense_index_of(std::uint32_t request_id) const {
+    for (std::uint32_t r = 0; r < request_ids_.size(); ++r) {
+      if (request_ids_[r] == request_id) return r;
+    }
+    return kNoRequest;
+  }
 
  private:
   void build_queues(std::uint32_t num_cores,
                     const std::vector<std::uint64_t>& order);
   void build_partitioned_queues(std::uint32_t num_cores);
+  /// Registers TB `t`'s request tag (growing the dense bookkeeping for a
+  /// first appearance) and returns its dense request index.
+  std::uint32_t scan_request(std::uint64_t t);
+  /// TB indices [first, last), reordered round-robin across requests when
+  /// RequestDispatch::kInterleave asks for it (source order otherwise).
+  [[nodiscard]] std::vector<std::uint64_t> dispatch_order(
+      std::uint64_t first, std::uint64_t last) const;
 
   const ITbSource& source_;
   TbDispatch mode_;

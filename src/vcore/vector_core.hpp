@@ -30,6 +30,12 @@ class VectorCore {
     issued_by_req_.assign(scheduler->num_requests(), 0);
   }
 
+  /// Grows the per-request issue counters to `n` requests (mid-run
+  /// admission of new requests through a dynamic source). Never shrinks.
+  void sync_requests(std::uint32_t n) {
+    if (issued_by_req_.size() < n) issued_by_req_.resize(n, 0);
+  }
+
   /// LLC load data arriving through the NoC: fills L1 and wakes waiters.
   void on_load_fill(Addr line_addr);
 

@@ -208,6 +208,58 @@ TEST(ParseCli, MalformedBatchFlagsAreErrors) {
   EXPECT_FALSE(parse({"--seqs=256,"}).ok());
   EXPECT_FALSE(parse({"--seqs=256,0"}).ok());
   EXPECT_FALSE(parse({"--seqs=256,abc"}).ok());
+  // Diagnostics name the flag and echo the offending value.
+  const ParseResult r = parse({"--requests=99999999999999999999"});
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error.find("--requests"), std::string::npos);
+  EXPECT_NE(r.error.find("99999999999999999999"), std::string::npos);
+}
+
+TEST(ParseCli, ContinuousModeFlagsParse) {
+  const ParseResult r =
+      parse({"--op=batch", "--mode=continuous", "--seqs=4096,512,512",
+             "--arrivals=0,0,200000", "--steps=2"});
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(r.options->batch_mode, ExecutionMode::kContinuous);
+  EXPECT_EQ(r.options->batch_arrivals,
+            (std::vector<std::uint64_t>{0, 0, 200000}));
+  EXPECT_EQ(r.options->batch_steps, (std::vector<std::uint64_t>{2}));
+}
+
+TEST(ParseCli, ArrivalsRequireContinuousMode) {
+  const ParseResult r =
+      parse({"--op=batch", "--mode=coscheduled", "--arrivals=0,100"});
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error.find("--arrivals"), std::string::npos);
+  EXPECT_NE(r.error.find("continuous"), std::string::npos);
+  // Zero-arrival entries are fine (unlike --seqs / --steps).
+  EXPECT_TRUE(
+      parse({"--op=batch", "--mode=continuous", "--arrivals=0,0"}).ok());
+  EXPECT_FALSE(parse({"--op=batch", "--mode=continuous", "--steps=0"}).ok());
+  // Step counts are stored as uint32 downstream: out-of-range values are
+  // rejected here, not silently truncated.
+  const ParseResult big =
+      parse({"--op=batch", "--mode=continuous", "--steps=4294967297"});
+  ASSERT_FALSE(big.ok());
+  EXPECT_NE(big.error.find("32-bit"), std::string::npos);
+}
+
+TEST(ParseCli, ArrivalsAndStepsArityChecked) {
+  // 3 entries vs 2 requests: rejected with both numbers in the message.
+  const ParseResult r = parse({"--op=batch", "--mode=continuous",
+                               "--requests=2", "--arrivals=0,1,2"});
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error.find("3 entries"), std::string::npos);
+  EXPECT_NE(r.error.find("2 requests"), std::string::npos);
+  EXPECT_FALSE(parse({"--op=batch", "--requests=2", "--steps=1,2,3"}).ok());
+  // Arity follows --seqs when it overrides --requests, and one entry
+  // broadcasts.
+  EXPECT_TRUE(parse({"--op=batch", "--mode=continuous", "--seqs=64,128,256",
+                     "--arrivals=0,5,9", "--steps=4"})
+                  .ok());
+  EXPECT_TRUE(
+      parse({"--op=batch", "--mode=continuous", "--requests=8", "--arrivals=5"})
+          .ok());
 }
 
 // ------------------------------------------------------------ diagnostics --
@@ -243,7 +295,8 @@ TEST(ParseCli, UsageMentionsEveryFlag) {
         "--cores", "--llc-mb", "--slices", "--mshr-entries", "--mshr-targets",
         "--repl", "--bypass", "--seed", "--csv", "--json", "--counters",
         "--energy", "--verbose", "--requests", "--layers", "--seqs",
-        "--no-gemv", "--mode", "--interleave", "--req-dispatch"}) {
+        "--no-gemv", "--mode", "--interleave", "--req-dispatch",
+        "--arrivals", "--steps"}) {
     EXPECT_NE(usage.find(flag), std::string::npos) << flag;
   }
 }

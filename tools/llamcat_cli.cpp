@@ -7,6 +7,8 @@
 //   llamcat_cli --op=decode --seq=4096 --dispatch=wave
 //   llamcat_cli --op=batch --seqs=256,512 --layers=2 --policy=dynmg+BMA
 //   llamcat_cli --op=batch --mode=coscheduled --requests=4 --seq=512
+//   llamcat_cli --op=batch --mode=continuous --seqs=4096,512,512 \
+//       --arrivals=0,0,200000 --steps=2
 #include <fstream>
 #include <iostream>
 #include <vector>
@@ -63,8 +65,25 @@ int run_batch(const CliOptions& opt) {
   if (seq_lens.empty()) {
     seq_lens.assign(opt.batch_requests, opt.seq_len);
   }
-  const scenario::RequestBatch batch =
-      scenario::RequestBatch::with_seq_lens(opt.model, seq_lens);
+  // --arrivals / --steps broadcast a single entry across the batch (the
+  // option parser has already checked the arities).
+  const auto pick = [](const std::vector<std::uint64_t>& v, std::size_t i,
+                       std::uint64_t fallback) {
+    if (v.empty()) return fallback;
+    return v.size() == 1 ? v[0] : v[i];
+  };
+  std::vector<scenario::RequestSpec> specs;
+  specs.reserve(seq_lens.size());
+  for (std::size_t i = 0; i < seq_lens.size(); ++i) {
+    scenario::RequestSpec spec;
+    spec.id = static_cast<std::uint32_t>(i);
+    spec.seq_len = seq_lens[i];
+    spec.arrival_cycle = pick(opt.batch_arrivals, i, 0);
+    spec.decode_steps =
+        static_cast<std::uint32_t>(pick(opt.batch_steps, i, 1));
+    specs.push_back(spec);
+  }
+  const scenario::RequestBatch batch(opt.model, std::move(specs));
   scenario::DecodePassConfig pass_cfg;
   pass_cfg.num_layers = opt.batch_layers;
   pass_cfg.include_gemv = opt.batch_gemv;
