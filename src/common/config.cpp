@@ -85,6 +85,15 @@ std::string to_string(ExecutionMode m) {
   return "?";
 }
 
+std::string to_string(AdmitPolicy p) {
+  switch (p) {
+    case AdmitPolicy::kNone: return "none";
+    case AdmitPolicy::kFcfs: return "fcfs";
+    case AdmitPolicy::kShortestRemaining: return "srf";
+  }
+  return "?";
+}
+
 SimConfig SimConfig::table5() {
   SimConfig cfg;  // defaults in the struct definitions *are* Table 5
   cfg.validate();

@@ -118,6 +118,20 @@ enum class ExecutionMode : std::uint8_t {
   kContinuous,
 };
 
+/// Admission discipline of the continuous engine's serving-policy layer
+/// (scenario/serving.hpp). kNone admits every arrival unconditionally the
+/// moment its clock strikes (the raw streaming engine); the queueing
+/// disciplines hold arrivals in a serving queue while the resident KV
+/// footprint exceeds the configured budget and decide who is admitted first
+/// when capacity frees. Lives in the shared vocabulary header for the same
+/// layering reason as ExecutionMode (the CLI option layer must not depend
+/// upward on the scenario layer).
+enum class AdmitPolicy : std::uint8_t {
+  kNone,               // unconditional admission (no queue, no budget)
+  kFcfs,               // queue drained in arrival order (head-of-line blocks)
+  kShortestRemaining,  // queue drained by least remaining work first
+};
+
 /// Thread-throttling controller (paper §4.2 + baselines §6.2.3).
 enum class ThrottlePolicy : std::uint8_t {
   kNone,    // "unoptimized"
@@ -131,6 +145,7 @@ std::string to_string(RespArbPolicy p);
 std::string to_string(ThrottlePolicy p);
 std::string to_string(RequestDispatch d);
 std::string to_string(ExecutionMode m);
+std::string to_string(AdmitPolicy p);
 std::string to_string(BypassPolicy p);
 std::string to_string(ReplPolicy p);
 std::string to_string(InsertPolicy p);

@@ -63,10 +63,66 @@ RequestBatch RequestBatch::with_seq_lens(
   return RequestBatch(model, std::move(reqs));
 }
 
-std::uint64_t RequestBatch::total_seq_len() const {
+std::uint64_t RequestBatch::kv_tokens_at_step(const RequestSpec& r,
+                                              std::uint32_t step) const {
+  // Mirrors the schedule construction: decode step s extends a KV cache the
+  // previous steps grew to seq_len + s tokens, rounded up to a whole cache
+  // line of elements (block-granular KV allocation).
+  if (step == 0) return r.seq_len;
+  const std::uint64_t granule = kLineBytes / model_.dtype_bytes;
+  return (r.seq_len + step + granule - 1) / granule * granule;
+}
+
+std::uint64_t RequestBatch::peak_kv_tokens(const RequestSpec& r) const {
+  return kv_tokens_at_step(r, r.decode_steps - 1);
+}
+
+std::uint64_t RequestBatch::total_peak_kv_tokens() const {
   std::uint64_t total = 0;
-  for (const RequestSpec& r : requests_) total += r.seq_len;
+  for (const RequestSpec& r : requests_) total += peak_kv_tokens(r);
   return total;
+}
+
+std::uint64_t RequestBatch::kv_bytes_per_token() const {
+  return static_cast<std::uint64_t>(model_.num_kv_heads) * model_.head_dim *
+         model_.dtype_bytes;
+}
+
+std::uint64_t RequestBatch::peak_kv_bytes(const RequestSpec& r,
+                                          std::uint32_t num_layers) const {
+  return peak_kv_tokens(r) * kv_bytes_per_token() * num_layers;
+}
+
+std::uint64_t RequestBatch::total_peak_kv_bytes(
+    std::uint32_t num_layers) const {
+  std::uint64_t total = 0;
+  for (const RequestSpec& r : requests_) total += peak_kv_bytes(r, num_layers);
+  return total;
+}
+
+Cycle BatchStats::latency_percentile(double p) const {
+  // Barrier modes never fill the stream landmarks; aggregating their
+  // zero-initialized rows would silently report 0-cycle latencies, so the
+  // sentinel makes a mixed-mode policy table impossible to mis-read.
+  if (mode != ExecutionMode::kContinuous || per_request.empty()) {
+    return kNeverCycle;
+  }
+  std::vector<Cycle> latencies;
+  latencies.reserve(per_request.size());
+  for (const RequestStats& r : per_request) latencies.push_back(r.latency());
+  return percentile_nearest_rank(std::move(latencies), p);
+}
+
+std::uint64_t BatchStats::total_preemptions() const {
+  std::uint64_t n = 0;
+  for (const RequestStats& r : per_request) n += r.preemptions;
+  return n;
+}
+
+Cycle BatchStats::total_queue_wait() const {
+  Cycle n = 0;
+  for (const RequestStats& r : per_request) n += r.queued_cycles;
+  return n;
 }
 
 void BatchStats::print(std::ostream& os) const {
@@ -76,6 +132,7 @@ void BatchStats::print(std::ostream& os) const {
   if (mode == ExecutionMode::kContinuous) {
     os << std::setw(10) << "arrival" << std::setw(10) << "admit"
        << std::setw(12) << "finish" << std::setw(12) << "latency"
+       << std::setw(10) << "wait" << std::setw(9) << "preempt"
        << std::setw(10) << "dram_rd" << std::setw(10) << "l2_hit";
   } else if (mode == ExecutionMode::kCoScheduled) {
     os << std::setw(12) << "in_flight" << std::setw(10) << "dram_rd"
@@ -90,6 +147,7 @@ void BatchStats::print(std::ostream& os) const {
     if (mode == ExecutionMode::kContinuous) {
       os << std::setw(10) << r.arrival_cycle << std::setw(10) << r.admit_cycle
          << std::setw(12) << r.finish_cycle << std::setw(12) << r.latency()
+         << std::setw(10) << r.queued_cycles << std::setw(9) << r.preemptions
          << std::setw(10) << r.slice.dram_reads << std::fixed
          << std::setprecision(4) << std::setw(10) << r.slice.l2_hit_rate()
          << std::defaultfloat;
@@ -104,7 +162,11 @@ void BatchStats::print(std::ostream& os) const {
   os << "\nbatch totals\n";
   total.print(os, /*include_per_request=*/false);
   if (mode == ExecutionMode::kContinuous) {
-    os << "makespan          " << makespan << "\n";
+    os << "makespan          " << makespan << "\n"
+       << "latency_p50       " << latency_percentile(50.0) << "\n"
+       << "latency_p99       " << latency_percentile(99.0) << "\n"
+       << "queue_wait        " << total_queue_wait() << "\n"
+       << "preemptions       " << total_preemptions() << "\n";
   }
   os << std::scientific << std::setprecision(3) << "tokens/cycle      "
      << tokens_per_cycle() << "\n"
@@ -128,6 +190,29 @@ DecodePass::DecodePass(RequestBatch batch, DecodePassConfig pass_cfg,
       }
     }
   }
+  pass_cfg_.serving.validate();
+  if (!pass_cfg_.serving.unconditional() &&
+      pass_cfg_.mode != ExecutionMode::kContinuous) {
+    throw std::invalid_argument(
+        "DecodePass: the serving-policy layer (admission policy, KV budget, "
+        "preemption) requires ExecutionMode::kContinuous - the barrier "
+        "modes have no serving queue");
+  }
+  if (const std::uint64_t budget = pass_cfg_.serving.kv_budget_bytes;
+      budget != 0) {
+    for (const RequestSpec& req : batch_.requests()) {
+      const std::uint64_t peak =
+          batch_.peak_kv_bytes(req, pass_cfg_.num_layers);
+      if (peak > budget) {
+        throw std::invalid_argument(
+            "DecodePass: request " + std::to_string(req.id) +
+            " alone peaks at " + std::to_string(peak) +
+            " KV bytes across " + std::to_string(pass_cfg_.num_layers) +
+            " layers, exceeding the " + std::to_string(budget) +
+            "-byte KV budget - no admission order can ever serve it");
+      }
+    }
+  }
   const ModelShape& m = batch_.model();
   const std::uint64_t model_width =
       static_cast<std::uint64_t>(m.num_kv_heads) * m.group_size * m.head_dim;
@@ -148,14 +233,11 @@ DecodePass::DecodePass(RequestBatch batch, DecodePassConfig pass_cfg,
   for (const RequestSpec& req : batch_.requests()) {
     for (std::uint32_t step = 0; step < req.decode_steps; ++step) {
       // Decode step s extends a KV cache the previous steps grew to
-      // seq_len + s tokens, reusing the request's per-layer address slot so
-      // the resident KV lines stay hot across steps. The operator mapper
-      // tiles L at cache-line granularity, so the grown length is rounded
-      // up to a whole line of elements - block-granular KV allocation.
-      const std::uint64_t granule = kLineBytes / m.dtype_bytes;
-      const std::uint64_t step_seq =
-          step == 0 ? req.seq_len
-                    : (req.seq_len + step + granule - 1) / granule * granule;
+      // seq_len + s tokens (line-granule rounded - block-granular KV
+      // allocation), reusing the request's per-layer address slot so the
+      // resident KV lines stay hot across steps. kv_tokens_at_step is the
+      // single source of truth, shared with the budget's peak accounting.
+      const std::uint64_t step_seq = batch_.kv_tokens_at_step(req, step);
       for (std::uint32_t layer = 0; layer < pass_cfg_.num_layers; ++layer) {
         const std::uint64_t slot = req_pos * pass_cfg_.num_layers + layer;
         auto push = [&](StageKind stage, OperatorSpec spec) {
@@ -207,7 +289,13 @@ std::unordered_map<std::uint32_t, std::size_t> request_index_map(
   std::unordered_map<std::uint32_t, std::size_t> map;
   map.reserve(per_request.size());
   for (std::size_t i = 0; i < per_request.size(); ++i) {
-    map.emplace(per_request[i].id, i);
+    if (!map.emplace(per_request[i].id, i).second) {
+      // RequestBatch's constructor rejects duplicate ids, so this only
+      // fires if a caller bypassed it - last-writer-wins would silently
+      // misattribute every per-request stat, so fail loudly instead.
+      throw std::logic_error("request_index_map: duplicate request id " +
+                             std::to_string(per_request[i].id));
+    }
   }
   return map;
 }
@@ -378,12 +466,14 @@ BatchStats DecodePass::run_continuous(bool verbose) const {
   BatchStats out;
   out.mode = ExecutionMode::kContinuous;
   const std::vector<RequestSpec>& reqs = batch_.requests();
+  const AdmissionPolicy policy(pass_cfg_.serving);
   out.per_request.reserve(reqs.size());
   for (const RequestSpec& req : reqs) {
     RequestStats rs;
     rs.id = req.id;
     rs.seq_len = req.seq_len;
     rs.decode_steps = req.decode_steps;
+    rs.streamed = true;
     rs.arrival_cycle = req.arrival_cycle;
     rs.slice.request_id = req.id;
     out.per_request.push_back(rs);
@@ -397,12 +487,75 @@ BatchStats DecodePass::run_continuous(bool verbose) const {
     chains[by_id.at(schedule_[i].request_id)].push_back(i);
   }
 
+  // Serving state machine. A request is pending (not yet arrived), queued
+  // (arrived, waiting in the serving queue - either for its first admission
+  // or re-queued after a preemption), running (operators in the live
+  // machine), or finished. Under AdmitPolicy::kNone every arrival moves
+  // queued -> running the same cycle it enters the queue, which reproduces
+  // the raw streaming engine byte for byte.
   struct ReqState {
-    std::size_t cursor = 0;  // next chain op to enqueue
-    bool admitted = false;
+    std::size_t cursor = 0;    // next chain op to enqueue
+    bool queued = false;       // in the serving queue
+    bool running = false;      // has work in the live machine
+    bool admitted_ever = false;  // first admission happened (KV resident)
     bool finished = false;
+    Cycle queue_enter = 0;     // stream cycle it entered the queue
   };
   std::vector<ReqState> st(reqs.size());
+  // KV bytes pinned by resident requests (admitted, not yet finished -
+  // preempted requests keep their KV resident).
+  std::uint64_t resident_bytes = 0;
+  std::vector<std::uint64_t> peak_bytes(reqs.size());
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    peak_bytes[i] = batch_.peak_kv_bytes(reqs[i], pass_cfg_.num_layers);
+  }
+
+  // Remaining service-demand estimate: remaining chain operators weighted
+  // by the request's peak KV tokens (longer contexts mean longer operators).
+  const auto remaining_work = [&](std::size_t i) -> std::uint64_t {
+    return (chains[i].size() - st[i].cursor) * batch_.peak_kv_tokens(reqs[i]);
+  };
+  const auto queued_candidates = [&] {
+    std::vector<AdmissionPolicy::Candidate> q;
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+      if (!st[i].queued) continue;
+      q.push_back({i, reqs[i].arrival_cycle, remaining_work(i),
+                   st[i].admitted_ever ? 0 : peak_bytes[i]});
+    }
+    return q;
+  };
+  // A running request's demand adds one operator's worth for the one in
+  // flight (the cursor already advanced past it): a request mid-way through
+  // its last operator still holds the machine for that operator's length,
+  // so yield checks must not read it as "zero remaining" and preempt a
+  // genuinely shorter neighbor in its favor.
+  const auto running_work = [&](std::size_t except) {
+    std::vector<std::uint64_t> w;
+    for (std::size_t j = 0; j < reqs.size(); ++j) {
+      if (j != except && st[j].running) {
+        w.push_back(remaining_work(j) + batch_.peak_kv_tokens(reqs[j]));
+      }
+    }
+    return w;
+  };
+  const std::size_t kNobody = reqs.size();
+  const auto enter_queue = [&](std::size_t i, Cycle now) {
+    st[i].queued = true;
+    st[i].queue_enter = now;
+  };
+  // Bookkeeping of one admission (the caller enqueues the operator):
+  // first admissions pin the request's peak KV against the budget and stamp
+  // the admit landmark; every admission closes out a queue-wait interval.
+  const auto admit_mark = [&](std::size_t i, Cycle now) {
+    st[i].queued = false;
+    st[i].running = true;
+    out.per_request[i].queued_cycles += now - st[i].queue_enter;
+    if (!st[i].admitted_ever) {
+      st[i].admitted_ever = true;
+      out.per_request[i].admit_cycle = now;
+      resident_bytes += peak_bytes[i];
+    }
+  };
 
   // The stream is simulated as a chain of System segments sharing one
   // timeline (`base` = stream cycle where the current segment starts).
@@ -425,30 +578,40 @@ BatchStats DecodePass::run_continuous(bool verbose) const {
   };
 
   while (unfinished()) {
-    // Requests startable right now: admitted requests between stages plus
-    // arrivals whose clock has struck. If there are none, the machine is
-    // idle until the next arrival - skip the dead cycles but keep them on
-    // the stream clock.
-    const auto ready_now = [&] {
-      std::vector<std::size_t> ready;
+    // Move arrivals whose clock has struck into the serving queue, then let
+    // the policy pick admissions. If nothing is running and nothing was
+    // admitted, the queue must be empty (the policy guarantees progress on
+    // an idle machine) - the machine idles until the next arrival, so skip
+    // the dead cycles but keep them on the stream clock.
+    const auto notice_arrivals = [&] {
       for (std::size_t i = 0; i < reqs.size(); ++i) {
-        if (st[i].finished) continue;
-        if (st[i].admitted || reqs[i].arrival_cycle <= base) {
-          ready.push_back(i);
+        if (!st[i].queued && !st[i].running && !st[i].admitted_ever &&
+            !st[i].finished && reqs[i].arrival_cycle <= base) {
+          enter_queue(i, base);
         }
       }
-      return ready;
     };
-    std::vector<std::size_t> ready = ready_now();
-    if (ready.empty()) {
+    notice_arrivals();
+    const auto any_running = [&] {
+      for (const ReqState& s : st) {
+        if (s.running) return true;
+      }
+      return false;
+    };
+    std::vector<std::size_t> selected =
+        policy.select(queued_candidates(), running_work(kNobody),
+                      resident_bytes);
+    if (selected.empty() && !any_running()) {
       Cycle next_arrival = kNeverCycle;
       for (std::size_t i = 0; i < reqs.size(); ++i) {
-        if (!st[i].finished && !st[i].admitted) {
+        if (!st[i].finished && !st[i].admitted_ever && !st[i].queued) {
           next_arrival = std::min(next_arrival, reqs[i].arrival_cycle);
         }
       }
       base = next_arrival;  // unfinished implies a pending arrival exists
-      ready = ready_now();
+      notice_arrivals();
+      selected = policy.select(queued_candidates(), running_work(kNobody),
+                               resident_bytes);
     }
 
     DynamicTbSource src;
@@ -464,21 +627,29 @@ BatchStats DecodePass::run_continuous(bool verbose) const {
     std::vector<std::uint64_t> seg_enq(reqs.size(), 0);
     std::vector<std::uint32_t> dense(reqs.size(), kNoRequest);
 
-    for (const std::size_t i : ready) {
-      enqueue_next(i);
-      if (!st[i].admitted) {
-        st[i].admitted = true;
-        out.per_request[i].admit_cycle = base;
+    // Requests continuing from the previous segment plus this sweep's
+    // admissions start the segment, enqueued in request-index order (the
+    // policy decides WHO starts; index order keeps the TB fuse order
+    // identical to the raw engine's under kNone).
+    std::sort(selected.begin(), selected.end());
+    std::size_t started = 0;
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+      if (std::binary_search(selected.begin(), selected.end(), i)) {
+        admit_mark(i, base);
+      }
+      if (st[i].running && !st[i].finished) {
+        enqueue_next(i);
+        ++started;
       }
     }
     src.commit(pass_cfg_.interleave);
-    for (const std::size_t i : ready) {
-      seg_enq[i] = src.tbs_of_request(reqs[i].id);
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+      if (st[i].running) seg_enq[i] = src.tbs_of_request(reqs[i].id);
     }
     System sys(cfg_, src, &src);
     if (verbose) {
       std::cerr << "[continuous] segment " << seg_id << " @" << base << ": "
-                << ready.size() << " request(s)\n";
+                << started << " request(s)\n";
     }
 
     const auto hook = [&](System& s, Cycle now) {
@@ -490,29 +661,45 @@ BatchStats DecodePass::run_continuous(bool verbose) const {
           seg_enq[i] = src.tbs_of_request(reqs[i].id);
         }
       };
-      // 1) Admissions: arrivals land in the live machine mid-flight.
       std::vector<std::size_t> touched;
-      for (std::size_t i = 0; i < reqs.size(); ++i) {
-        if (!st[i].admitted && !st[i].finished &&
-            reqs[i].arrival_cycle <= global) {
+      const auto admit_sweep = [&] {
+        const std::vector<AdmissionPolicy::Candidate> q = queued_candidates();
+        if (q.empty()) return;
+        std::vector<std::size_t> picks =
+            policy.select(q, running_work(kNobody), resident_bytes);
+        std::sort(picks.begin(), picks.end());
+        for (const std::size_t i : picks) {
+          admit_mark(i, global);
           enqueue_next(i);
-          st[i].admitted = true;
-          out.per_request[i].admit_cycle = global;
           touched.push_back(i);
         }
+      };
+      // 1) Arrivals enter the serving queue mid-flight; the policy admits
+      // whoever fits into the live machine (all of them under kNone).
+      bool swept = false;
+      for (std::size_t i = 0; i < reqs.size(); ++i) {
+        if (!st[i].queued && !st[i].running && !st[i].admitted_ever &&
+            !st[i].finished && reqs[i].arrival_cycle <= global) {
+          enter_queue(i, global);
+          swept = true;
+        }
       }
+      if (swept) admit_sweep();
       if (!touched.empty()) commit_and_refresh(touched);
       // 2) Stage handoff. A request whose current operator just completed
       // advances (or finishes) eagerly as long as it has company - any
-      // other admitted, unfinished request keeps the machine live, so the
-      // stream never drains (simultaneous completions included: the tied
-      // requests advance together rather than forcing a barrier). A
-      // request *alone* in the machine instead hands off at the drain
-      // boundary: the segment ends and its next operator starts in a
-      // fresh System, exactly like a one-request wave.
+      // other running request keeps the machine live, so the stream never
+      // drains (simultaneous completions included: the tied requests
+      // advance together rather than forcing a barrier). A request *alone*
+      // in the machine instead hands off at the drain boundary: the
+      // segment ends and its next operator starts in a fresh System,
+      // exactly like a one-request wave. With preemption enabled, a
+      // request due to advance instead yields its stage boundary to a
+      // much-shorter co-running request: it re-enters the serving queue
+      // with its KV (and budget share) intact.
       std::size_t live = 0;
       for (std::size_t i = 0; i < reqs.size(); ++i) {
-        if (st[i].admitted && !st[i].finished) ++live;
+        if (st[i].running && !st[i].finished) ++live;
       }
       if (live < 2) return;
       const auto seg_completed = [&](std::size_t i) -> std::uint64_t {
@@ -523,19 +710,38 @@ BatchStats DecodePass::run_continuous(bool verbose) const {
         return s.scheduler().completed_of(dense[i]);
       };
       touched.clear();
+      bool freed = false;
       for (std::size_t i = 0; i < reqs.size(); ++i) {
-        if (!st[i].admitted || st[i].finished) continue;
+        if (!st[i].running || st[i].finished) continue;
         if (seg_enq[i] == 0 || seg_completed(i) != seg_enq[i]) continue;
         if (st[i].cursor < chains[i].size()) {
-          enqueue_next(i);
-          touched.push_back(i);
+          if (policy.config().preempt &&
+              policy.should_preempt(remaining_work(i), running_work(i))) {
+            st[i].running = false;
+            enter_queue(i, global);
+            ++out.per_request[i].preemptions;
+            freed = true;
+          } else {
+            enqueue_next(i);
+            touched.push_back(i);
+          }
         } else {
           st[i].finished = true;
+          st[i].running = false;
           out.per_request[i].finish_cycle = global;
+          resident_bytes -= peak_bytes[i];
           src.retire_request(reqs[i].id);
+          freed = true;
         }
       }
       if (!touched.empty()) commit_and_refresh(touched);
+      // 3) A finish freed budget (or a preemption freed the machine):
+      // someone in the queue may be admittable now.
+      if (freed) {
+        touched.clear();
+        admit_sweep();
+        if (!touched.empty()) commit_and_refresh(touched);
+      }
     };
 
     const auto t0 = std::chrono::steady_clock::now();
@@ -547,10 +753,12 @@ BatchStats DecodePass::run_continuous(bool verbose) const {
     // work finish here, with the drain included in their latency (their
     // final stage ends exactly like a one-request wave).
     for (std::size_t i = 0; i < reqs.size(); ++i) {
-      if (st[i].admitted && !st[i].finished &&
+      if (st[i].running && !st[i].finished &&
           st[i].cursor == chains[i].size()) {
         st[i].finished = true;
+        st[i].running = false;
         out.per_request[i].finish_cycle = base + seg.cycles;
+        resident_bytes -= peak_bytes[i];
       }
     }
     shift_slices(seg, base);
@@ -571,6 +779,8 @@ BatchStats DecodePass::run_continuous(bool verbose) const {
     // True per-request latency: finish minus arrival, queueing included.
     rs.stats.cycles = rs.latency();
     finalize_request_stats(rs, out.total.core_hz);
+    rs.stats.counters.set("req.queue_wait", rs.queued_cycles);
+    rs.stats.counters.set("req.preemptions", rs.preemptions);
   }
   return out;
 }

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "common/config.hpp"
+#include "scenario/serving.hpp"
 #include "sim/experiment.hpp"
 #include "sim/sim_stats.hpp"
 #include "trace/composite.hpp"
@@ -71,9 +72,33 @@ class RequestBatch {
     return requests_;
   }
   [[nodiscard]] std::size_t size() const { return requests_.size(); }
-  /// Sum of per-request sequence lengths (the batch's total KV footprint in
-  /// tokens).
-  [[nodiscard]] std::uint64_t total_seq_len() const;
+
+  // -- step-aware KV footprint ----------------------------------------------
+  // A request at decode step s occupies seq_len + s tokens, rounded up to a
+  // cache-line granule of elements (block-granular KV allocation, matching
+  // the operator mapper's line-level tiling). Footprint-based budgets must
+  // use the PEAK (last step's) occupancy, not the start-of-pass seq_len -
+  // summing bare seq_lens undercounts every multi-step batch.
+
+  /// KV tokens the request's step-`s` operators run against (s = 0 is the
+  /// start-of-pass seq_len; later steps are granule-rounded).
+  [[nodiscard]] std::uint64_t kv_tokens_at_step(const RequestSpec& r,
+                                                std::uint32_t step) const;
+  /// Peak KV occupancy of one request across its decode steps, in tokens.
+  [[nodiscard]] std::uint64_t peak_kv_tokens(const RequestSpec& r) const;
+  /// Sum of per-request peak KV occupancies (the batch's peak KV footprint
+  /// in tokens, per layer).
+  [[nodiscard]] std::uint64_t total_peak_kv_tokens() const;
+  /// KV bytes one resident token pins per decode layer: H * D * dtype (the
+  /// simulated K and V share one address range, so one token is one
+  /// line-set per layer).
+  [[nodiscard]] std::uint64_t kv_bytes_per_token() const;
+  /// Peak KV bytes one request pins across `num_layers` decode layers.
+  [[nodiscard]] std::uint64_t peak_kv_bytes(const RequestSpec& r,
+                                            std::uint32_t num_layers) const;
+  /// Peak KV bytes the whole batch pins across `num_layers` layers.
+  [[nodiscard]] std::uint64_t total_peak_kv_bytes(
+      std::uint32_t num_layers) const;
 
  private:
   ModelShape model_;
@@ -103,6 +128,10 @@ struct DecodePassConfig {
   /// kCoScheduled: how each wave's CompositeTbSource interleaves the
   /// requests' thread blocks.
   FuseOrder interleave = FuseOrder::kRoundRobin;
+  /// kContinuous: the serving-policy layer (admission queue by KV budget,
+  /// stage-boundary preemption). The default reproduces the raw streaming
+  /// engine byte-identically; any non-default setting requires kContinuous.
+  ServingConfig serving;
 };
 
 /// One operator instance in the pass's schedule.
@@ -130,17 +159,32 @@ struct RequestStats {
   SimStats stats;
   RequestSlice slice;
 
-  // Stream-time landmarks (kContinuous only; zero elsewhere). admit_cycle
-  // is when the engine actually enqueued the request's first operator
-  // (>= arrival_cycle when the request arrived at a segment boundary);
-  // finish_cycle is when its last operator completed (its drain boundary
-  // when it finished alone in the machine).
+  // Stream-time landmarks, valid only when `streamed` is true (kContinuous
+  // fills them; the barrier modes have no stream clock, so their landmark
+  // fields stay zero and the accessors below return kNeverCycle instead of
+  // silently reading as a 0-cycle latency). admit_cycle is when the engine
+  // actually enqueued the request's first operator (> arrival_cycle when
+  // the serving queue held it back); finish_cycle is when its last operator
+  // completed (its drain boundary when it finished alone in the machine).
+  bool streamed = false;
   Cycle arrival_cycle = 0;
   Cycle admit_cycle = 0;
   Cycle finish_cycle = 0;
+  /// Total stream cycles spent waiting in the serving queue: arrival to
+  /// first admission plus every post-preemption re-queue wait.
+  Cycle queued_cycles = 0;
+  /// Times the serving policy evicted this request at a stage boundary.
+  std::uint32_t preemptions = 0;
 
-  /// End-to-end latency in stream time (kContinuous; equals stats.cycles).
-  [[nodiscard]] Cycle latency() const { return finish_cycle - arrival_cycle; }
+  /// End-to-end latency in stream time (equals stats.cycles when streamed);
+  /// kNeverCycle for barrier-mode results, which have no stream landmarks.
+  [[nodiscard]] Cycle latency() const {
+    return streamed ? finish_cycle - arrival_cycle : kNeverCycle;
+  }
+  /// Queue wait before first admission (kNeverCycle when not streamed).
+  [[nodiscard]] Cycle admission_wait() const {
+    return streamed ? admit_cycle - arrival_cycle : kNeverCycle;
+  }
 
   /// `decode_steps` tokens are produced per request per pass.
   [[nodiscard]] double tokens_per_cycle() const {
@@ -172,6 +216,15 @@ struct BatchStats {
     for (const RequestStats& r : per_request) n += r.decode_steps;
     return n;
   }
+
+  /// Nearest-rank percentile (p in [0,100]) over per-request end-to-end
+  /// latencies. kContinuous only: barrier modes have no stream landmarks,
+  /// so this returns kNeverCycle there instead of aggregating garbage
+  /// 0-cycle rows into a policy-comparison table.
+  [[nodiscard]] Cycle latency_percentile(double p) const;
+  /// Serving-policy totals across the batch (0 under policy none).
+  [[nodiscard]] std::uint64_t total_preemptions() const;
+  [[nodiscard]] Cycle total_queue_wait() const;
 
   /// Batch throughput: tokens produced this pass over sequential-equivalent
   /// cycles (barrier modes) or the stream makespan (kContinuous).

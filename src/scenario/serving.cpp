@@ -1,0 +1,103 @@
+#include "scenario/serving.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace llamcat::scenario {
+
+void ServingConfig::validate() const {
+  if (policy == AdmitPolicy::kNone) {
+    if (kv_budget_bytes != 0) {
+      throw std::invalid_argument(
+          "ServingConfig: a KV budget requires a queueing admission policy "
+          "(fcfs or srf); policy none admits unconditionally");
+    }
+    if (preempt) {
+      throw std::invalid_argument(
+          "ServingConfig: preemption requires a queueing admission policy "
+          "(fcfs or srf); policy none has no serving queue to re-enter");
+    }
+  }
+  if (preempt && preempt_ratio == 0) {
+    throw std::invalid_argument(
+        "ServingConfig: preempt_ratio must be >= 1 (a zero ratio would "
+        "preempt every co-running pair)");
+  }
+}
+
+AdmissionPolicy::AdmissionPolicy(const ServingConfig& cfg) : cfg_(cfg) {
+  cfg_.validate();
+}
+
+bool AdmissionPolicy::yields_to_any(
+    std::uint64_t remaining_work,
+    const std::vector<std::uint64_t>& running_work) const {
+  if (!cfg_.preempt) return false;
+  for (const std::uint64_t w : running_work) {
+    if (remaining_work > w * cfg_.preempt_ratio) return true;
+  }
+  return false;
+}
+
+bool AdmissionPolicy::should_preempt(
+    std::uint64_t remaining_work,
+    const std::vector<std::uint64_t>& co_running_work) const {
+  return yields_to_any(remaining_work, co_running_work);
+}
+
+std::vector<std::size_t> AdmissionPolicy::select(
+    std::vector<Candidate> queued,
+    const std::vector<std::uint64_t>& running_work,
+    std::uint64_t resident_bytes) const {
+  std::vector<std::size_t> admitted;
+  if (queued.empty()) return admitted;
+
+  // kNone keeps the caller's request-index order (and, with no budget and
+  // no preemption, the sweep below degenerates to "admit everything").
+  if (cfg_.policy == AdmitPolicy::kFcfs) {
+    std::stable_sort(queued.begin(), queued.end(),
+                     [](const Candidate& a, const Candidate& b) {
+                       return a.arrival < b.arrival;
+                     });
+  } else if (cfg_.policy == AdmitPolicy::kShortestRemaining) {
+    std::stable_sort(queued.begin(), queued.end(),
+                     [](const Candidate& a, const Candidate& b) {
+                       if (a.remaining_work != b.remaining_work) {
+                         return a.remaining_work < b.remaining_work;
+                       }
+                       return a.arrival < b.arrival;
+                     });
+  }
+
+  const std::uint64_t budget = cfg_.kv_budget_bytes;
+  std::uint64_t pinned = resident_bytes;
+  // Admitted candidates join the running set for later yield checks, so one
+  // sweep cannot admit a long request alongside the short it would yield to.
+  std::vector<std::uint64_t> running = running_work;
+  for (const Candidate& c : queued) {
+    if (yields_to_any(c.remaining_work, running)) continue;
+    if (budget != 0 && pinned + c.kv_bytes > budget) break;
+    admitted.push_back(c.index);
+    pinned += c.kv_bytes;
+    running.push_back(c.remaining_work);
+  }
+
+  // Progress guarantee: an idle machine with a non-empty queue must start
+  // someone. Yield-blocks are waived (there is nobody to yield to next
+  // sweep anyway once this one runs alone); the budget still holds, but a
+  // resident (preempted) candidate pins 0 new bytes and a fresh one fits by
+  // construction (DecodePass validates every request against the budget),
+  // so this always finds a candidate.
+  if (admitted.empty() && running_work.empty()) {
+    for (const Candidate& c : queued) {
+      if (budget == 0 || resident_bytes + c.kv_bytes <= budget) {
+        admitted.push_back(c.index);
+        break;
+      }
+    }
+  }
+  return admitted;
+}
+
+}  // namespace llamcat::scenario

@@ -104,6 +104,15 @@ std::optional<ExecutionMode> execution_mode_from_string(std::string_view s) {
   return std::nullopt;
 }
 
+std::optional<AdmitPolicy> admit_policy_from_string(std::string_view s) {
+  if (s == "none") return AdmitPolicy::kNone;
+  if (s == "fcfs") return AdmitPolicy::kFcfs;
+  if (s == "srf" || s == "shortest" || s == "shortest-remaining") {
+    return AdmitPolicy::kShortestRemaining;
+  }
+  return std::nullopt;
+}
+
 std::optional<ReplPolicy> repl_policy_from_string(std::string_view s) {
   if (s == "lru") return ReplPolicy::kLru;
   if (s == "tree-plru" || s == "plru") return ReplPolicy::kTreePlru;
@@ -185,6 +194,18 @@ batch scenario (--op=batch)
                      request, or one value broadcast; default all 0)
   --steps=N[,M,..]   decode steps (tokens) per request (broadcast like
                      --arrivals; default 1)
+  --admit-policy=P   continuous only: serving-queue admission discipline:
+                     none (default: every arrival admitted unconditionally)
+                     | fcfs (arrival order, head-of-line blocks on the KV
+                     budget) | srf (shortest-remaining-first)
+  --kv-budget=N      continuous only: aggregate peak-KV-footprint budget in
+                     bytes (0 = unlimited); arrivals queue (never drop)
+                     while the resident KV footprint would exceed it;
+                     requires --admit-policy=fcfs|srf
+  --preempt          continuous only: evict a running request at a stage
+                     boundary when a much-shorter request co-runs (its KV
+                     stays resident, it re-enters the serving queue);
+                     requires --admit-policy=fcfs|srf
   --interleave=I     co-admitted TB fusing: rr (default) | concat
   --req-dispatch=R   request-aware core dispatch for fused sources:
                      shared (default) | interleave | partitioned
@@ -238,6 +259,10 @@ ParseResult parse_cli_options(const std::vector<std::string_view>& args) {
     }
     if (arg == "--no-gemv") {
       opt.batch_gemv = false;
+      continue;
+    }
+    if (arg == "--preempt") {
+      opt.batch_preempt = true;
       continue;
     }
     if (arg == "--energy") {
@@ -325,6 +350,20 @@ ParseResult parse_cli_options(const std::vector<std::string_view>& args) {
       const auto m = execution_mode_from_string(val);
       if (!m) return fail("unknown mode: " + std::string(val));
       opt.batch_mode = *m;
+    } else if (key == "admit-policy") {
+      const auto p = admit_policy_from_string(val);
+      if (!p) {
+        return fail("unknown admit-policy: \"" + std::string(val) +
+                    "\" (expect none, fcfs or srf)");
+      }
+      opt.batch_admit = *p;
+    } else if (key == "kv-budget") {
+      const auto v = parse_uint<std::uint64_t>(val);
+      if (!v) {
+        return fail("bad --kv-budget: \"" + std::string(val) +
+                    "\" (expect a byte count; 0 = unlimited)");
+      }
+      opt.batch_kv_budget = *v;
     } else if (key == "interleave") {
       const auto f = fuse_order_from_string(val);
       if (!f) return fail("unknown interleave: " + std::string(val));
@@ -406,6 +445,21 @@ ParseResult parse_cli_options(const std::vector<std::string_view>& args) {
       opt.batch_mode != ExecutionMode::kContinuous) {
     return fail("--arrivals requires --mode=continuous (the barrier modes "
                 "have no notion of mid-pass admission)");
+  }
+  if (opt.batch_admit != AdmitPolicy::kNone &&
+      opt.batch_mode != ExecutionMode::kContinuous) {
+    return fail("--admit-policy requires --mode=continuous (the barrier "
+                "modes have no serving queue)");
+  }
+  if (opt.batch_kv_budget != 0 && opt.batch_admit == AdmitPolicy::kNone) {
+    return fail("--kv-budget requires --admit-policy=fcfs|srf "
+                "(--admit-policy=none admits unconditionally, so a budget "
+                "could never be enforced)");
+  }
+  if (opt.batch_preempt && opt.batch_admit == AdmitPolicy::kNone) {
+    return fail("--preempt requires --admit-policy=fcfs|srf (a preempted "
+                "request re-enters the serving queue, which policy none "
+                "does not have)");
   }
   const std::pair<const char*, std::size_t> arities[] = {
       {"--arrivals", opt.batch_arrivals.size()},

@@ -24,6 +24,7 @@ std::optional<RequestDispatch> request_dispatch_from_string(
     std::string_view s);
 std::optional<FuseOrder> fuse_order_from_string(std::string_view s);
 std::optional<ExecutionMode> execution_mode_from_string(std::string_view s);
+std::optional<AdmitPolicy> admit_policy_from_string(std::string_view s);
 std::optional<ReplPolicy> repl_policy_from_string(std::string_view s);
 std::optional<BypassPolicy> bypass_policy_from_string(std::string_view s);
 std::optional<ModelShape> model_from_string(std::string_view s);
@@ -64,6 +65,12 @@ struct CliOptions {
   /// Decode steps (tokens produced) per request; size 1 broadcasts.
   /// Empty = one step per request.
   std::vector<std::uint64_t> batch_steps;
+  /// kContinuous serving-policy layer: admission discipline (none =
+  /// unconditional, the raw streaming engine), aggregate peak-KV budget in
+  /// bytes (0 = unlimited) and stage-boundary preemption.
+  AdmitPolicy batch_admit = AdmitPolicy::kNone;
+  std::uint64_t batch_kv_budget = 0;
+  bool batch_preempt = false;
   std::string csv_path;      // empty = no CSV export
   std::string json_path;     // empty = no JSON export
   bool print_counters = false;

@@ -1,8 +1,20 @@
 #include "sim/sim_stats.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <iomanip>
 
 namespace llamcat {
+
+Cycle percentile_nearest_rank(std::vector<Cycle> values, double p) {
+  if (values.empty()) return 0;
+  std::sort(values.begin(), values.end());
+  p = std::clamp(p, 0.0, 100.0);
+  const auto n = static_cast<double>(values.size());
+  std::size_t rank = static_cast<std::size_t>(std::ceil(p / 100.0 * n));
+  rank = std::clamp<std::size_t>(rank, 1, values.size());
+  return values[rank - 1];
+}
 
 void RequestSlice::accumulate(const RequestSlice& other) {
   cycles_in_flight += other.cycles_in_flight;

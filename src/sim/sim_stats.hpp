@@ -90,4 +90,11 @@ struct SimStats {
   void print(std::ostream& os, bool include_per_request = true) const;
 };
 
+/// Nearest-rank percentile of `values` (p in [0,100], clamped): the
+/// ceil(p/100 * n)-th smallest value, the standard definition for serving
+/// latency landmarks (P50/P99). Returns 0 for an empty input. Takes the
+/// vector by value because it sorts it.
+[[nodiscard]] Cycle percentile_nearest_rank(std::vector<Cycle> values,
+                                            double p);
+
 }  // namespace llamcat

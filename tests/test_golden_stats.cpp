@@ -114,6 +114,44 @@ std::vector<MeasuredRow> measure_all_policy_pairs() {
                       s.total.thread_blocks});
     }
   }
+  // Serving-policy rows: a staggered, skewed, multi-step batch under (a) a
+  // finite KV budget with FCFS admission and (b) the same budget with
+  // shortest-remaining-first admission plus preemption, pinning the
+  // queue/preempt state machine (and the step-aware peak-footprint
+  // accounting the budget gates on) for the headline policy pairs. The
+  // budget fits request 0 plus request 2's multi-step peak, but never
+  // requests 0 and 1 together. `cycles` is the stream makespan.
+  const scenario::RequestBatch staggered(
+      tiny_model(), {{0, 256, 0, 1}, {1, 128, 1000, 1}, {2, 64, 3000, 2}});
+  scenario::DecodePassConfig sv_cfg;
+  sv_cfg.num_layers = 1;
+  sv_cfg.include_gemv = false;
+  sv_cfg.mode = scenario::ExecutionMode::kContinuous;
+  sv_cfg.serving.kv_budget_bytes =
+      (256 + 96) * staggered.kv_bytes_per_token();
+  const std::pair<ThrottlePolicy, ArbPolicy> headline_pairs[] = {
+      {ThrottlePolicy::kNone, ArbPolicy::kFcfs},
+      {ThrottlePolicy::kNone, ArbPolicy::kBma},
+      {ThrottlePolicy::kDynMg, ArbPolicy::kFcfs},
+      {ThrottlePolicy::kDynMg, ArbPolicy::kBma},
+  };
+  const std::pair<AdmitPolicy, bool> serving_variants[] = {
+      {AdmitPolicy::kFcfs, false},
+      {AdmitPolicy::kShortestRemaining, true},
+  };
+  for (const auto& [thr, arb] : headline_pairs) {
+    for (const auto& [admit, preempt] : serving_variants) {
+      sv_cfg.serving.policy = admit;
+      sv_cfg.serving.preempt = preempt;
+      const SimConfig cfg = with_policies(base, thr, arb);
+      const scenario::BatchStats s =
+          scenario::DecodePass(staggered, sv_cfg, cfg).run();
+      rows.push_back({"sv/" + to_string(admit) + (preempt ? "+pre/" : "/") +
+                          to_string(thr) + "/" + to_string(arb),
+                      s.makespan, s.total.dram_reads,
+                      s.total.thread_blocks});
+    }
+  }
   return rows;
 }
 

@@ -244,6 +244,51 @@ TEST(ParseCli, ArrivalsRequireContinuousMode) {
   EXPECT_NE(big.error.find("32-bit"), std::string::npos);
 }
 
+TEST(ParseCli, ServingPolicyFlagsParse) {
+  EXPECT_EQ(admit_policy_from_string("none"), AdmitPolicy::kNone);
+  EXPECT_EQ(admit_policy_from_string("fcfs"), AdmitPolicy::kFcfs);
+  EXPECT_EQ(admit_policy_from_string("srf"), AdmitPolicy::kShortestRemaining);
+  EXPECT_EQ(admit_policy_from_string("shortest-remaining"),
+            AdmitPolicy::kShortestRemaining);
+  EXPECT_FALSE(admit_policy_from_string("lifo").has_value());
+
+  const ParseResult r =
+      parse({"--op=batch", "--mode=continuous", "--seqs=4096,512",
+             "--admit-policy=srf", "--kv-budget=37748736", "--preempt"});
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(r.options->batch_admit, AdmitPolicy::kShortestRemaining);
+  EXPECT_EQ(r.options->batch_kv_budget, 37748736u);
+  EXPECT_TRUE(r.options->batch_preempt);
+  // Defaults: unconditional admission, unlimited budget, no preemption.
+  const ParseResult d = parse({"--op=batch", "--mode=continuous"});
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d.options->batch_admit, AdmitPolicy::kNone);
+  EXPECT_EQ(d.options->batch_kv_budget, 0u);
+  EXPECT_FALSE(d.options->batch_preempt);
+}
+
+TEST(ParseCli, ServingPolicyFlagsCrossChecked) {
+  // The serving layer only exists in continuous mode.
+  const ParseResult barrier =
+      parse({"--op=batch", "--mode=coscheduled", "--admit-policy=fcfs"});
+  ASSERT_FALSE(barrier.ok());
+  EXPECT_NE(barrier.error.find("--admit-policy"), std::string::npos);
+  EXPECT_NE(barrier.error.find("continuous"), std::string::npos);
+  // A budget or preemption without a queueing discipline is contradictory.
+  const ParseResult budget =
+      parse({"--op=batch", "--mode=continuous", "--kv-budget=1048576"});
+  ASSERT_FALSE(budget.ok());
+  EXPECT_NE(budget.error.find("--kv-budget"), std::string::npos);
+  EXPECT_NE(budget.error.find("--admit-policy"), std::string::npos);
+  EXPECT_FALSE(parse({"--op=batch", "--mode=continuous", "--preempt"}).ok());
+  EXPECT_FALSE(parse({"--admit-policy=fifo"}).ok());
+  EXPECT_FALSE(parse({"--kv-budget=abc"}).ok());
+  // Unlimited budget with a discipline is fine (pure queue-order study).
+  EXPECT_TRUE(parse({"--op=batch", "--mode=continuous",
+                     "--admit-policy=fcfs"})
+                  .ok());
+}
+
 TEST(ParseCli, ArrivalsAndStepsArityChecked) {
   // 3 entries vs 2 requests: rejected with both numbers in the message.
   const ParseResult r = parse({"--op=batch", "--mode=continuous",

@@ -34,7 +34,8 @@ ModelShape tiny_model() {
 TEST(RequestBatch, ConstructorsAndFootprint) {
   const RequestBatch u = RequestBatch::uniform(tiny_model(), 3, 256);
   EXPECT_EQ(u.size(), 3u);
-  EXPECT_EQ(u.total_seq_len(), 3u * 256u);
+  // Single-step requests peak at their start-of-pass seq_len.
+  EXPECT_EQ(u.total_peak_kv_tokens(), 3u * 256u);
   for (std::uint32_t i = 0; i < 3; ++i) {
     EXPECT_EQ(u.requests()[i].id, i);
     EXPECT_EQ(u.requests()[i].seq_len, 256u);

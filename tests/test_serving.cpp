@@ -1,0 +1,458 @@
+// Serving-policy layer: KV-pressure-aware admission + stage-boundary
+// preemption on top of the continuous engine, the step-aware KV footprint
+// accounting it budgets with, and the landmark guards that keep barrier-mode
+// rows out of policy-comparison tables.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "scenario/scenario.hpp"
+#include "scenario/serving.hpp"
+
+namespace llamcat {
+namespace {
+
+using scenario::AdmissionPolicy;
+using scenario::AdmitPolicy;
+using scenario::BatchStats;
+using scenario::DecodePass;
+using scenario::DecodePassConfig;
+using scenario::RequestBatch;
+using scenario::RequestSpec;
+using scenario::ServingConfig;
+
+SimConfig small_config() {
+  SimConfig cfg = SimConfig::table5();
+  cfg.core.num_cores = 4;
+  cfg.llc.size_bytes = 1ull << 20;
+  cfg.llc.num_slices = 2;
+  cfg.dram.num_channels = 2;
+  cfg.max_cycles = 20'000'000;
+  return cfg;
+}
+
+ModelShape tiny_model() {
+  ModelShape m = ModelShape::llama3_70b();
+  m.num_kv_heads = 2;
+  m.group_size = 4;
+  return m;
+}
+
+// tiny_model: H=2, D=128, fp16 -> 512 bytes per resident KV token per layer,
+// line granule = 64 / 2 = 32 tokens.
+constexpr std::uint64_t kTinyBytesPerToken = 2ull * 128 * 2;
+
+// ---------------------------------------------------------------------------
+// Step-aware KV footprint accounting (the total_seq_len bugfix)
+// ---------------------------------------------------------------------------
+
+TEST(KvFootprint, SingleStepPeaksAtSeqLen) {
+  const RequestBatch b(tiny_model(), {{0, 100, 0, 1}});
+  EXPECT_EQ(b.kv_bytes_per_token(), kTinyBytesPerToken);
+  EXPECT_EQ(b.peak_kv_tokens(b.requests()[0]), 100u);
+  EXPECT_EQ(b.peak_kv_bytes(b.requests()[0], 2),
+            100u * kTinyBytesPerToken * 2u);
+}
+
+TEST(KvFootprint, MultiStepPeaksAtLastStepGranuleRounded) {
+  // A request at step s occupies seq_len + s tokens, rounded up to a whole
+  // cache line of elements. seq_len=100, 5 steps: the last step runs
+  // against 104 tokens -> 128 after granule rounding. Budgeting with the
+  // bare seq_len (the old total_seq_len) would undercount by 28 tokens.
+  const RequestBatch b(tiny_model(), {{0, 100, 0, 5}});
+  const RequestSpec& r = b.requests()[0];
+  EXPECT_EQ(b.kv_tokens_at_step(r, 0), 100u);
+  EXPECT_EQ(b.kv_tokens_at_step(r, 4), 128u);
+  EXPECT_EQ(b.peak_kv_tokens(r), 128u);
+  EXPECT_EQ(b.peak_kv_bytes(r, 1), 128u * kTinyBytesPerToken);
+  EXPECT_EQ(b.peak_kv_bytes(r, 3), 128u * kTinyBytesPerToken * 3u);
+}
+
+TEST(KvFootprint, TotalsSumPerRequestPeaks) {
+  const RequestBatch b(tiny_model(), {{0, 100, 0, 5}, {1, 64, 0, 1}});
+  EXPECT_EQ(b.total_peak_kv_tokens(), 128u + 64u);
+  EXPECT_EQ(b.total_peak_kv_bytes(2), (128u + 64u) * kTinyBytesPerToken * 2u);
+}
+
+// ---------------------------------------------------------------------------
+// ServingConfig validation
+// ---------------------------------------------------------------------------
+
+TEST(ServingConfigValidate, RejectsBudgetOrPreemptWithoutQueueingPolicy) {
+  ServingConfig ok;
+  EXPECT_NO_THROW(ok.validate());
+
+  ServingConfig budget;
+  budget.kv_budget_bytes = 1 << 20;
+  EXPECT_THROW(budget.validate(), std::invalid_argument);
+
+  ServingConfig pre;
+  pre.preempt = true;
+  EXPECT_THROW(pre.validate(), std::invalid_argument);
+
+  ServingConfig fcfs;
+  fcfs.policy = AdmitPolicy::kFcfs;
+  fcfs.kv_budget_bytes = 1 << 20;
+  fcfs.preempt = true;
+  EXPECT_NO_THROW(fcfs.validate());
+}
+
+TEST(ServingConfigValidate, BarrierModesRejectServingLayer) {
+  const RequestBatch b = RequestBatch::uniform(tiny_model(), 2, 128);
+  DecodePassConfig pc;
+  pc.num_layers = 1;
+  pc.serving.policy = AdmitPolicy::kFcfs;
+  pc.mode = scenario::ExecutionMode::kCoScheduled;
+  EXPECT_THROW(DecodePass(b, pc, small_config()), std::invalid_argument);
+  pc.mode = scenario::ExecutionMode::kIndependent;
+  EXPECT_THROW(DecodePass(b, pc, small_config()), std::invalid_argument);
+  pc.mode = scenario::ExecutionMode::kContinuous;
+  EXPECT_NO_THROW(DecodePass(b, pc, small_config()));
+}
+
+TEST(ServingConfigValidate, RejectsRequestLargerThanBudget) {
+  // 1024 tokens * 512 B * 1 layer = 512 KiB > a 256 KiB budget: no
+  // admission order can ever serve the request, so it fails up front.
+  const RequestBatch b(tiny_model(), {{0, 1024, 0, 1}});
+  DecodePassConfig pc;
+  pc.num_layers = 1;
+  pc.include_gemv = false;
+  pc.mode = scenario::ExecutionMode::kContinuous;
+  pc.serving.policy = AdmitPolicy::kFcfs;
+  pc.serving.kv_budget_bytes = 256 * 1024;
+  EXPECT_THROW(DecodePass(b, pc, small_config()), std::invalid_argument);
+  pc.serving.kv_budget_bytes = 512 * 1024;
+  EXPECT_NO_THROW(DecodePass(b, pc, small_config()));
+}
+
+// ---------------------------------------------------------------------------
+// AdmissionPolicy decision logic (pure unit tests)
+// ---------------------------------------------------------------------------
+
+AdmissionPolicy::Candidate cand(std::size_t index, Cycle arrival,
+                                std::uint64_t work, std::uint64_t bytes) {
+  return AdmissionPolicy::Candidate{index, arrival, work, bytes};
+}
+
+TEST(AdmissionPolicySelect, NoneAdmitsEverythingInCallerOrder) {
+  const AdmissionPolicy p{ServingConfig{}};
+  const auto picks = p.select(
+      {cand(0, 50, 10, 100), cand(1, 0, 5, 100), cand(2, 20, 1, 100)}, {}, 0);
+  EXPECT_EQ(picks, (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(AdmissionPolicySelect, FcfsOrdersByArrivalAndBlocksHeadOfLine) {
+  ServingConfig cfg;
+  cfg.policy = AdmitPolicy::kFcfs;
+  cfg.kv_budget_bytes = 250;
+  const AdmissionPolicy p{cfg};
+  // Arrival order: 1 (t=0), 2 (t=20), 0 (t=50). The budget fits 1 and 2;
+  // 0 blocks, and nothing behind it may jump the line.
+  const auto picks = p.select(
+      {cand(0, 50, 10, 100), cand(1, 0, 5, 100), cand(2, 20, 1, 100),
+       cand(3, 60, 1, 10)},
+      {}, 0);
+  EXPECT_EQ(picks, (std::vector<std::size_t>{1, 2}));
+}
+
+TEST(AdmissionPolicySelect, ShortestRemainingOrdersByWork) {
+  ServingConfig cfg;
+  cfg.policy = AdmitPolicy::kShortestRemaining;
+  cfg.kv_budget_bytes = 250;
+  const AdmissionPolicy p{cfg};
+  // Work order: 2 (1), 1 (5), 0 (10): the two shortest fit, the longest
+  // blocks even though it arrived before both.
+  const auto picks = p.select(
+      {cand(0, 0, 10, 100), cand(1, 20, 5, 100), cand(2, 50, 1, 100)}, {}, 0);
+  EXPECT_EQ(picks, (std::vector<std::size_t>{2, 1}));
+}
+
+TEST(AdmissionPolicySelect, ResidentCandidatePinsNothing) {
+  ServingConfig cfg;
+  cfg.policy = AdmitPolicy::kFcfs;
+  cfg.kv_budget_bytes = 100;
+  const AdmissionPolicy p{cfg};
+  // 90 of 100 bytes already pinned: a preempted (resident, 0-byte)
+  // candidate still fits.
+  const auto picks = p.select({cand(0, 0, 10, 0)}, {}, 90);
+  EXPECT_EQ(picks, (std::vector<std::size_t>{0}));
+  EXPECT_TRUE(p.select({cand(0, 0, 10, 20)}, {5}, 90).empty());
+}
+
+TEST(AdmissionPolicySelect, PreemptGateSkipsYieldersButIdleMachineProgresses) {
+  ServingConfig cfg;
+  cfg.policy = AdmitPolicy::kFcfs;
+  cfg.preempt = true;
+  cfg.preempt_ratio = 2;
+  const AdmissionPolicy p{cfg};
+  // A long candidate (work 100) yields to a running short (work 10), so the
+  // shorter candidate behind it is admitted instead...
+  const auto picks =
+      p.select({cand(0, 0, 100, 0), cand(1, 10, 15, 0)}, {10}, 0);
+  EXPECT_EQ(picks, (std::vector<std::size_t>{1}));
+  // ...but with nothing running, the yield gate is waived: an idle machine
+  // with a non-empty queue always makes progress.
+  const auto idle = p.select({cand(0, 0, 100, 0), cand(1, 10, 15, 0)}, {}, 0);
+  ASSERT_FALSE(idle.empty());
+  EXPECT_EQ(idle[0], 0u);
+}
+
+TEST(AdmissionPolicyPreempt, TriggersOnRatioOnly) {
+  ServingConfig cfg;
+  cfg.policy = AdmitPolicy::kFcfs;
+  cfg.preempt = true;
+  cfg.preempt_ratio = 2;
+  const AdmissionPolicy p{cfg};
+  EXPECT_TRUE(p.should_preempt(100, {10}));
+  EXPECT_FALSE(p.should_preempt(100, {50}));   // within 2x: no preemption
+  EXPECT_FALSE(p.should_preempt(100, {100}));  // equals never preempt
+  EXPECT_FALSE(p.should_preempt(100, {}));     // nobody to yield to
+  ServingConfig off = cfg;
+  off.preempt = false;
+  EXPECT_FALSE(AdmissionPolicy{off}.should_preempt(100, {1}));
+}
+
+// ---------------------------------------------------------------------------
+// Landmark guards (the "0-cycle latency in barrier modes" bugfix)
+// ---------------------------------------------------------------------------
+
+TEST(LandmarkGuards, BarrierModesReportSentinelNotZeroLatency) {
+  const RequestBatch b = RequestBatch::uniform(tiny_model(), 2, 128);
+  DecodePassConfig pc;
+  pc.num_layers = 1;
+  pc.include_gemv = false;
+  for (const auto mode : {scenario::ExecutionMode::kIndependent,
+                          scenario::ExecutionMode::kCoScheduled}) {
+    pc.mode = mode;
+    const BatchStats s = DecodePass(b, pc, small_config()).run();
+    for (const scenario::RequestStats& r : s.per_request) {
+      EXPECT_FALSE(r.streamed);
+      EXPECT_EQ(r.latency(), kNeverCycle) << to_string(mode);
+      EXPECT_EQ(r.admission_wait(), kNeverCycle) << to_string(mode);
+    }
+    EXPECT_EQ(s.latency_percentile(99.0), kNeverCycle) << to_string(mode);
+  }
+  pc.mode = scenario::ExecutionMode::kContinuous;
+  const BatchStats ct = DecodePass(b, pc, small_config()).run();
+  for (const scenario::RequestStats& r : ct.per_request) {
+    EXPECT_TRUE(r.streamed);
+    EXPECT_NE(r.latency(), kNeverCycle);
+    EXPECT_GT(r.latency(), 0u);
+  }
+  EXPECT_GE(ct.latency_percentile(99.0), ct.latency_percentile(50.0));
+  EXPECT_LE(ct.latency_percentile(99.0), ct.makespan);
+}
+
+TEST(LatencyPercentile, NearestRankDefinition) {
+  EXPECT_EQ(percentile_nearest_rank({}, 99.0), 0u);
+  EXPECT_EQ(percentile_nearest_rank({7}, 50.0), 7u);
+  EXPECT_EQ(percentile_nearest_rank({30, 10, 20, 40}, 50.0), 20u);
+  EXPECT_EQ(percentile_nearest_rank({30, 10, 20, 40}, 99.0), 40u);
+  EXPECT_EQ(percentile_nearest_rank({30, 10, 20, 40}, 0.0), 10u);
+  EXPECT_EQ(percentile_nearest_rank({30, 10, 20, 40}, 100.0), 40u);
+}
+
+// ---------------------------------------------------------------------------
+// Duplicate-id validation (the id->index map corruption bugfix)
+// ---------------------------------------------------------------------------
+
+TEST(DuplicateIds, RejectedAtConstructionWithClearMessage) {
+  try {
+    const RequestBatch b(tiny_model(), {{3, 128, 0, 1}, {3, 256, 0, 1}});
+    FAIL() << "duplicate ids must throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("duplicate request id 3"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Engine behavior under the serving policies
+// ---------------------------------------------------------------------------
+
+DecodePassConfig continuous_cfg() {
+  DecodePassConfig pc;
+  pc.num_layers = 1;
+  pc.include_gemv = false;
+  pc.mode = scenario::ExecutionMode::kContinuous;
+  return pc;
+}
+
+void expect_identical(const BatchStats& a, const BatchStats& b) {
+  EXPECT_EQ(a.total.cycles, b.total.cycles);
+  EXPECT_EQ(a.total.instructions, b.total.instructions);
+  EXPECT_EQ(a.total.thread_blocks, b.total.thread_blocks);
+  EXPECT_EQ(a.total.dram_reads, b.total.dram_reads);
+  EXPECT_EQ(a.total.counters.counters(), b.total.counters.counters());
+  EXPECT_EQ(a.makespan, b.makespan);
+  ASSERT_EQ(a.per_request.size(), b.per_request.size());
+  for (std::size_t i = 0; i < a.per_request.size(); ++i) {
+    EXPECT_EQ(a.per_request[i].admit_cycle, b.per_request[i].admit_cycle);
+    EXPECT_EQ(a.per_request[i].finish_cycle, b.per_request[i].finish_cycle);
+    EXPECT_EQ(a.per_request[i].slice.dram_reads,
+              b.per_request[i].slice.dram_reads);
+    EXPECT_EQ(a.per_request[i].slice.llc_hits,
+              b.per_request[i].slice.llc_hits);
+  }
+}
+
+// The acceptance anchor: with an unlimited budget and no preemption, every
+// queueing discipline admits each arrival the cycle it lands - exactly the
+// unconditional engine. If this drifts, the policy layer is perturbing runs
+// it must not touch.
+TEST(ServingEngine, UnlimitedBudgetMatchesUnconditionalByteForByte) {
+  const SimConfig cfg = small_config();
+  const RequestBatch batch(tiny_model(),
+                           {{0, 256, 0, 2}, {1, 64, 500, 1}, {2, 128, 0, 1}});
+  DecodePassConfig pc = continuous_cfg();
+  const BatchStats none = DecodePass(batch, pc, cfg).run();
+  for (const AdmitPolicy policy :
+       {AdmitPolicy::kFcfs, AdmitPolicy::kShortestRemaining}) {
+    pc.serving.policy = policy;
+    pc.serving.kv_budget_bytes = 0;
+    const BatchStats queued = DecodePass(batch, pc, cfg).run();
+    expect_identical(queued, none);
+    EXPECT_EQ(queued.total_preemptions(), 0u);
+    EXPECT_EQ(queued.total_queue_wait(), 0u);
+  }
+}
+
+// A finite budget changes the admission schedule: with room for only one
+// resident KV at a time, requests serialize - each later request is
+// admitted no earlier than its predecessor's finish, and its wait is
+// accounted.
+TEST(ServingEngine, BudgetSerializesAdmissions) {
+  const SimConfig cfg = small_config();
+  const RequestBatch batch(tiny_model(),
+                           {{0, 256, 0, 1}, {1, 160, 0, 1}, {2, 160, 0, 1}});
+  DecodePassConfig pc = continuous_cfg();
+  pc.serving.policy = AdmitPolicy::kFcfs;
+  // Fits the 256-token request alone, or one 160-token request - never two
+  // requests at once (2 x 160 > 256).
+  pc.serving.kv_budget_bytes = 256 * kTinyBytesPerToken;
+  const BatchStats s = DecodePass(batch, pc, cfg).run();
+
+  EXPECT_EQ(s.per_request[0].admit_cycle, 0u);
+  EXPECT_GE(s.per_request[1].admit_cycle, s.per_request[0].finish_cycle);
+  EXPECT_GE(s.per_request[2].admit_cycle, s.per_request[1].finish_cycle);
+  EXPECT_GT(s.per_request[1].queued_cycles, 0u);
+  EXPECT_GT(s.per_request[2].queued_cycles, 0u);
+  EXPECT_EQ(s.per_request[0].queued_cycles, 0u);
+  // Queue wait is part of true latency: finish - arrival covers it.
+  EXPECT_EQ(s.per_request[2].latency(),
+            s.per_request[2].finish_cycle - s.per_request[2].arrival_cycle);
+
+  // The unconditional engine admits everyone at cycle 0 instead.
+  DecodePassConfig raw = continuous_cfg();
+  const BatchStats none = DecodePass(batch, raw, cfg).run();
+  EXPECT_EQ(none.per_request[1].admit_cycle, 0u);
+  EXPECT_EQ(none.per_request[2].admit_cycle, 0u);
+}
+
+// Shortest-remaining-first reorders a queue FCFS would drain in arrival
+// order: with the machine saturated by request 0, a later-arriving short
+// request jumps an earlier-arriving long one.
+TEST(ServingEngine, ShortestRemainingJumpsTheQueue) {
+  const SimConfig cfg = small_config();
+  const RequestBatch batch(tiny_model(), {{0, 256, 0, 1},
+                                          {1, 512, 1000, 1},
+                                          {2, 64, 2000, 1}});
+  DecodePassConfig pc = continuous_cfg();
+  pc.serving.kv_budget_bytes = 512 * kTinyBytesPerToken;
+
+  pc.serving.policy = AdmitPolicy::kFcfs;
+  const BatchStats fcfs = DecodePass(batch, pc, cfg).run();
+  // FCFS: request 1 (arrived first) is admitted before request 2.
+  EXPECT_LE(fcfs.per_request[1].admit_cycle, fcfs.per_request[2].admit_cycle);
+
+  pc.serving.policy = AdmitPolicy::kShortestRemaining;
+  const BatchStats srf = DecodePass(batch, pc, cfg).run();
+  // SRF: the 64-token request jumps the 512-token one.
+  EXPECT_LT(srf.per_request[2].admit_cycle, srf.per_request[1].admit_cycle);
+  EXPECT_LT(srf.per_request[2].latency(), fcfs.per_request[2].latency());
+}
+
+// Preemption evicts the long request at a stage boundary once a much
+// shorter request co-runs: the short one's latency shrinks, the long one
+// records the eviction and still finishes (KV resident, no lost work:
+// total traffic attribution stays exact).
+TEST(ServingEngine, PreemptionBoundsShortRequestLatency) {
+  const SimConfig cfg = small_config();
+  const RequestBatch batch(tiny_model(), {{0, 1024, 0, 1}, {1, 128, 2000, 1}});
+  DecodePassConfig pc = continuous_cfg();
+  pc.num_layers = 2;
+  pc.serving.policy = AdmitPolicy::kFcfs;
+
+  const BatchStats share = DecodePass(batch, pc, cfg).run();
+  EXPECT_EQ(share.total_preemptions(), 0u);
+
+  pc.serving.preempt = true;
+  const BatchStats pre = DecodePass(batch, pc, cfg).run();
+  EXPECT_GE(pre.per_request[0].preemptions, 1u);
+  EXPECT_EQ(pre.per_request[1].preemptions, 0u);
+  EXPECT_LT(pre.per_request[1].latency(), share.per_request[1].latency());
+  EXPECT_GT(pre.per_request[0].queued_cycles, 0u);
+
+  // No work is lost to an eviction: every thread block and every byte of
+  // DRAM traffic still attributes to exactly one request.
+  std::uint64_t reads = 0, tbs = 0;
+  for (const scenario::RequestStats& r : pre.per_request) {
+    reads += r.slice.dram_reads;
+    tbs += r.slice.thread_blocks;
+  }
+  EXPECT_EQ(reads, pre.total.dram_reads);
+  EXPECT_EQ(tbs, pre.total.thread_blocks);
+}
+
+TEST(ServingEngine, DeterministicAcrossRuns) {
+  const SimConfig cfg = small_config();
+  const RequestBatch batch(tiny_model(), {{0, 512, 0, 2},
+                                          {1, 128, 1000, 1},
+                                          {2, 64, 3000, 1},
+                                          {3, 128, 5000, 1}});
+  DecodePassConfig pc = continuous_cfg();
+  pc.serving.policy = AdmitPolicy::kShortestRemaining;
+  pc.serving.kv_budget_bytes = 700 * kTinyBytesPerToken;
+  pc.serving.preempt = true;
+  const DecodePass pass(batch, pc, cfg);
+  const BatchStats a = pass.run();
+  const BatchStats b = pass.run();
+  expect_identical(a, b);
+  ASSERT_EQ(a.per_request.size(), b.per_request.size());
+  for (std::size_t i = 0; i < a.per_request.size(); ++i) {
+    EXPECT_EQ(a.per_request[i].preemptions, b.per_request[i].preemptions);
+    EXPECT_EQ(a.per_request[i].queued_cycles, b.per_request[i].queued_cycles);
+  }
+}
+
+// Everyone finishes under every policy combination, however tight the
+// budget (arrivals queue, they never drop).
+TEST(ServingEngine, NoRequestIsEverDropped) {
+  const SimConfig cfg = small_config();
+  const RequestBatch batch(tiny_model(), {{0, 256, 0, 1},
+                                          {1, 128, 100, 1},
+                                          {2, 64, 50'000, 2},
+                                          {3, 128, 200, 1}});
+  for (const AdmitPolicy policy :
+       {AdmitPolicy::kFcfs, AdmitPolicy::kShortestRemaining}) {
+    for (const bool preempt : {false, true}) {
+      DecodePassConfig pc = continuous_cfg();
+      pc.serving.policy = policy;
+      // Tightest feasible budget: exactly the largest single request.
+      pc.serving.kv_budget_bytes = 256 * kTinyBytesPerToken;
+      pc.serving.preempt = preempt;
+      const BatchStats s = DecodePass(batch, pc, cfg).run();
+      for (const scenario::RequestStats& r : s.per_request) {
+        EXPECT_GT(r.finish_cycle, 0u) << "policy=" << to_string(policy)
+                                      << " preempt=" << preempt;
+        EXPECT_GE(r.finish_cycle, r.admit_cycle);
+        EXPECT_GE(r.admit_cycle, r.arrival_cycle);
+      }
+      EXPECT_GE(s.makespan, s.per_request[2].finish_cycle);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace llamcat

@@ -9,8 +9,13 @@
 //   llamcat_cli --op=batch --mode=coscheduled --requests=4 --seq=512
 //   llamcat_cli --op=batch --mode=continuous --seqs=4096,512,512 \
 //       --arrivals=0,0,200000 --steps=2
+//   llamcat_cli --op=batch --mode=continuous --seqs=4096,512,512 \
+//       --arrivals=0,10000,20000 --admit-policy=srf --kv-budget=18874368 \
+//       --preempt --no-gemv
 #include <fstream>
 #include <iostream>
+#include <optional>
+#include <stdexcept>
 #include <vector>
 
 #include "scenario/scenario.hpp"
@@ -83,20 +88,47 @@ int run_batch(const CliOptions& opt) {
         static_cast<std::uint32_t>(pick(opt.batch_steps, i, 1));
     specs.push_back(spec);
   }
-  const scenario::RequestBatch batch(opt.model, std::move(specs));
   scenario::DecodePassConfig pass_cfg;
   pass_cfg.num_layers = opt.batch_layers;
   pass_cfg.include_gemv = opt.batch_gemv;
   pass_cfg.mode = opt.batch_mode;
   pass_cfg.interleave = opt.batch_interleave;
+  pass_cfg.serving.policy = opt.batch_admit;
+  pass_cfg.serving.kv_budget_bytes = opt.batch_kv_budget;
+  pass_cfg.serving.preempt = opt.batch_preempt;
 
-  const scenario::DecodePass pass(batch, pass_cfg, opt.cfg);
+  // Batch/pass construction validates the scenario (duplicate request ids,
+  // zero lengths, a request whose peak KV alone exceeds --kv-budget, ...):
+  // report those as configuration errors, not simulation failures.
+  std::optional<scenario::RequestBatch> batch;
+  std::optional<scenario::DecodePass> pass;
+  try {
+    batch.emplace(opt.model, std::move(specs));
+    pass.emplace(*batch, pass_cfg, opt.cfg);
+  } catch (const std::invalid_argument& e) {
+    std::cerr << "error: invalid batch scenario: " << e.what() << "\n";
+    return 2;
+  }
   std::cout << "machine: " << opt.cfg.summary() << "\n"
-            << "batch:   " << batch.size() << " requests, "
-            << pass_cfg.num_layers << " layers, " << pass.schedule().size()
-            << " operator runs, mode=" << to_string(pass_cfg.mode) << "\n\n";
+            << "batch:   " << batch->size() << " requests, "
+            << pass_cfg.num_layers << " layers, " << pass->schedule().size()
+            << " operator runs, mode=" << to_string(pass_cfg.mode) << "\n";
+  if (!pass_cfg.serving.unconditional()) {
+    std::cout << "serving: admit=" << to_string(pass_cfg.serving.policy)
+              << " kv-budget=";
+    if (pass_cfg.serving.kv_budget_bytes == 0) {
+      std::cout << "unlimited";
+    } else {
+      std::cout << pass_cfg.serving.kv_budget_bytes << "B";
+    }
+    std::cout << " (batch peak "
+              << batch->total_peak_kv_bytes(pass_cfg.num_layers) << "B)"
+              << " preempt=" << (pass_cfg.serving.preempt ? "on" : "off")
+              << "\n";
+  }
+  std::cout << "\n";
 
-  const scenario::BatchStats stats = pass.run(0, opt.verbose);
+  const scenario::BatchStats stats = pass->run(0, opt.verbose);
   stats.print(std::cout);
   if (opt.print_energy) {
     estimate_energy(EnergyConfig{}, opt.cfg, stats.total).print(std::cout);
