@@ -105,5 +105,45 @@ int main() {
             << "); the short requests ran without its KV stream beside "
                "them.\nbench/ablation_admission sweeps the policies "
                "(fcfs/srf, preemption) on staggered arrivals.\n";
+
+  // Paged KV eviction on top: the budget now fits ONLY the long request,
+  // and the short ones arrive while it runs. With resident preemption
+  // (PR 4 semantics) the lone long request is never preempted - nothing
+  // co-runs with it - so its KV pins the whole budget and the shorts wait
+  // for its finish. With --kv-evict=cold-blocks the budget-blocked shorts
+  // count as preemption pressure: the long request yields its next stage
+  // boundary, its cold KV blocks swap out to the modeled host tier (freeing
+  // their budget bytes, so the shorts admit mid-stream), and its resume
+  // pays a refetch before re-entering the machine.
+  const scenario::RequestBatch staggered(
+      model, {{0, 1024, 0, 1}, {1, 256, 20'000, 1}, {2, 256, 40'000, 1}});
+  scenario::DecodePassConfig paged_cfg;
+  paged_cfg.num_layers = 2;
+  paged_cfg.mode = scenario::ExecutionMode::kContinuous;
+  paged_cfg.serving.policy = scenario::AdmitPolicy::kFcfs;
+  paged_cfg.serving.kv_budget_bytes =
+      staggered.peak_kv_bytes(staggered.requests()[0], paged_cfg.num_layers);
+  paged_cfg.serving.preempt = true;
+
+  const scenario::BatchStats res =
+      scenario::DecodePass(staggered, paged_cfg, cfg).run();
+  paged_cfg.serving.kv_evict = KvEvictPolicy::kColdBlocks;
+  std::cout << "\n--- paged KV eviction (budget = the long request alone) "
+               "---\n";
+  const scenario::BatchStats pg =
+      scenario::DecodePass(staggered, paged_cfg, cfg).run();
+  pg.print(std::cout);
+  std::cout << "\nresident preemption admitted the first short request at "
+               "cycle "
+            << res.per_request[1].admit_cycle
+            << " (the long request's finish);\ncold-block eviction swapped "
+            << pg.per_request[0].swapped_blocks
+            << " KV blocks to the host tier and admitted it at cycle "
+            << pg.per_request[1].admit_cycle << ",\nand the long request "
+            << "paid " << pg.per_request[0].refetch_cycles
+            << " refetch cycles at resume ("
+            << pg.per_request[0].refetch_bytes
+            << " bytes reloaded).\nbench/ablation_paging prices this "
+               "recompute-vs-reload tradeoff across host-link speeds.\n";
   return 0;
 }

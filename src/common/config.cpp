@@ -94,6 +94,14 @@ std::string to_string(AdmitPolicy p) {
   return "?";
 }
 
+std::string to_string(KvEvictPolicy p) {
+  switch (p) {
+    case KvEvictPolicy::kNone: return "none";
+    case KvEvictPolicy::kColdBlocks: return "cold-blocks";
+  }
+  return "?";
+}
+
 SimConfig SimConfig::table5() {
   SimConfig cfg;  // defaults in the struct definitions *are* Table 5
   cfg.validate();

@@ -132,6 +132,21 @@ enum class AdmitPolicy : std::uint8_t {
   kShortestRemaining,  // queue drained by least remaining work first
 };
 
+/// Block-granular KV eviction mode of the serving-policy layer
+/// (scenario/serving.hpp + scenario/kv_pager.hpp). kNone keeps a preempted
+/// request's KV fully resident (PR 4 semantics: preemption relieves
+/// cache/compute contention but never budget pressure). kColdBlocks swaps
+/// the preempted request's cold KV blocks out to a modeled DRAM/host tier,
+/// freeing their budget bytes immediately; resume charges a refetch cost
+/// before the request re-enters its next stage (vLLM/LMCache-style paging).
+/// Lives in the shared vocabulary header for the same layering reason as
+/// AdmitPolicy (the CLI option layer must not depend upward on the
+/// scenario layer).
+enum class KvEvictPolicy : std::uint8_t {
+  kNone,        // preempted KV stays resident (exact stage-boundary resume)
+  kColdBlocks,  // swap cold blocks to the host tier, refetch at resume
+};
+
 /// Thread-throttling controller (paper §4.2 + baselines §6.2.3).
 enum class ThrottlePolicy : std::uint8_t {
   kNone,    // "unoptimized"
@@ -146,6 +161,7 @@ std::string to_string(ThrottlePolicy p);
 std::string to_string(RequestDispatch d);
 std::string to_string(ExecutionMode m);
 std::string to_string(AdmitPolicy p);
+std::string to_string(KvEvictPolicy p);
 std::string to_string(BypassPolicy p);
 std::string to_string(ReplPolicy p);
 std::string to_string(InsertPolicy p);

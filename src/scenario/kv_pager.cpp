@@ -1,0 +1,50 @@
+#include "scenario/kv_pager.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace llamcat::scenario {
+
+void KvPagerConfig::validate() const {
+  if (block_bytes == 0 || block_bytes % kLineBytes != 0) {
+    throw std::invalid_argument(
+        "KvPagerConfig: kv_block_bytes must be a positive multiple of the " +
+        std::to_string(kLineBytes) + "-byte cache line (KV is line-granular "
+        "everywhere else in the simulator); got " +
+        std::to_string(block_bytes));
+  }
+}
+
+KvPager::KvPager(const KvPagerConfig& cfg,
+                 std::vector<std::uint64_t> footprints)
+    : cfg_(cfg),
+      footprints_(std::move(footprints)),
+      swapped_blocks_(footprints_.size(), 0) {
+  cfg_.validate();
+}
+
+std::uint64_t KvPager::total_blocks(std::size_t i) const {
+  return footprints_[i] / cfg_.block_bytes;
+}
+
+std::uint64_t KvPager::evict_cold(std::size_t i) {
+  const std::uint64_t cold = total_blocks(i) - swapped_blocks_[i];
+  if (cold == 0) return 0;
+  swapped_blocks_[i] += cold;
+  total_swap_out_blocks_ += cold;
+  return cold * cfg_.block_bytes;
+}
+
+KvPager::Refetch KvPager::refetch(std::size_t i) {
+  Refetch r;
+  r.blocks = swapped_blocks_[i];
+  if (r.blocks == 0) return r;
+  r.bytes = r.blocks * cfg_.block_bytes;
+  r.cycles = r.blocks * cfg_.cycles_per_block();
+  swapped_blocks_[i] = 0;
+  total_refetch_bytes_ += r.bytes;
+  return r;
+}
+
+}  // namespace llamcat::scenario

@@ -10,6 +10,9 @@
 #include <unordered_set>
 #include <utility>
 
+#include <optional>
+
+#include "scenario/kv_pager.hpp"
 #include "sim/system.hpp"
 #include "trace/dynamic_source.hpp"
 
@@ -125,6 +128,24 @@ Cycle BatchStats::total_queue_wait() const {
   return n;
 }
 
+std::uint64_t BatchStats::total_swapped_blocks() const {
+  std::uint64_t n = 0;
+  for (const RequestStats& r : per_request) n += r.swapped_blocks;
+  return n;
+}
+
+std::uint64_t BatchStats::total_refetch_bytes() const {
+  std::uint64_t n = 0;
+  for (const RequestStats& r : per_request) n += r.refetch_bytes;
+  return n;
+}
+
+Cycle BatchStats::total_refetch_cycles() const {
+  Cycle n = 0;
+  for (const RequestStats& r : per_request) n += r.refetch_cycles;
+  return n;
+}
+
 void BatchStats::print(std::ostream& os) const {
   os << "mode: " << to_string(mode) << "\n";
   os << std::left << std::setw(10) << "request" << std::setw(10) << "seq_len"
@@ -132,8 +153,12 @@ void BatchStats::print(std::ostream& os) const {
   if (mode == ExecutionMode::kContinuous) {
     os << std::setw(10) << "arrival" << std::setw(10) << "admit"
        << std::setw(12) << "finish" << std::setw(12) << "latency"
-       << std::setw(10) << "wait" << std::setw(9) << "preempt"
-       << std::setw(10) << "dram_rd" << std::setw(10) << "l2_hit";
+       << std::setw(10) << "wait" << std::setw(9) << "preempt";
+    if (paged) {
+      os << std::setw(9) << "swap" << std::setw(12) << "refetch_b"
+         << std::setw(12) << "refetch_c";
+    }
+    os << std::setw(10) << "dram_rd" << std::setw(10) << "l2_hit";
   } else if (mode == ExecutionMode::kCoScheduled) {
     os << std::setw(12) << "in_flight" << std::setw(10) << "dram_rd"
        << std::setw(10) << "dram_wr" << std::setw(10) << "l2_hit";
@@ -147,8 +172,12 @@ void BatchStats::print(std::ostream& os) const {
     if (mode == ExecutionMode::kContinuous) {
       os << std::setw(10) << r.arrival_cycle << std::setw(10) << r.admit_cycle
          << std::setw(12) << r.finish_cycle << std::setw(12) << r.latency()
-         << std::setw(10) << r.queued_cycles << std::setw(9) << r.preemptions
-         << std::setw(10) << r.slice.dram_reads << std::fixed
+         << std::setw(10) << r.queued_cycles << std::setw(9) << r.preemptions;
+      if (paged) {
+        os << std::setw(9) << r.swapped_blocks << std::setw(12)
+           << r.refetch_bytes << std::setw(12) << r.refetch_cycles;
+      }
+      os << std::setw(10) << r.slice.dram_reads << std::fixed
          << std::setprecision(4) << std::setw(10) << r.slice.l2_hit_rate()
          << std::defaultfloat;
     } else if (mode == ExecutionMode::kCoScheduled) {
@@ -167,6 +196,11 @@ void BatchStats::print(std::ostream& os) const {
        << "latency_p99       " << latency_percentile(99.0) << "\n"
        << "queue_wait        " << total_queue_wait() << "\n"
        << "preemptions       " << total_preemptions() << "\n";
+    if (paged) {
+      os << "swapped_blocks    " << total_swapped_blocks() << "\n"
+         << "refetch_bytes     " << total_refetch_bytes() << "\n"
+         << "refetch_cycles    " << total_refetch_cycles() << "\n";
+    }
   }
   os << std::scientific << std::setprecision(3) << "tokens/cycle      "
      << tokens_per_cycle() << "\n"
@@ -500,29 +534,79 @@ BatchStats DecodePass::run_continuous(bool verbose) const {
     bool admitted_ever = false;  // first admission happened (KV resident)
     bool finished = false;
     Cycle queue_enter = 0;     // stream cycle it entered the queue
+    // Paged mode only: the request was re-admitted with swapped-out blocks
+    // and its next operator is held back until the refetch transfer
+    // completes at stream cycle `refetch_ready`.
+    bool awaiting_refetch = false;
+    Cycle refetch_ready = 0;
   };
   std::vector<ReqState> st(reqs.size());
-  // KV bytes pinned by resident requests (admitted, not yet finished -
-  // preempted requests keep their KV resident).
+  // KV bytes pinned by resident requests (admitted, not yet finished).
+  // Under kv_evict=none a preempted request keeps its full peak pinned;
+  // under cold-blocks eviction its swapped blocks leave this ledger until
+  // the resume refetch re-pins them.
   std::uint64_t resident_bytes = 0;
   std::vector<std::uint64_t> peak_bytes(reqs.size());
   for (std::size_t i = 0; i < reqs.size(); ++i) {
     peak_bytes[i] = batch_.peak_kv_bytes(reqs[i], pass_cfg_.num_layers);
   }
+  // Paged KV model (kv_evict=cold-blocks): tracks each request's resident
+  // vs swapped-out block sets and prices the resume refetch.
+  std::optional<KvPager> pager;
+  if (pass_cfg_.serving.paged()) {
+    KvPagerConfig pager_cfg;
+    pager_cfg.block_bytes = pass_cfg_.serving.kv_block_bytes != 0
+                                ? pass_cfg_.serving.kv_block_bytes
+                                : kLineBytes;
+    pager_cfg.refetch_cost = pass_cfg_.serving.refetch_cost;
+    pager.emplace(pager_cfg, peak_bytes);
+  }
+  out.paged = pager.has_value();
 
   // Remaining service-demand estimate: remaining chain operators weighted
   // by the request's peak KV tokens (longer contexts mean longer operators).
   const auto remaining_work = [&](std::size_t i) -> std::uint64_t {
     return (chains[i].size() - st[i].cursor) * batch_.peak_kv_tokens(reqs[i]);
   };
+  // Bytes an admission of request i would newly pin: its full peak on
+  // first admission, the swapped-out share on a paged resume, 0 for a
+  // resident (non-evicted) preempted request.
+  const auto admit_bytes = [&](std::size_t i) -> std::uint64_t {
+    if (!st[i].admitted_ever) return peak_bytes[i];
+    return pager ? pager->swapped_bytes(i) : 0;
+  };
   const auto queued_candidates = [&] {
     std::vector<AdmissionPolicy::Candidate> q;
     for (std::size_t i = 0; i < reqs.size(); ++i) {
       if (!st[i].queued) continue;
       q.push_back({i, reqs[i].arrival_cycle, remaining_work(i),
-                   st[i].admitted_ever ? 0 : peak_bytes[i]});
+                   admit_bytes(i)});
     }
     return q;
+  };
+  // Paged mode: remaining work of queued candidates the free budget cannot
+  // hold. They exert preemption pressure (should_preempt's blocked_work) -
+  // evicting a much-longer runner's cold blocks is what unblocks them.
+  const auto blocked_work = [&]() -> std::vector<std::uint64_t> {
+    std::vector<std::uint64_t> w;
+    if (!pager) return w;
+    const std::uint64_t budget = pass_cfg_.serving.kv_budget_bytes;
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+      if (st[i].queued && resident_bytes + admit_bytes(i) > budget) {
+        w.push_back(remaining_work(i));
+      }
+    }
+    return w;
+  };
+  // Blocked candidates only pressure victim i when evicting it would
+  // actually free bytes: with no evictable whole block (block size larger
+  // than the footprint, or everything already out) the preemption would be
+  // pure churn - the blocked candidate stays blocked and the victim just
+  // lost its stage boundary.
+  const auto eviction_pressure_on =
+      [&](std::size_t i) -> std::vector<std::uint64_t> {
+    if (!pager || pager->evictable_blocks(i) == 0) return {};
+    return blocked_work();
   };
   // A running request's demand adds one operator's worth for the one in
   // flight (the cursor already advanced past it): a request mid-way through
@@ -546,6 +630,9 @@ BatchStats DecodePass::run_continuous(bool verbose) const {
   // Bookkeeping of one admission (the caller enqueues the operator):
   // first admissions pin the request's peak KV against the budget and stamp
   // the admit landmark; every admission closes out a queue-wait interval.
+  // A paged resume re-pins its swapped blocks and is marked
+  // awaiting_refetch: it is running (it holds its budget share again) but
+  // its next operator stays out of the machine until `refetch_ready`.
   const auto admit_mark = [&](std::size_t i, Cycle now) {
     st[i].queued = false;
     st[i].running = true;
@@ -554,6 +641,36 @@ BatchStats DecodePass::run_continuous(bool verbose) const {
       st[i].admitted_ever = true;
       out.per_request[i].admit_cycle = now;
       resident_bytes += peak_bytes[i];
+    } else if (pager && pager->swapped_blocks(i) != 0) {
+      const KvPager::Refetch r = pager->refetch(i);
+      resident_bytes += r.bytes;
+      out.per_request[i].refetch_bytes += r.bytes;
+      out.per_request[i].refetch_cycles += r.cycles;
+      st[i].awaiting_refetch = true;
+      st[i].refetch_ready = now + r.cycles;
+    }
+  };
+  // Whether request i's next operator may enter the machine at `now`
+  // (clears the refetch hold the moment it expires). Trivially true
+  // outside paged mode.
+  const auto ready_to_enqueue = [&](std::size_t i, Cycle now) {
+    if (st[i].awaiting_refetch) {
+      if (st[i].refetch_ready > now) return false;
+      st[i].awaiting_refetch = false;
+    }
+    return true;
+  };
+  // Preemption bookkeeping shared by the drain-boundary and mid-flight
+  // paths: the request leaves the machine, re-enters the serving queue,
+  // and - in paged mode - its cold blocks swap out, freeing budget bytes.
+  const auto preempt_mark = [&](std::size_t i, Cycle now) {
+    st[i].running = false;
+    enter_queue(i, now);
+    ++out.per_request[i].preemptions;
+    if (pager) {
+      const std::uint64_t freed = pager->evict_cold(i);
+      resident_bytes -= freed;
+      out.per_request[i].swapped_blocks += freed / pager->config().block_bytes;
     }
   };
 
@@ -591,28 +708,12 @@ BatchStats DecodePass::run_continuous(bool verbose) const {
         }
       }
     };
-    notice_arrivals();
     const auto any_running = [&] {
       for (const ReqState& s : st) {
         if (s.running) return true;
       }
       return false;
     };
-    std::vector<std::size_t> selected =
-        policy.select(queued_candidates(), running_work(kNobody),
-                      resident_bytes);
-    if (selected.empty() && !any_running()) {
-      Cycle next_arrival = kNeverCycle;
-      for (std::size_t i = 0; i < reqs.size(); ++i) {
-        if (!st[i].finished && !st[i].admitted_ever && !st[i].queued) {
-          next_arrival = std::min(next_arrival, reqs[i].arrival_cycle);
-        }
-      }
-      base = next_arrival;  // unfinished implies a pending arrival exists
-      notice_arrivals();
-      selected = policy.select(queued_candidates(), running_work(kNobody),
-                               resident_bytes);
-    }
 
     DynamicTbSource src;
     const auto enqueue_next = [&](std::size_t i) {
@@ -627,20 +728,75 @@ BatchStats DecodePass::run_continuous(bool verbose) const {
     std::vector<std::uint64_t> seg_enq(reqs.size(), 0);
     std::vector<std::uint32_t> dense(reqs.size(), kNoRequest);
 
-    // Requests continuing from the previous segment plus this sweep's
-    // admissions start the segment, enqueued in request-index order (the
-    // policy decides WHO starts; index order keeps the TB fuse order
-    // identical to the raw engine's under kNone).
-    std::sort(selected.begin(), selected.end());
+    // Assemble the segment start. Outside paged mode one pass always
+    // enqueues something; with paging the pass can come up empty (every
+    // resident request mid-refetch), in which case the stream clock hops to
+    // the next event - a refetch completion or an arrival - and retries.
     std::size_t started = 0;
-    for (std::size_t i = 0; i < reqs.size(); ++i) {
-      if (std::binary_search(selected.begin(), selected.end(), i)) {
-        admit_mark(i, base);
+    for (;;) {
+      notice_arrivals();
+      // Drain-boundary eviction sweep (paged mode): a carried-over running
+      // request yields its stage boundary - and its cold blocks' budget
+      // bytes - to much-shorter pressure before re-enqueueing. This is
+      // where a LONE long request is evicted in favor of a budget-blocked
+      // short arrival (mid-flight stage boundaries take the hook's
+      // preemption path instead; a lone request's boundary IS the drain).
+      if (pager && policy.config().preempt) {
+        for (std::size_t i = 0; i < reqs.size(); ++i) {
+          if (!st[i].running || st[i].finished || st[i].awaiting_refetch) {
+            continue;
+          }
+          if (policy.should_preempt(remaining_work(i), running_work(i),
+                                    eviction_pressure_on(i))) {
+            preempt_mark(i, base);
+          }
+        }
       }
-      if (st[i].running && !st[i].finished) {
-        enqueue_next(i);
-        ++started;
+      std::vector<std::size_t> selected =
+          policy.select(queued_candidates(), running_work(kNobody),
+                        resident_bytes);
+      if (selected.empty() && !any_running()) {
+        Cycle next_arrival = kNeverCycle;
+        for (std::size_t i = 0; i < reqs.size(); ++i) {
+          if (!st[i].finished && !st[i].admitted_ever && !st[i].queued) {
+            next_arrival = std::min(next_arrival, reqs[i].arrival_cycle);
+          }
+        }
+        base = next_arrival;  // unfinished implies a pending arrival exists
+        notice_arrivals();
+        selected = policy.select(queued_candidates(), running_work(kNobody),
+                                 resident_bytes);
       }
+
+      // Requests continuing from the previous segment plus this sweep's
+      // admissions start the segment, enqueued in request-index order (the
+      // policy decides WHO starts; index order keeps the TB fuse order
+      // identical to the raw engine's under kNone).
+      std::sort(selected.begin(), selected.end());
+      for (std::size_t i = 0; i < reqs.size(); ++i) {
+        if (std::binary_search(selected.begin(), selected.end(), i)) {
+          admit_mark(i, base);
+        }
+        if (st[i].running && !st[i].finished && ready_to_enqueue(i, base)) {
+          enqueue_next(i);
+          ++started;
+        }
+      }
+      if (started > 0) break;
+      // Nothing entered the machine: everyone resident is paying a refetch
+      // (the machine idles on the host link). Hop to the earliest refetch
+      // completion or not-yet-noticed arrival; both are strictly > base,
+      // and one must exist while started == 0, so this terminates.
+      Cycle hop = kNeverCycle;
+      for (std::size_t i = 0; i < reqs.size(); ++i) {
+        if (st[i].running && st[i].awaiting_refetch) {
+          hop = std::min(hop, st[i].refetch_ready);
+        }
+        if (!st[i].finished && !st[i].admitted_ever && !st[i].queued) {
+          hop = std::min(hop, reqs[i].arrival_cycle);
+        }
+      }
+      base = hop;
     }
     src.commit(pass_cfg_.interleave);
     for (std::size_t i = 0; i < reqs.size(); ++i) {
@@ -670,8 +826,12 @@ BatchStats DecodePass::run_continuous(bool verbose) const {
         std::sort(picks.begin(), picks.end());
         for (const std::size_t i : picks) {
           admit_mark(i, global);
-          enqueue_next(i);
-          touched.push_back(i);
+          // A paged resume is admitted (budget re-pinned) but its operator
+          // waits out the refetch; step 1.5 below enqueues it when due.
+          if (ready_to_enqueue(i, global)) {
+            enqueue_next(i);
+            touched.push_back(i);
+          }
         }
       };
       // 1) Arrivals enter the serving queue mid-flight; the policy admits
@@ -686,6 +846,19 @@ BatchStats DecodePass::run_continuous(bool verbose) const {
       }
       if (swept) admit_sweep();
       if (!touched.empty()) commit_and_refresh(touched);
+      // 1.5) Paged resumes whose refetch transfer just completed enter the
+      // machine.
+      if (pager) {
+        touched.clear();
+        for (std::size_t i = 0; i < reqs.size(); ++i) {
+          if (st[i].running && !st[i].finished && st[i].awaiting_refetch &&
+              ready_to_enqueue(i, global)) {
+            enqueue_next(i);
+            touched.push_back(i);
+          }
+        }
+        if (!touched.empty()) commit_and_refresh(touched);
+      }
       // 2) Stage handoff. A request whose current operator just completed
       // advances (or finishes) eagerly as long as it has company - any
       // other running request keeps the machine live, so the stream never
@@ -716,10 +889,9 @@ BatchStats DecodePass::run_continuous(bool verbose) const {
         if (seg_enq[i] == 0 || seg_completed(i) != seg_enq[i]) continue;
         if (st[i].cursor < chains[i].size()) {
           if (policy.config().preempt &&
-              policy.should_preempt(remaining_work(i), running_work(i))) {
-            st[i].running = false;
-            enter_queue(i, global);
-            ++out.per_request[i].preemptions;
+              policy.should_preempt(remaining_work(i), running_work(i),
+                                    eviction_pressure_on(i))) {
+            preempt_mark(i, global);
             freed = true;
           } else {
             enqueue_next(i);
@@ -781,6 +953,11 @@ BatchStats DecodePass::run_continuous(bool verbose) const {
     finalize_request_stats(rs, out.total.core_hz);
     rs.stats.counters.set("req.queue_wait", rs.queued_cycles);
     rs.stats.counters.set("req.preemptions", rs.preemptions);
+    if (out.paged) {
+      rs.stats.counters.set("req.swapped_blocks", rs.swapped_blocks);
+      rs.stats.counters.set("req.refetch_bytes", rs.refetch_bytes);
+      rs.stats.counters.set("req.refetch_cycles", rs.refetch_cycles);
+    }
   }
   return out;
 }

@@ -26,6 +26,13 @@
 //    reproduce kCoScheduled exactly while batches with skewed lengths
 //    stream past the barrier. Stats report true per-request latency
 //    (finish - arrival) plus the batch makespan.
+//
+// On top of kContinuous sits the serving-policy layer (serving.hpp:
+// KV-budgeted admission, stage-boundary preemption) and the paged KV model
+// (kv_pager.hpp: cold-block eviction to a modeled host tier, refetch at
+// resume). docs/architecture.md maps the whole stack, walks one request's
+// life-cycle through it, and has the "add a new policy / stat / CLI flag"
+// contributor recipes; docs/metrics.md defines every stat reported here.
 #pragma once
 
 #include <cstdint>
@@ -175,6 +182,15 @@ struct RequestStats {
   Cycle queued_cycles = 0;
   /// Times the serving policy evicted this request at a stage boundary.
   std::uint32_t preemptions = 0;
+  /// Paged-KV counters (0 unless kv_evict=cold-blocks; see kv_pager.hpp).
+  /// Cumulative KV blocks swapped out to the host tier across this
+  /// request's preemptions...
+  std::uint64_t swapped_blocks = 0;
+  /// ...the bytes refetched from the host tier across its resumes...
+  std::uint64_t refetch_bytes = 0;
+  /// ...and the stream cycles its resumes were held back paying for those
+  /// transfers (part of latency(): refetch delays the finish).
+  Cycle refetch_cycles = 0;
 
   /// End-to-end latency in stream time (equals stats.cycles when streamed);
   /// kNeverCycle for barrier-mode results, which have no stream landmarks.
@@ -225,6 +241,13 @@ struct BatchStats {
   /// Serving-policy totals across the batch (0 under policy none).
   [[nodiscard]] std::uint64_t total_preemptions() const;
   [[nodiscard]] Cycle total_queue_wait() const;
+  /// Paged-KV totals (0 unless the pass ran with kv_evict=cold-blocks).
+  [[nodiscard]] std::uint64_t total_swapped_blocks() const;
+  [[nodiscard]] std::uint64_t total_refetch_bytes() const;
+  [[nodiscard]] Cycle total_refetch_cycles() const;
+  /// True when the pass ran with the paged KV model (gates the swap/refetch
+  /// columns in print() so non-paged tables stay unchanged).
+  bool paged = false;
 
   /// Batch throughput: tokens produced this pass over sequential-equivalent
   /// cycles (barrier modes) or the stream makespan (kContinuous).

@@ -24,6 +24,26 @@ void ServingConfig::validate() const {
         "ServingConfig: preempt_ratio must be >= 1 (a zero ratio would "
         "preempt every co-running pair)");
   }
+  if (kv_evict != KvEvictPolicy::kNone) {
+    if (!preempt) {
+      throw std::invalid_argument(
+          "ServingConfig: kv_evict=cold-blocks requires preemption - "
+          "eviction happens when a running request is preempted at a stage "
+          "boundary, which never occurs without preempt");
+    }
+    if (kv_budget_bytes == 0) {
+      throw std::invalid_argument(
+          "ServingConfig: kv_evict=cold-blocks requires a finite "
+          "kv_budget_bytes - with an unlimited budget there is no pressure "
+          "to relieve, so eviction would only add refetch cost");
+    }
+  }
+  if (kv_block_bytes != 0 && kv_block_bytes % kLineBytes != 0) {
+    throw std::invalid_argument(
+        "ServingConfig: kv_block_bytes must be a multiple of the " +
+        std::to_string(kLineBytes) +
+        "-byte cache line (KV is line-granular everywhere else)");
+  }
 }
 
 AdmissionPolicy::AdmissionPolicy(const ServingConfig& cfg) : cfg_(cfg) {
@@ -44,6 +64,17 @@ bool AdmissionPolicy::should_preempt(
     std::uint64_t remaining_work,
     const std::vector<std::uint64_t>& co_running_work) const {
   return yields_to_any(remaining_work, co_running_work);
+}
+
+bool AdmissionPolicy::should_preempt(
+    std::uint64_t remaining_work,
+    const std::vector<std::uint64_t>& co_running_work,
+    const std::vector<std::uint64_t>& blocked_work) const {
+  if (yields_to_any(remaining_work, co_running_work)) return true;
+  // Budget-blocked candidates only exert preemption pressure when yielding
+  // can actually unblock them: cold-block eviction frees the preempted
+  // request's budget bytes, resident preemption does not.
+  return cfg_.paged() && yields_to_any(remaining_work, blocked_work);
 }
 
 std::vector<std::size_t> AdmissionPolicy::select(
@@ -70,6 +101,23 @@ std::vector<std::size_t> AdmissionPolicy::select(
                      });
   }
 
+  // Paged mode: a candidate additionally yields to a much-shorter *queued*
+  // peer. Eviction exists to hand budget bytes to shorter work - without
+  // this gate, FCFS seniority would re-admit a just-evicted long request
+  // ahead of the short whose blocked admission triggered the eviction,
+  // paying the refetch for nothing (swap thrash). The minimum-work
+  // candidate never yields, so the gate cannot block everyone.
+  const auto yields_to_queued_peer = [&](const Candidate& c) {
+    if (!cfg_.paged()) return false;
+    for (const Candidate& d : queued) {
+      if (d.index != c.index &&
+          c.remaining_work > d.remaining_work * cfg_.preempt_ratio) {
+        return true;
+      }
+    }
+    return false;
+  };
+
   const std::uint64_t budget = cfg_.kv_budget_bytes;
   std::uint64_t pinned = resident_bytes;
   // Admitted candidates join the running set for later yield checks, so one
@@ -77,6 +125,7 @@ std::vector<std::size_t> AdmissionPolicy::select(
   std::vector<std::uint64_t> running = running_work;
   for (const Candidate& c : queued) {
     if (yields_to_any(c.remaining_work, running)) continue;
+    if (yields_to_queued_peer(c)) continue;
     if (budget != 0 && pinned + c.kv_bytes > budget) break;
     admitted.push_back(c.index);
     pinned += c.kv_bytes;

@@ -14,14 +14,28 @@
 //
 // Preemption (`preempt`) bounds short-request tail latency: a running
 // request is evicted at a stage boundary when a co-running request holds
-// `preempt_ratio`x less remaining work. The evicted request's KV stays
-// resident (it keeps its budget share and its address slot - nothing is
-// recomputed), it re-enters the serving queue, and it resumes from its next
-// operator once no much-shorter request is running. Because the KV is not
-// freed, preemption relieves *compute/cache contention*, not budget
-// pressure - a budget-blocked candidate is never unblocked by preempting
-// someone, which is exactly why the admission sweep skips yield-blocked
-// candidates but stops at budget-blocked ones.
+// `preempt_ratio`x less remaining work. Under `kv_evict = none` (the PR 4
+// default) the evicted request's KV stays resident (it keeps its budget
+// share and its address slot - nothing is recomputed), it re-enters the
+// serving queue, and it resumes from its next operator once no much-shorter
+// request is running. Because the KV is not freed, resident preemption
+// relieves *compute/cache contention*, not budget pressure - a
+// budget-blocked candidate is never unblocked by preempting someone, which
+// is exactly why the admission sweep skips yield-blocked candidates but
+// stops at budget-blocked ones.
+//
+// `kv_evict = cold-blocks` changes that: a preemption additionally swaps
+// the preempted request's cold KV blocks out to a modeled DRAM/host tier
+// (scenario/kv_pager.hpp), freeing their budget bytes immediately, and a
+// budget-blocked *much shorter* queued candidate now counts as preemption
+// pressure (`should_preempt`'s `blocked_work`) - so a long lone request
+// yields its stage boundary, and its budget share, to a short arrival that
+// would otherwise wait for its finish (swap-based admission). The price is
+// paid at resume: the swapped blocks re-pin their bytes and the request's
+// next operator is held back for the refetch transfer.
+//
+// docs/architecture.md walks the full admission/preemption/paging state
+// machine; docs/metrics.md defines every counter this layer reports.
 #pragma once
 
 #include <cstdint>
@@ -53,14 +67,32 @@ struct ServingConfig {
   /// remaining_work(i) > remaining_work(j) * preempt_ratio. >= 1 keeps
   /// uniform batches from preempting each other.
   std::uint32_t preempt_ratio = 2;
+  /// Paged KV eviction on preemption (requires preempt and a finite
+  /// kv_budget_bytes). kNone keeps preempted KV resident (PR 4 exact);
+  /// kColdBlocks swaps cold blocks to the modeled host tier and charges a
+  /// refetch at resume.
+  KvEvictPolicy kv_evict = KvEvictPolicy::kNone;
+  /// Fixed KV block size for the pager, in bytes (0 = the default
+  /// line-granule block, kLineBytes). Must be a multiple of kLineBytes.
+  std::uint64_t kv_block_bytes = 0;
+  /// Core cycles charged per refetched block at resume (0 = derive from
+  /// the modeled ~8 B/cycle host link; see KvPagerConfig::cycles_per_block).
+  Cycle refetch_cost = 0;
 
   /// True when the configuration is the raw unconditional-admission engine.
   [[nodiscard]] bool unconditional() const {
     return policy == AdmitPolicy::kNone;
   }
 
+  /// True when preemption swaps KV out instead of keeping it resident.
+  [[nodiscard]] bool paged() const {
+    return kv_evict == KvEvictPolicy::kColdBlocks;
+  }
+
   /// Throws std::invalid_argument on contradictory settings (a budget or
-  /// preemption without a queueing discipline, a zero preempt ratio).
+  /// preemption without a queueing discipline, a zero preempt ratio,
+  /// eviction without preemption + a finite budget, a block size that is
+  /// not a positive line multiple).
   void validate() const;
 };
 
@@ -97,12 +129,16 @@ class AdmissionPolicy {
   /// resident (running or preempted) requests.
   ///
   /// Sweep rules: a candidate that would immediately yield to a running
-  /// request (preemption enabled) is skipped; a candidate that does not fit
-  /// the budget stops the sweep (budget frees in finish order - skipping
-  /// would let arbitrarily late small requests starve the head). When
-  /// nothing is running and the sweep admitted nobody, the first candidate
-  /// that fits the budget is force-admitted (ignoring yield) so an idle
-  /// machine with a non-empty queue always makes progress.
+  /// request (preemption enabled) is skipped - and, in paged mode, one
+  /// that yields to a much-shorter queued peer (otherwise FCFS seniority
+  /// would re-admit a just-evicted long request ahead of the short whose
+  /// blocked admission triggered the eviction, paying the refetch for
+  /// nothing); a candidate that does not fit the budget stops the sweep
+  /// (budget frees in finish order - skipping would let arbitrarily late
+  /// small requests starve the head). When nothing is running and the
+  /// sweep admitted nobody, the first candidate that fits the budget is
+  /// force-admitted (ignoring yield) so an idle machine with a non-empty
+  /// queue always makes progress.
   [[nodiscard]] std::vector<std::size_t> select(
       std::vector<Candidate> queued,
       const std::vector<std::uint64_t>& running_work,
@@ -113,6 +149,18 @@ class AdmissionPolicy {
   [[nodiscard]] bool should_preempt(
       std::uint64_t remaining_work,
       const std::vector<std::uint64_t>& co_running_work) const;
+
+  /// Eviction-aware variant: `blocked_work` is the remaining work of queued
+  /// candidates that do not fit the free budget. Under kv_evict=cold-blocks
+  /// they count as preemption pressure too - yielding to one frees its
+  /// blocker's budget bytes (swap-based admission), so a long lone request
+  /// hands the machine to a much-shorter blocked arrival instead of making
+  /// it wait for the finish. Under kv_evict=none blocked candidates are
+  /// ignored (preempting for them could never unblock them).
+  [[nodiscard]] bool should_preempt(
+      std::uint64_t remaining_work,
+      const std::vector<std::uint64_t>& co_running_work,
+      const std::vector<std::uint64_t>& blocked_work) const;
 
  private:
   [[nodiscard]] bool yields_to_any(

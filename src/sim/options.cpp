@@ -113,6 +113,12 @@ std::optional<AdmitPolicy> admit_policy_from_string(std::string_view s) {
   return std::nullopt;
 }
 
+std::optional<KvEvictPolicy> kv_evict_policy_from_string(std::string_view s) {
+  if (s == "none") return KvEvictPolicy::kNone;
+  if (s == "cold-blocks" || s == "cold") return KvEvictPolicy::kColdBlocks;
+  return std::nullopt;
+}
+
 std::optional<ReplPolicy> repl_policy_from_string(std::string_view s) {
   if (s == "lru") return ReplPolicy::kLru;
   if (s == "tree-plru" || s == "plru") return ReplPolicy::kTreePlru;
@@ -206,6 +212,17 @@ batch scenario (--op=batch)
                      boundary when a much-shorter request co-runs (its KV
                      stays resident, it re-enters the serving queue);
                      requires --admit-policy=fcfs|srf
+  --kv-evict=P       paged KV on preemption: none (default: preempted KV
+                     stays resident, PR-4-exact) | cold-blocks (swap the
+                     preempted request's cold KV blocks to a modeled host
+                     tier - freeing budget bytes immediately - and charge
+                     a refetch at resume); requires --preempt and a finite
+                     --kv-budget
+  --kv-block-bytes=N cold-blocks only: pager block size in bytes, a
+                     multiple of 64 (default 64, the line granule)
+  --refetch-cost=N   cold-blocks only: resume refetch price in cycles per
+                     block (default block_bytes/8: an ~8 B/cycle modeled
+                     host link)
   --interleave=I     co-admitted TB fusing: rr (default) | concat
   --req-dispatch=R   request-aware core dispatch for fused sources:
                      shared (default) | interleave | partitioned
@@ -364,6 +381,29 @@ ParseResult parse_cli_options(const std::vector<std::string_view>& args) {
                     "\" (expect a byte count; 0 = unlimited)");
       }
       opt.batch_kv_budget = *v;
+    } else if (key == "kv-evict") {
+      const auto p = kv_evict_policy_from_string(val);
+      if (!p) {
+        return fail("unknown kv-evict: \"" + std::string(val) +
+                    "\" (expect none or cold-blocks)");
+      }
+      opt.batch_kv_evict = *p;
+    } else if (key == "kv-block-bytes") {
+      const auto v = parse_uint<std::uint64_t>(val);
+      if (!v || *v == 0 || *v % kLineBytes != 0) {
+        return fail("bad --kv-block-bytes: \"" + std::string(val) +
+                    "\" (expect a positive multiple of the " +
+                    std::to_string(kLineBytes) + "-byte cache line)");
+      }
+      opt.batch_kv_block_bytes = *v;
+    } else if (key == "refetch-cost") {
+      const auto v = parse_uint<std::uint64_t>(val);
+      if (!v || *v == 0) {
+        return fail("bad --refetch-cost: \"" + std::string(val) +
+                    "\" (expect a positive cycles-per-block price; omit the "
+                    "flag for the modeled host-link default)");
+      }
+      opt.batch_refetch_cost = *v;
     } else if (key == "interleave") {
       const auto f = fuse_order_from_string(val);
       if (!f) return fail("unknown interleave: " + std::string(val));
@@ -460,6 +500,27 @@ ParseResult parse_cli_options(const std::vector<std::string_view>& args) {
     return fail("--preempt requires --admit-policy=fcfs|srf (a preempted "
                 "request re-enters the serving queue, which policy none "
                 "does not have)");
+  }
+  if (opt.batch_kv_evict != KvEvictPolicy::kNone) {
+    if (!opt.batch_preempt) {
+      return fail("--kv-evict=cold-blocks requires --preempt (blocks are "
+                  "swapped out when a running request is preempted at a "
+                  "stage boundary, which never happens without preemption)");
+    }
+    if (opt.batch_kv_budget == 0) {
+      return fail("--kv-evict=cold-blocks requires a finite --kv-budget "
+                  "(with an unlimited budget there is no pressure to "
+                  "relieve, so eviction would only add refetch cost)");
+    }
+  } else {
+    if (opt.batch_kv_block_bytes != 0) {
+      return fail("--kv-block-bytes requires --kv-evict=cold-blocks (the "
+                  "pager is the only consumer of the block size)");
+    }
+    if (opt.batch_refetch_cost != 0) {
+      return fail("--refetch-cost requires --kv-evict=cold-blocks (nothing "
+                  "is ever refetched without paged eviction)");
+    }
   }
   const std::pair<const char*, std::size_t> arities[] = {
       {"--arrivals", opt.batch_arrivals.size()},

@@ -25,6 +25,7 @@ std::optional<RequestDispatch> request_dispatch_from_string(
 std::optional<FuseOrder> fuse_order_from_string(std::string_view s);
 std::optional<ExecutionMode> execution_mode_from_string(std::string_view s);
 std::optional<AdmitPolicy> admit_policy_from_string(std::string_view s);
+std::optional<KvEvictPolicy> kv_evict_policy_from_string(std::string_view s);
 std::optional<ReplPolicy> repl_policy_from_string(std::string_view s);
 std::optional<BypassPolicy> bypass_policy_from_string(std::string_view s);
 std::optional<ModelShape> model_from_string(std::string_view s);
@@ -71,6 +72,13 @@ struct CliOptions {
   AdmitPolicy batch_admit = AdmitPolicy::kNone;
   std::uint64_t batch_kv_budget = 0;
   bool batch_preempt = false;
+  /// Paged KV eviction on preemption (cold blocks swap to a modeled host
+  /// tier, refetch charged at resume); requires --preempt and --kv-budget.
+  KvEvictPolicy batch_kv_evict = KvEvictPolicy::kNone;
+  /// Pager block size in bytes (0 = the line-granule default) and the
+  /// refetch price in cycles per block (0 = the modeled host-link default).
+  std::uint64_t batch_kv_block_bytes = 0;
+  std::uint64_t batch_refetch_cost = 0;
   std::string csv_path;      // empty = no CSV export
   std::string json_path;     // empty = no JSON export
   bool print_counters = false;

@@ -1,6 +1,12 @@
 // End-of-run statistics: merged per-component counters plus the derived
 // metrics the paper reports (Fig 8): performance, MSHR entry utilization,
 // L2 hit rate, MSHR hit rate, DRAM bandwidth.
+//
+// docs/metrics.md is the authoritative glossary for every stat surfaced
+// here and by the scenario layer on top (per-request latency landmarks,
+// the kNeverCycle sentinel semantics, the nearest-rank percentile
+// definition, queue-wait/preemption/refetch counters) - bench JSON
+// consumers should read that instead of reverse-engineering this file.
 #pragma once
 
 #include <cstdint>

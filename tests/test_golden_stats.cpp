@@ -152,6 +152,36 @@ std::vector<MeasuredRow> measure_all_policy_pairs() {
                       s.total.thread_blocks});
     }
   }
+  // Paged-eviction rows: a long request whose peak is the whole budget plus
+  // two budget-blocked short arrivals, under kv_evict=cold-blocks. The
+  // blocked shorts trigger a stage-boundary eviction of the long request
+  // (swap-based admission), and the long resumes through a refetch - so
+  // these rows pin the evict/refetch path (pager bookkeeping, the
+  // queued-yield admission gate, the refetch hold) per headline policy
+  // pair and queue discipline. `cycles` is the stream makespan, which
+  // includes the refetch transfer.
+  const scenario::RequestBatch paged(
+      tiny_model(), {{0, 512, 0, 1}, {1, 64, 1000, 1}, {2, 64, 3000, 1}});
+  scenario::DecodePassConfig pg_cfg;
+  pg_cfg.num_layers = 1;
+  pg_cfg.include_gemv = false;
+  pg_cfg.mode = scenario::ExecutionMode::kContinuous;
+  pg_cfg.serving.kv_budget_bytes = 512 * paged.kv_bytes_per_token();
+  pg_cfg.serving.preempt = true;
+  pg_cfg.serving.kv_evict = KvEvictPolicy::kColdBlocks;
+  for (const auto& [thr, arb] : headline_pairs) {
+    for (const AdmitPolicy admit :
+         {AdmitPolicy::kFcfs, AdmitPolicy::kShortestRemaining}) {
+      pg_cfg.serving.policy = admit;
+      const SimConfig cfg = with_policies(base, thr, arb);
+      const scenario::BatchStats s =
+          scenario::DecodePass(paged, pg_cfg, cfg).run();
+      rows.push_back({"pg/" + to_string(admit) + "+cold/" + to_string(thr) +
+                          "/" + to_string(arb),
+                      s.makespan, s.total.dram_reads,
+                      s.total.thread_blocks});
+    }
+  }
   return rows;
 }
 

@@ -289,6 +289,62 @@ TEST(ParseCli, ServingPolicyFlagsCrossChecked) {
                   .ok());
 }
 
+TEST(ParseCli, PagedEvictionFlagsParse) {
+  EXPECT_EQ(kv_evict_policy_from_string("none"), KvEvictPolicy::kNone);
+  EXPECT_EQ(kv_evict_policy_from_string("cold-blocks"),
+            KvEvictPolicy::kColdBlocks);
+  EXPECT_EQ(kv_evict_policy_from_string("cold"), KvEvictPolicy::kColdBlocks);
+  EXPECT_FALSE(kv_evict_policy_from_string("hot-blocks").has_value());
+
+  const ParseResult r = parse(
+      {"--op=batch", "--mode=continuous", "--seqs=4096,512",
+       "--admit-policy=srf", "--kv-budget=37748736", "--preempt",
+       "--kv-evict=cold-blocks", "--kv-block-bytes=4096", "--refetch-cost=4"});
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(r.options->batch_kv_evict, KvEvictPolicy::kColdBlocks);
+  EXPECT_EQ(r.options->batch_kv_block_bytes, 4096u);
+  EXPECT_EQ(r.options->batch_refetch_cost, 4u);
+  // Defaults: resident preemption, line-granule blocks, modeled host link.
+  const ParseResult d = parse({"--op=batch", "--mode=continuous",
+                               "--admit-policy=fcfs", "--kv-budget=1048576",
+                               "--preempt"});
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d.options->batch_kv_evict, KvEvictPolicy::kNone);
+  EXPECT_EQ(d.options->batch_kv_block_bytes, 0u);
+  EXPECT_EQ(d.options->batch_refetch_cost, 0u);
+}
+
+TEST(ParseCli, PagedEvictionFlagsCrossChecked) {
+  // Eviction without preemption: nothing would ever be swapped out.
+  const ParseResult no_pre =
+      parse({"--op=batch", "--mode=continuous", "--admit-policy=fcfs",
+             "--kv-budget=1048576", "--kv-evict=cold-blocks"});
+  ASSERT_FALSE(no_pre.ok());
+  EXPECT_NE(no_pre.error.find("--kv-evict"), std::string::npos);
+  EXPECT_NE(no_pre.error.find("--preempt"), std::string::npos);
+  // Eviction without a finite budget: no pressure to relieve.
+  const ParseResult no_budget =
+      parse({"--op=batch", "--mode=continuous", "--admit-policy=fcfs",
+             "--preempt", "--kv-evict=cold-blocks"});
+  ASSERT_FALSE(no_budget.ok());
+  EXPECT_NE(no_budget.error.find("--kv-budget"), std::string::npos);
+  // The pager knobs only exist under cold-blocks.
+  EXPECT_FALSE(parse({"--op=batch", "--mode=continuous",
+                      "--admit-policy=fcfs", "--kv-budget=1048576",
+                      "--preempt", "--kv-block-bytes=4096"})
+                   .ok());
+  EXPECT_FALSE(parse({"--op=batch", "--mode=continuous",
+                      "--admit-policy=fcfs", "--kv-budget=1048576",
+                      "--preempt", "--refetch-cost=4"})
+                   .ok());
+  // Malformed values: non-line-multiple blocks, zero/garbage costs.
+  EXPECT_FALSE(parse({"--kv-evict=lru"}).ok());
+  EXPECT_FALSE(parse({"--kv-block-bytes=100"}).ok());
+  EXPECT_FALSE(parse({"--kv-block-bytes=0"}).ok());
+  EXPECT_FALSE(parse({"--refetch-cost=0"}).ok());
+  EXPECT_FALSE(parse({"--refetch-cost=abc"}).ok());
+}
+
 TEST(ParseCli, ArrivalsAndStepsArityChecked) {
   // 3 entries vs 2 requests: rejected with both numbers in the message.
   const ParseResult r = parse({"--op=batch", "--mode=continuous",
@@ -341,7 +397,8 @@ TEST(ParseCli, UsageMentionsEveryFlag) {
         "--repl", "--bypass", "--seed", "--csv", "--json", "--counters",
         "--energy", "--verbose", "--requests", "--layers", "--seqs",
         "--no-gemv", "--mode", "--interleave", "--req-dispatch",
-        "--arrivals", "--steps"}) {
+        "--arrivals", "--steps", "--admit-policy", "--kv-budget", "--preempt",
+        "--kv-evict", "--kv-block-bytes", "--refetch-cost"}) {
     EXPECT_NE(usage.find(flag), std::string::npos) << flag;
   }
 }

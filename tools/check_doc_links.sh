@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Docs link check: fail when a relative markdown link in the repo's
+# documentation points at a file that does not exist. External links
+# (http/https/mailto) and pure in-page anchors are skipped; a fragment on
+# a relative link ("docs/metrics.md#foo") is checked against the file
+# part. Run from the repo root; CI runs it on every push.
+set -u
+
+fail=0
+docs="README.md ROADMAP.md bench/README.md"
+for f in docs/*.md; do docs="$docs $f"; done
+
+for doc in $docs; do
+  [ -f "$doc" ] || continue
+  dir=$(dirname "$doc")
+  # Inline markdown links: [text](target). Reference-style links are not
+  # used in this repo.
+  while IFS= read -r target; do
+    [ -n "$target" ] || continue
+    case "$target" in
+      http://* | https://* | mailto:* | "#"*) continue ;;
+    esac
+    path="${target%%#*}"
+    [ -n "$path" ] || continue
+    if [ ! -e "$dir/$path" ]; then
+      echo "dead link: $doc -> $target"
+      fail=1
+    fi
+  done < <(grep -o '\[[^]]*\]([^)]*)' "$doc" | sed 's/^.*](\([^)]*\))$/\1/')
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "docs link check FAILED"
+  exit 1
+fi
+echo "docs link check OK"

@@ -12,6 +12,9 @@
 //   llamcat_cli --op=batch --mode=continuous --seqs=4096,512,512 \
 //       --arrivals=0,10000,20000 --admit-policy=srf --kv-budget=18874368 \
 //       --preempt --no-gemv
+//   llamcat_cli --op=batch --mode=continuous --seqs=4096,512,512 \
+//       --arrivals=0,10000,20000 --admit-policy=srf --kv-budget=18874368 \
+//       --preempt --kv-evict=cold-blocks --refetch-cost=2 --no-gemv
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -96,6 +99,9 @@ int run_batch(const CliOptions& opt) {
   pass_cfg.serving.policy = opt.batch_admit;
   pass_cfg.serving.kv_budget_bytes = opt.batch_kv_budget;
   pass_cfg.serving.preempt = opt.batch_preempt;
+  pass_cfg.serving.kv_evict = opt.batch_kv_evict;
+  pass_cfg.serving.kv_block_bytes = opt.batch_kv_block_bytes;
+  pass_cfg.serving.refetch_cost = opt.batch_refetch_cost;
 
   // Batch/pass construction validates the scenario (duplicate request ids,
   // zero lengths, a request whose peak KV alone exceeds --kv-budget, ...):
@@ -124,6 +130,7 @@ int run_batch(const CliOptions& opt) {
     std::cout << " (batch peak "
               << batch->total_peak_kv_bytes(pass_cfg.num_layers) << "B)"
               << " preempt=" << (pass_cfg.serving.preempt ? "on" : "off")
+              << " kv-evict=" << to_string(pass_cfg.serving.kv_evict)
               << "\n";
   }
   std::cout << "\n";
