@@ -1,0 +1,232 @@
+#include "scenario/fuzz.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+#include "scenario/invariants.hpp"
+
+namespace llamcat::scenario {
+
+namespace {
+
+ModelShape draw_model(Xoshiro256& rng) {
+  ModelShape m = ModelShape::llama3_70b();
+  m.num_kv_heads = 1 + static_cast<std::uint32_t>(rng.below(2));
+  m.group_size = 1u << rng.below(3);
+  return m;
+}
+
+SimConfig draw_machine(Xoshiro256& rng) {
+  SimConfig cfg = SimConfig::table5();
+  cfg.core.num_cores = 1u << rng.below(3);  // 1..4
+  cfg.llc.size_bytes = 1ull << 20;
+  cfg.llc.num_slices = 1u << rng.below(2);  // 1..2
+  cfg.dram.num_channels = 1u << rng.below(2);
+  // A quarter of the draws are starved machines: the serving state machine
+  // must stay correct when the underlying simulator crawls.
+  switch (rng.below(8)) {
+    case 0:
+      cfg.llc.mshr_entries = 1 + static_cast<std::uint32_t>(rng.below(2));
+      break;
+    case 1:
+      cfg.llc.req_q_size = 1;
+      cfg.llc.resp_q_size = 2;
+      break;
+    default: break;
+  }
+  cfg.seed = rng();
+  cfg.max_cycles = 500'000'000;
+  return cfg;
+}
+
+std::vector<RequestSpec> draw_requests(Xoshiro256& rng) {
+  const std::size_t n = 1 + rng.below(5);
+  std::vector<RequestSpec> reqs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    reqs[i].id = static_cast<std::uint32_t>(i);
+    reqs[i].seq_len = 32 * (1 + rng.below(10));  // 32..320
+    // Half the arrivals are bursts at 0; the rest land mid-stream, some
+    // while the machine is provably idle (gap > any segment).
+    reqs[i].arrival_cycle = rng.below(2) == 0 ? 0 : rng.below(80'000);
+    reqs[i].decode_steps = 1 + static_cast<std::uint32_t>(rng.below(3));
+  }
+  return reqs;
+}
+
+ServingConfig draw_serving(Xoshiro256& rng, const RequestBatch& batch,
+                           std::uint32_t num_layers) {
+  ServingConfig s;
+  const std::uint64_t p = rng.below(8);
+  if (p < 2) return s;  // raw engine: 1/4 of the draws
+  s.policy = p < 5 ? AdmitPolicy::kFcfs : AdmitPolicy::kShortestRemaining;
+  if (rng.below(2) == 0) {
+    // A finite budget in [max request peak, batch peak]: always admissible
+    // request-by-request, usually too tight to co-run everyone.
+    std::uint64_t max_peak = 0;
+    for (const RequestSpec& r : batch.requests()) {
+      max_peak = std::max(max_peak, batch.peak_kv_bytes(r, num_layers));
+    }
+    const std::uint64_t total = batch.total_peak_kv_bytes(num_layers);
+    s.kv_budget_bytes = max_peak + rng.below(total - max_peak + 1);
+  }
+  s.preempt = rng.below(2) == 0;
+  if (s.preempt) {
+    s.preempt_ratio = 1 + static_cast<std::uint32_t>(rng.below(4));
+    if (s.kv_budget_bytes != 0 && rng.below(2) == 0) {
+      s.kv_evict = KvEvictPolicy::kColdBlocks;
+      // Block sizes cover the default line granule, odd multiples (partial
+      // tails), page-sized blocks, and one larger than any footprint here
+      // (no whole block is ever evictable - eviction must refuse to churn).
+      static constexpr std::uint64_t kBlocks[] = {0,   64,   128,    192,
+                                                  256, 4096, 1 << 20};
+      s.kv_block_bytes = kBlocks[rng.below(std::size(kBlocks))];
+      static constexpr Cycle kCosts[] = {0, 0, 1, 2, 7, 64};
+      s.refetch_cost = kCosts[rng.below(std::size(kCosts))];
+    }
+  }
+  return s;
+}
+
+/// First line where two digests diverge, for a one-look failure report.
+std::string first_diff(const std::string& a, const std::string& b) {
+  std::istringstream sa(a), sb(b);
+  std::string la, lb;
+  while (true) {
+    const bool ga = static_cast<bool>(std::getline(sa, la));
+    const bool gb = static_cast<bool>(std::getline(sb, lb));
+    if (!ga && !gb) return "(digests identical)";
+    if (la != lb || ga != gb) {
+      return "run1 '" + (ga ? la : std::string("<eof>")) + "' vs run2 '" +
+             (gb ? lb : std::string("<eof>")) + "'";
+    }
+  }
+}
+
+}  // namespace
+
+std::string batch_stats_digest(const BatchStats& s) {
+  std::ostringstream os;
+  os << "mode=" << static_cast<int>(s.mode) << " makespan=" << s.makespan
+     << " paged=" << s.paged << "\n";
+  os << "total: cycles=" << s.total.cycles << " instr=" << s.total.instructions
+     << " tbs=" << s.total.thread_blocks << " dram_r=" << s.total.dram_reads
+     << " dram_w=" << s.total.dram_writes << "\n";
+  for (const auto& [name, v] : s.total.counters.counters()) {
+    os << "  counter " << name << "=" << v << "\n";
+  }
+  for (const RequestStats& r : s.per_request) {
+    os << "req " << r.id << ": arrival=" << r.arrival_cycle
+       << " admit=" << r.admit_cycle << " finish=" << r.finish_cycle
+       << " queued=" << r.queued_cycles << " preempt=" << r.preemptions
+       << " swapped=" << r.swapped_blocks << " refetch_b=" << r.refetch_bytes
+       << " refetch_c=" << r.refetch_cycles << " cycles=" << r.stats.cycles
+       << " instr=" << r.slice.instructions << " tbs=" << r.slice.thread_blocks
+       << " first=" << r.slice.first_dispatch_cycle
+       << " last=" << r.slice.last_complete_cycle
+       << " llc=" << r.slice.llc_lookups << "/" << r.slice.llc_hits << "/"
+       << r.slice.llc_misses << " dram=" << r.slice.dram_reads << "/"
+       << r.slice.dram_writes << "\n";
+  }
+  os << "segments=" << s.per_op.size() << ":";
+  for (const auto& op : s.per_op) {
+    os << " " << op.name << "=" << op.stats.cycles;
+  }
+  os << "\n";
+  return os.str();
+}
+
+std::string FuzzScenario::summary() const {
+  std::ostringstream os;
+  os << requests.size() << " req (seq";
+  for (const RequestSpec& r : requests) os << " " << r.seq_len;
+  os << "; arrive";
+  for (const RequestSpec& r : requests) os << " " << r.arrival_cycle;
+  os << "; steps";
+  for (const RequestSpec& r : requests) os << " " << r.decode_steps;
+  os << "), layers=" << pass_cfg.num_layers
+     << " gemv=" << (pass_cfg.include_gemv ? "on" : "off")
+     << ", cores=" << cfg.core.num_cores << " slices=" << cfg.llc.num_slices
+     << ", admit=" << to_string(pass_cfg.serving.policy)
+     << " budget=" << pass_cfg.serving.kv_budget_bytes
+     << " preempt=" << (pass_cfg.serving.preempt ? "on" : "off")
+     << " evict=" << to_string(pass_cfg.serving.kv_evict)
+     << " block=" << pass_cfg.serving.kv_block_bytes
+     << " refetch=" << pass_cfg.serving.refetch_cost;
+  return os.str();
+}
+
+FuzzScenario draw_scenario(std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  FuzzScenario sc;
+  sc.cfg = draw_machine(rng);
+  sc.model = draw_model(rng);
+  sc.requests = draw_requests(rng);
+  sc.pass_cfg.mode = ExecutionMode::kContinuous;
+  sc.pass_cfg.num_layers = 1 + static_cast<std::uint32_t>(rng.below(2));
+  sc.pass_cfg.include_gemv = rng.below(3) == 0;
+  sc.pass_cfg.interleave =
+      rng.below(2) == 0 ? FuseOrder::kRoundRobin : FuseOrder::kConcat;
+  const RequestBatch batch(sc.model, sc.requests);
+  sc.pass_cfg.serving = draw_serving(rng, batch, sc.pass_cfg.num_layers);
+  return sc;
+}
+
+FuzzResult run_fuzz_seed(std::uint64_t seed) {
+  FuzzResult out;
+  out.seed = seed;
+  const FuzzScenario sc = draw_scenario(seed);
+  try {
+    const RequestBatch batch(sc.model, sc.requests);
+
+    // Run 1: in-engine ledger auditor on (KV conservation, budget ceiling,
+    // event-clock monotonicity - checked on the cycle each event happens).
+    DecodePassConfig audited = sc.pass_cfg;
+    audited.audit = true;
+    const BatchStats s1 = DecodePass(batch, audited, sc.cfg).run();
+
+    // Post-run contract: landmarks, attribution, policy accounting.
+    const AuditReport report = audit_batch(batch, sc.pass_cfg, s1);
+    for (const std::string& v : report.violations) {
+      out.violations.push_back("contract: " + v);
+    }
+
+    // Run 2: audit off. Identical digests prove same-seed determinism and
+    // that the auditor is observation-only, in one comparison.
+    const BatchStats s2 = DecodePass(batch, sc.pass_cfg, sc.cfg).run();
+    const std::string d1 = batch_stats_digest(s1), d2 = batch_stats_digest(s2);
+    if (d1 != d2) {
+      out.violations.push_back(
+          "determinism: audited and plain runs of the same scenario "
+          "diverge: " +
+          first_diff(d1, d2));
+    }
+
+    // A queueing discipline with an unlimited budget and no preemption
+    // never holds anyone back: it must reproduce the raw unconditional
+    // engine byte for byte.
+    const ServingConfig& serving = sc.pass_cfg.serving;
+    if (!serving.unconditional() && serving.kv_budget_bytes == 0 &&
+        !serving.preempt) {
+      DecodePassConfig raw = sc.pass_cfg;
+      raw.serving = ServingConfig{};
+      const BatchStats s3 = DecodePass(batch, raw, sc.cfg).run();
+      const std::string d3 = batch_stats_digest(s3);
+      if (d1 != d3) {
+        out.violations.push_back(
+            "policy-none equivalence: " + std::string(to_string(
+                serving.policy)) +
+            " with unlimited budget and no preemption diverges from the "
+            "raw engine: " +
+            first_diff(d1, d3));
+      }
+    }
+  } catch (const InvariantViolation& e) {
+    out.violations.push_back(std::string("auditor: ") + e.what());
+  } catch (const std::exception& e) {
+    out.violations.push_back(std::string("engine exception: ") + e.what());
+  }
+  return out;
+}
+
+}  // namespace llamcat::scenario

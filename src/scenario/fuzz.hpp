@@ -1,0 +1,67 @@
+// Randomized serving-layer scenario generator + one-seed fuzz harness,
+// shared by the stress fuzzer binary (tools/llamcat_stress.cpp) and the
+// pinned-seed regression suite (tests/test_serving_fuzz.cpp) so a seed the
+// fuzzer finds replays bit-for-bit in CI.
+//
+// One seed deterministically draws a full serving scenario - machine
+// (including starved MSHR/queue/slice shapes), batch (arrival pattern,
+// seq-len/step mix) and serving policy (admission discipline x KV budget x
+// preemption x paged eviction x block size x refetch price) - and
+// run_fuzz_seed() puts it through the whole invariant contract
+// (scenario/invariants.hpp):
+//
+//  - run 1 executes with the in-engine ledger auditor on;
+//  - run 2 executes audit-off and must be byte-identical (same-seed
+//    determinism AND audit-neutrality in one diff);
+//  - the post-run contract (audit_batch) checks landmarks, attribution and
+//    policy accounting;
+//  - draws whose knobs are provably no-ops (a queueing discipline with an
+//    unlimited budget and no preemption) are re-run under policy=none and
+//    must be byte-identical to the raw PR 3 engine.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "scenario/scenario.hpp"
+
+namespace llamcat::scenario {
+
+/// A fully-drawn fuzz scenario: everything DecodePass needs, plus a
+/// one-line human summary for failure reports.
+struct FuzzScenario {
+  SimConfig cfg;
+  ModelShape model;
+  std::vector<RequestSpec> requests;
+  DecodePassConfig pass_cfg;  // mode is always kContinuous
+
+  /// "3 reqs (seq 64/96/320, arrivals 0/0/41000), admit=srf budget=...".
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Deterministically expands `seed` into a scenario. Same seed, same
+/// scenario, on every platform (the draw uses only common/rng.hpp).
+[[nodiscard]] FuzzScenario draw_scenario(std::uint64_t seed);
+
+/// Outcome of fuzzing one seed: `violations` is empty on a clean pass,
+/// otherwise each entry is one self-contained line (an invariant breach, a
+/// determinism diff, or an unexpected engine exception).
+struct FuzzResult {
+  std::uint64_t seed = 0;
+  std::vector<std::string> violations;
+
+  [[nodiscard]] bool ok() const { return violations.empty(); }
+};
+
+/// Runs the full double-run + contract harness for one seed (see the
+/// header comment). Never throws: engine exceptions become violations.
+[[nodiscard]] FuzzResult run_fuzz_seed(std::uint64_t seed);
+
+/// Canonical text form of everything a run reports (every stat, landmark,
+/// counter and per-segment row). Two runs are byte-identical iff their
+/// digests compare equal - the determinism definition used by the fuzzer
+/// and by tests/test_determinism.cpp.
+[[nodiscard]] std::string batch_stats_digest(const BatchStats& stats);
+
+}  // namespace llamcat::scenario

@@ -1,0 +1,349 @@
+#include "scenario/invariants.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "scenario/kv_pager.hpp"
+
+namespace llamcat::scenario {
+
+// ---------------------------------------------------------------------------
+// ServingAuditor: in-engine KV byte ledger
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::string fmt_event(const char* event, std::size_t i) {
+  std::ostringstream os;
+  os << event << "(request " << i << ")";
+  return os.str();
+}
+
+}  // namespace
+
+ServingAuditor::ServingAuditor(std::uint64_t budget_bytes,
+                               std::vector<std::uint64_t> peak_bytes,
+                               std::uint64_t block_bytes)
+    : budget_(budget_bytes),
+      block_bytes_(block_bytes),
+      peak_(std::move(peak_bytes)),
+      pinned_(peak_.size(), 0),
+      swapped_(peak_.size(), 0),
+      admitted_(peak_.size(), false),
+      finished_(peak_.size(), false) {}
+
+void ServingAuditor::check_clock(const char* event, std::size_t i, Cycle now) {
+  if (now < last_event_) {
+    throw InvariantViolation(fmt_event(event, i) + " at cycle " +
+                             std::to_string(now) +
+                             " moves the serving clock backwards (last event "
+                             "was at " +
+                             std::to_string(last_event_) + ")");
+  }
+  last_event_ = now;
+}
+
+void ServingAuditor::check_resident(const char* event, std::size_t i,
+                                    std::uint64_t engine_resident) const {
+  if (engine_resident != resident_) {
+    throw InvariantViolation(
+        fmt_event(event, i) + ": engine resident-bytes ledger (" +
+        std::to_string(engine_resident) + ") diverged from the audited sum " +
+        "of per-request pins (" + std::to_string(resident_) + ")");
+  }
+  if (budget_ != 0 && resident_ > budget_) {
+    throw InvariantViolation(fmt_event(event, i) + ": resident bytes " +
+                             std::to_string(resident_) + " exceed the " +
+                             std::to_string(budget_) + "-byte KV budget");
+  }
+}
+
+void ServingAuditor::on_admit(std::size_t i, Cycle now,
+                              std::uint64_t engine_resident) {
+  check_clock("admit", i, now);
+  if (admitted_[i]) {
+    throw InvariantViolation(fmt_event("admit", i) +
+                             ": request was already first-admitted (resumes "
+                             "must report on_resume)");
+  }
+  admitted_[i] = true;
+  pinned_[i] = peak_[i];
+  resident_ += peak_[i];
+  check_resident("admit", i, engine_resident);
+}
+
+void ServingAuditor::on_resume(std::size_t i, std::uint64_t refetched_bytes,
+                               Cycle now, std::uint64_t engine_resident) {
+  check_clock("resume", i, now);
+  if (!admitted_[i] || finished_[i]) {
+    throw InvariantViolation(fmt_event("resume", i) +
+                             ": only a previously admitted, unfinished "
+                             "request can resume");
+  }
+  if (refetched_bytes != swapped_[i]) {
+    throw InvariantViolation(
+        fmt_event("resume", i) + ": refetched " +
+        std::to_string(refetched_bytes) + " bytes but " +
+        std::to_string(swapped_[i]) +
+        " were swapped out - a resume must restore the full swapped set");
+  }
+  pinned_[i] += refetched_bytes;
+  swapped_[i] = 0;
+  resident_ += refetched_bytes;
+  if (pinned_[i] != peak_[i]) {
+    throw InvariantViolation(
+        fmt_event("resume", i) + ": pinned bytes " +
+        std::to_string(pinned_[i]) + " != peak footprint " +
+        std::to_string(peak_[i]) + " after the refetch re-pin");
+  }
+  check_resident("resume", i, engine_resident);
+}
+
+void ServingAuditor::on_evict(std::size_t i, std::uint64_t freed_bytes,
+                              Cycle now, std::uint64_t engine_resident) {
+  check_clock("evict", i, now);
+  if (!admitted_[i] || finished_[i]) {
+    throw InvariantViolation(fmt_event("evict", i) +
+                             ": only a running (admitted, unfinished) "
+                             "request can be preempted");
+  }
+  if (freed_bytes > pinned_[i]) {
+    throw InvariantViolation(fmt_event("evict", i) + ": freed " +
+                             std::to_string(freed_bytes) +
+                             " bytes but only " + std::to_string(pinned_[i]) +
+                             " were pinned");
+  }
+  if (freed_bytes != 0 && block_bytes_ == 0) {
+    throw InvariantViolation(fmt_event("evict", i) +
+                             ": swap in a non-paged run");
+  }
+  if (block_bytes_ != 0 && freed_bytes % block_bytes_ != 0) {
+    throw InvariantViolation(
+        fmt_event("evict", i) + ": freed " + std::to_string(freed_bytes) +
+        " bytes is not a multiple of the " + std::to_string(block_bytes_) +
+        "-byte block (a partial tail block can never move)");
+  }
+  pinned_[i] -= freed_bytes;
+  swapped_[i] += freed_bytes;
+  resident_ -= freed_bytes;
+  // Conservation: resident + swapped always reconstructs the peak.
+  if (pinned_[i] + swapped_[i] != peak_[i]) {
+    throw InvariantViolation(fmt_event("evict", i) + ": pinned (" +
+                             std::to_string(pinned_[i]) + ") + swapped (" +
+                             std::to_string(swapped_[i]) +
+                             ") no longer equals the peak footprint (" +
+                             std::to_string(peak_[i]) + ")");
+  }
+  check_resident("evict", i, engine_resident);
+}
+
+void ServingAuditor::on_finish(std::size_t i, Cycle now,
+                               std::uint64_t engine_resident) {
+  check_clock("finish", i, now);
+  if (!admitted_[i] || finished_[i]) {
+    throw InvariantViolation(fmt_event("finish", i) +
+                             ": request finished twice or without admission");
+  }
+  if (swapped_[i] != 0) {
+    throw InvariantViolation(
+        fmt_event("finish", i) + ": " + std::to_string(swapped_[i]) +
+        " bytes still swapped out at finish - the final resume must have "
+        "refetched everything, so a finish can never race a swap");
+  }
+  if (pinned_[i] != peak_[i]) {
+    throw InvariantViolation(fmt_event("finish", i) + ": pinned bytes " +
+                             std::to_string(pinned_[i]) +
+                             " != peak footprint " + std::to_string(peak_[i]) +
+                             " at finish");
+  }
+  finished_[i] = true;
+  pinned_[i] = 0;
+  resident_ -= peak_[i];
+  check_resident("finish", i, engine_resident);
+}
+
+void ServingAuditor::on_pass_end() const {
+  for (std::size_t i = 0; i < peak_.size(); ++i) {
+    if (!finished_[i]) {
+      throw InvariantViolation("pass ended with request " + std::to_string(i) +
+                               " unfinished (dropped request)");
+    }
+  }
+  if (resident_ != 0) {
+    throw InvariantViolation("pass ended with " + std::to_string(resident_) +
+                             " resident bytes still pinned");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// audit_batch: post-run contract
+// ---------------------------------------------------------------------------
+
+std::string AuditReport::to_string() const {
+  std::string out;
+  for (const std::string& v : violations) {
+    if (!out.empty()) out += "\n";
+    out += v;
+  }
+  return out;
+}
+
+namespace {
+
+class Checker {
+ public:
+  explicit Checker(AuditReport& report) : report_(report) {}
+
+  /// check(cond, parts...): cond false appends one violation line.
+  template <typename... Parts>
+  void operator()(bool ok, const Parts&... parts) {
+    if (ok) return;
+    std::ostringstream os;
+    (os << ... << parts);
+    report_.violations.push_back(os.str());
+  }
+
+ private:
+  AuditReport& report_;
+};
+
+}  // namespace
+
+AuditReport audit_batch(const RequestBatch& batch,
+                        const DecodePassConfig& pass_cfg,
+                        const BatchStats& stats) {
+  AuditReport report;
+  Checker check(report);
+  const std::vector<RequestSpec>& reqs = batch.requests();
+
+  check(stats.per_request.size() == reqs.size(), "per_request has ",
+        stats.per_request.size(), " rows for a batch of ", reqs.size());
+  if (stats.per_request.size() != reqs.size()) return report;
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    check(stats.per_request[i].id == reqs[i].id, "per_request[", i,
+          "] id is ", stats.per_request[i].id, ", expected ", reqs[i].id,
+          " (rows must keep batch order)");
+  }
+
+  // -- attribution conservation (shared-System modes attribute exactly) -----
+  if (stats.mode != ExecutionMode::kIndependent) {
+    std::uint64_t tbs = 0, instrs = 0, reads = 0, writes = 0;
+    for (const RequestStats& r : stats.per_request) {
+      tbs += r.slice.thread_blocks;
+      instrs += r.slice.instructions;
+      reads += r.slice.dram_reads;
+      writes += r.slice.dram_writes;
+      check(r.slice.llc_hits + r.slice.llc_misses == r.slice.llc_lookups,
+            "request ", r.id, ": slice hits (", r.slice.llc_hits,
+            ") + misses (", r.slice.llc_misses, ") != lookups (",
+            r.slice.llc_lookups, ")");
+    }
+    check(tbs == stats.total.thread_blocks, "per-request thread blocks sum to ",
+          tbs, " but the batch total is ", stats.total.thread_blocks);
+    check(instrs == stats.total.instructions,
+          "per-request instructions sum to ", instrs,
+          " but the batch total is ", stats.total.instructions);
+    check(reads == stats.total.dram_reads, "per-request DRAM reads sum to ",
+          reads, " but the batch total is ", stats.total.dram_reads);
+    check(writes == stats.total.dram_writes, "per-request DRAM writes sum to ",
+          writes, " but the batch total is ", stats.total.dram_writes);
+  }
+
+  // -- barrier modes: landmark sentinels, no stream state -------------------
+  if (stats.mode != ExecutionMode::kContinuous) {
+    for (const RequestStats& r : stats.per_request) {
+      check(!r.streamed, "request ", r.id,
+            ": barrier-mode row claims stream landmarks");
+      check(r.latency() == kNeverCycle && r.admission_wait() == kNeverCycle,
+            "request ", r.id,
+            ": barrier-mode latency/wait must be the kNeverCycle sentinel");
+      check(r.preemptions == 0 && r.queued_cycles == 0, "request ", r.id,
+            ": barrier modes have no serving queue");
+      check(r.stats.cycles > 0, "request ", r.id, ": zero-cycle request");
+    }
+    check(stats.latency_percentile(99.0) == kNeverCycle,
+          "barrier-mode latency percentile must be the kNeverCycle sentinel");
+    check(stats.makespan == stats.total.cycles,
+          "barrier-mode makespan (", stats.makespan,
+          ") != sequential-equivalent cycles (", stats.total.cycles, ")");
+    check(!stats.paged && stats.total_swapped_blocks() == 0,
+          "barrier modes can never page");
+    return report;
+  }
+
+  // -- continuous: no drop + monotone landmark chain ------------------------
+  const ServingConfig& serving = pass_cfg.serving;
+  Cycle max_finish = 0;
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    const RequestStats& r = stats.per_request[i];
+    check(r.streamed, "request ", r.id, ": continuous row not streamed");
+    check(r.finish_cycle > 0, "request ", r.id,
+          ": never finished (dropped request)");
+    check(r.arrival_cycle == reqs[i].arrival_cycle, "request ", r.id,
+          ": arrival landmark ", r.arrival_cycle, " != spec arrival ",
+          reqs[i].arrival_cycle);
+    check(r.admit_cycle >= r.arrival_cycle, "request ", r.id, ": admitted (",
+          r.admit_cycle, ") before arrival (", r.arrival_cycle, ")");
+    check(r.slice.first_dispatch_cycle > 0, "request ", r.id,
+          ": no operator was ever dispatched");
+    check(r.slice.first_dispatch_cycle >= r.admit_cycle, "request ", r.id,
+          ": first dispatch (", r.slice.first_dispatch_cycle,
+          ") before admission (", r.admit_cycle, ")");
+    check(r.slice.last_complete_cycle >= r.slice.first_dispatch_cycle,
+          "request ", r.id, ": last completion (", r.slice.last_complete_cycle,
+          ") before first dispatch (", r.slice.first_dispatch_cycle, ")");
+    check(r.finish_cycle >= r.slice.last_complete_cycle, "request ", r.id,
+          ": finish (", r.finish_cycle, ") before last completion (",
+          r.slice.last_complete_cycle, ")");
+    max_finish = std::max(max_finish, r.finish_cycle);
+
+    // -- queue accounting --------------------------------------------------
+    const Cycle wait = r.admit_cycle - r.arrival_cycle;
+    check(r.queued_cycles >= wait, "request ", r.id, ": queued cycles (",
+          r.queued_cycles, ") below the admission wait (", wait, ")");
+    if (r.preemptions == 0) {
+      check(r.queued_cycles == wait, "request ", r.id,
+            ": never preempted, so queued cycles (", r.queued_cycles,
+            ") must equal the admission wait (", wait, ")");
+    }
+    if (serving.unconditional()) {
+      check(r.admit_cycle == r.arrival_cycle && r.queued_cycles == 0,
+            "request ", r.id,
+            ": policy none must admit at arrival with zero queue wait");
+    }
+    if (!serving.preempt) {
+      check(r.preemptions == 0, "request ", r.id,
+            ": preempted with preemption disabled");
+    }
+
+    // -- paged-KV ledger closure -------------------------------------------
+    if (serving.paged()) {
+      KvPagerConfig pager_cfg;
+      pager_cfg.block_bytes =
+          serving.kv_block_bytes != 0 ? serving.kv_block_bytes : kLineBytes;
+      pager_cfg.refetch_cost = serving.refetch_cost;
+      check(r.refetch_bytes == r.swapped_blocks * pager_cfg.block_bytes,
+            "request ", r.id, ": cumulative refetch bytes (", r.refetch_bytes,
+            ") do not close the swap ledger (", r.swapped_blocks, " blocks x ",
+            pager_cfg.block_bytes, " B) - a request must end fully resident");
+      check(r.refetch_cycles ==
+                r.swapped_blocks * pager_cfg.cycles_per_block(),
+            "request ", r.id, ": refetch cycles (", r.refetch_cycles,
+            ") != swapped blocks (", r.swapped_blocks, ") x link price (",
+            pager_cfg.cycles_per_block(), ")");
+    } else {
+      check(r.swapped_blocks == 0 && r.refetch_bytes == 0 &&
+                r.refetch_cycles == 0,
+            "request ", r.id, ": paging counters set in a non-paged run");
+    }
+  }
+  check(stats.paged == serving.paged(), "paged flag (", stats.paged,
+        ") disagrees with the serving config (", serving.paged(), ")");
+  check(stats.makespan >= max_finish, "makespan (", stats.makespan,
+        ") before the last finish (", max_finish, ")");
+  check(stats.makespan >= stats.total.cycles, "makespan (", stats.makespan,
+        ") below the machine-active cycle count (", stats.total.cycles, ")");
+  return report;
+}
+
+}  // namespace llamcat::scenario

@@ -1,0 +1,123 @@
+// Serving-layer invariant contract: the properties every continuous-engine
+// run must satisfy regardless of policy knobs, formalized as an audit layer
+// callable from three places:
+//
+//  - the randomized stress fuzzer (tools/llamcat_stress + scenario/fuzz.hpp)
+//    runs the full contract over thousands of drawn scenarios;
+//  - the seeded-corpus regression suite (tests/test_serving_fuzz.cpp)
+//    replays pinned seeds through the same checks on every CI run;
+//  - run_continuous itself feeds the in-engine ledger auditor when
+//    DecodePassConfig::audit is set (or LLAMCAT_AUDIT=1), catching a
+//    violation on the exact cycle it happens instead of post-mortem.
+//
+// The contract (docs/testing.md is the prose version):
+//
+//  1. No request is ever dropped: every request finishes, and every landmark
+//     chain is monotone - arrival <= admit <= first_dispatch <=
+//     last_complete <= finish <= makespan.
+//  2. KV byte conservation: a request's pinned + swapped bytes always equal
+//     its peak footprint (or zero before first admission); eviction frees
+//     exactly what the swap moved out, resume re-pins exactly what it
+//     refetches, and a request never finishes with bytes still swapped out.
+//     The engine's resident-bytes ledger matches the auditor's shadow ledger
+//     after every event, never exceeds the budget, and drains to zero.
+//  3. Attribution conservation: per-request slices of thread blocks,
+//     instructions and DRAM traffic sum to the batch totals, and each
+//     slice's LLC hit/miss split adds up.
+//  4. Policy accounting: no preemption => queue wait equals the admission
+//     wait; policy none => no queueing at all; paging off => every paging
+//     counter is zero; paging on => cumulative refetch bytes/cycles close
+//     the swap ledger at the configured block size and link price.
+//
+// Same-seed determinism and policy-none byte-identity with the raw engine
+// are two-run properties and live in scenario/fuzz.hpp (the fuzzer runs
+// every scenario twice and diffs).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "scenario/scenario.hpp"
+
+namespace llamcat::scenario {
+
+/// Thrown by the in-engine ServingAuditor the moment a ledger invariant
+/// breaks (the post-run audit_batch collects strings instead, so the fuzzer
+/// can report every violation of a run at once).
+class InvariantViolation : public std::runtime_error {
+ public:
+  explicit InvariantViolation(const std::string& what)
+      : std::runtime_error("serving invariant violated: " + what) {}
+};
+
+/// In-engine KV byte-ledger auditor. run_continuous reports every serving
+/// event (first admission, resume, eviction, finish) together with its own
+/// resident-bytes ledger; the auditor keeps an independent shadow ledger
+/// and throws InvariantViolation on the first divergence, over-budget pin,
+/// non-block-granular swap, or finish with bytes still swapped out.
+class ServingAuditor {
+ public:
+  /// `peak_bytes[i]` is request i's peak KV footprint (what a first
+  /// admission pins). `budget_bytes` 0 = unlimited. `block_bytes` is the
+  /// pager's block size, 0 when the run is not paged (swaps then must
+  /// never happen).
+  ServingAuditor(std::uint64_t budget_bytes,
+                 std::vector<std::uint64_t> peak_bytes,
+                 std::uint64_t block_bytes);
+
+  /// First admission of request i: pins its full peak footprint.
+  void on_admit(std::size_t i, Cycle now, std::uint64_t engine_resident);
+  /// Re-admission of a preempted request: re-pins `refetched_bytes` (the
+  /// swapped-out share; 0 for a resident, non-evicted resume).
+  void on_resume(std::size_t i, std::uint64_t refetched_bytes, Cycle now,
+                 std::uint64_t engine_resident);
+  /// Preemption of running request i: `freed_bytes` left the resident
+  /// ledger for the host tier (0 under kv_evict=none).
+  void on_evict(std::size_t i, std::uint64_t freed_bytes, Cycle now,
+                std::uint64_t engine_resident);
+  /// Request i finished: its full peak unpins. Fails if any of its bytes
+  /// are still swapped out (a finish can never race an outstanding swap).
+  void on_finish(std::size_t i, Cycle now, std::uint64_t engine_resident);
+  /// End of pass: every request finished, both ledgers drained to zero.
+  void on_pass_end() const;
+
+  [[nodiscard]] std::uint64_t resident_bytes() const { return resident_; }
+
+ private:
+  void check_resident(const char* event, std::size_t i,
+                      std::uint64_t engine_resident) const;
+  void check_clock(const char* event, std::size_t i, Cycle now);
+
+  std::uint64_t budget_;
+  std::uint64_t block_bytes_;
+  std::vector<std::uint64_t> peak_;
+  std::vector<std::uint64_t> pinned_;   // resident bytes per request
+  std::vector<std::uint64_t> swapped_;  // host-tier bytes per request
+  std::vector<bool> admitted_;
+  std::vector<bool> finished_;
+  std::uint64_t resident_ = 0;  // shadow of the engine's ledger
+  Cycle last_event_ = 0;        // serving events never move backwards
+};
+
+/// Result of the post-run contract check: empty = clean. Each violation is
+/// one self-contained human-readable line.
+struct AuditReport {
+  std::vector<std::string> violations;
+
+  [[nodiscard]] bool ok() const { return violations.empty(); }
+  /// All violations joined with newlines ("" when clean).
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Audits a finished pass against the invariant contract (items 1, 3 and 4
+/// of the header comment; item 2 needs the in-engine auditor). Supports all
+/// execution modes: barrier modes check the landmark sentinels and
+/// (kCoScheduled) attribution instead of the stream landmarks.
+[[nodiscard]] AuditReport audit_batch(const RequestBatch& batch,
+                                      const DecodePassConfig& pass_cfg,
+                                      const BatchStats& stats);
+
+}  // namespace llamcat::scenario

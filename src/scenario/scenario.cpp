@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <iomanip>
 #include <iostream>
 #include <ostream>
@@ -12,6 +13,7 @@
 
 #include <optional>
 
+#include "scenario/invariants.hpp"
 #include "scenario/kv_pager.hpp"
 #include "sim/system.hpp"
 #include "trace/dynamic_source.hpp"
@@ -562,6 +564,16 @@ BatchStats DecodePass::run_continuous(bool verbose) const {
     pager.emplace(pager_cfg, peak_bytes);
   }
   out.paged = pager.has_value();
+  // In-engine ledger auditor (invariants.hpp): every serving event below
+  // reports itself so a KV-conservation break throws on the cycle it
+  // happens. Off by default - it adds no stats and changes no behavior.
+  std::optional<ServingAuditor> auditor;
+  const char* audit_env = std::getenv("LLAMCAT_AUDIT");
+  if (pass_cfg_.audit || (audit_env != nullptr && *audit_env != '\0' &&
+                          *audit_env != '0')) {
+    auditor.emplace(pass_cfg_.serving.kv_budget_bytes, peak_bytes,
+                    pager ? pager->config().block_bytes : 0);
+  }
 
   // Remaining service-demand estimate: remaining chain operators weighted
   // by the request's peak KV tokens (longer contexts mean longer operators).
@@ -641,13 +653,19 @@ BatchStats DecodePass::run_continuous(bool verbose) const {
       st[i].admitted_ever = true;
       out.per_request[i].admit_cycle = now;
       resident_bytes += peak_bytes[i];
-    } else if (pager && pager->swapped_blocks(i) != 0) {
-      const KvPager::Refetch r = pager->refetch(i);
-      resident_bytes += r.bytes;
-      out.per_request[i].refetch_bytes += r.bytes;
-      out.per_request[i].refetch_cycles += r.cycles;
-      st[i].awaiting_refetch = true;
-      st[i].refetch_ready = now + r.cycles;
+      if (auditor) auditor->on_admit(i, now, resident_bytes);
+    } else {
+      std::uint64_t refetched = 0;
+      if (pager && pager->swapped_blocks(i) != 0) {
+        const KvPager::Refetch r = pager->refetch(i);
+        refetched = r.bytes;
+        resident_bytes += r.bytes;
+        out.per_request[i].refetch_bytes += r.bytes;
+        out.per_request[i].refetch_cycles += r.cycles;
+        st[i].awaiting_refetch = true;
+        st[i].refetch_ready = now + r.cycles;
+      }
+      if (auditor) auditor->on_resume(i, refetched, now, resident_bytes);
     }
   };
   // Whether request i's next operator may enter the machine at `now`
@@ -667,11 +685,13 @@ BatchStats DecodePass::run_continuous(bool verbose) const {
     st[i].running = false;
     enter_queue(i, now);
     ++out.per_request[i].preemptions;
+    std::uint64_t freed = 0;
     if (pager) {
-      const std::uint64_t freed = pager->evict_cold(i);
+      freed = pager->evict_cold(i);
       resident_bytes -= freed;
       out.per_request[i].swapped_blocks += freed / pager->config().block_bytes;
     }
+    if (auditor) auditor->on_evict(i, freed, now, resident_bytes);
   };
 
   // The stream is simulated as a chain of System segments sharing one
@@ -902,6 +922,7 @@ BatchStats DecodePass::run_continuous(bool verbose) const {
           st[i].running = false;
           out.per_request[i].finish_cycle = global;
           resident_bytes -= peak_bytes[i];
+          if (auditor) auditor->on_finish(i, global, resident_bytes);
           src.retire_request(reqs[i].id);
           freed = true;
         }
@@ -931,6 +952,9 @@ BatchStats DecodePass::run_continuous(bool verbose) const {
         st[i].running = false;
         out.per_request[i].finish_cycle = base + seg.cycles;
         resident_bytes -= peak_bytes[i];
+        if (auditor) {
+          auditor->on_finish(i, base + seg.cycles, resident_bytes);
+        }
       }
     }
     shift_slices(seg, base);
@@ -946,6 +970,7 @@ BatchStats DecodePass::run_continuous(bool verbose) const {
     ++seg_id;
   }
 
+  if (auditor) auditor->on_pass_end();
   out.makespan = base;
   for (RequestStats& rs : out.per_request) {
     // True per-request latency: finish minus arrival, queueing included.

@@ -139,6 +139,11 @@ struct DecodePassConfig {
   /// stage-boundary preemption). The default reproduces the raw streaming
   /// engine byte-identically; any non-default setting requires kContinuous.
   ServingConfig serving;
+  /// kContinuous: feed every serving event (admit/resume/evict/finish)
+  /// through the in-engine ledger auditor (scenario/invariants.hpp), which
+  /// throws InvariantViolation on the cycle an invariant breaks. Stats are
+  /// unaffected either way. LLAMCAT_AUDIT=1 in the environment forces it on.
+  bool audit = false;
 };
 
 /// One operator instance in the pass's schedule.

@@ -497,32 +497,6 @@ TEST(ContinuousMode, CoResidentRequestsStreamWithoutSegmentBreaks) {
   EXPECT_LE(ct.per_op.size(), 2u);
 }
 
-TEST(ContinuousMode, DeterministicAcrossRuns) {
-  const SimConfig cfg = small_config();
-  const RequestBatch batch(tiny_model(),
-                           {{0, 256, 0, 1}, {1, 64, 500, 2}, {2, 128, 0, 1}});
-  DecodePassConfig pc;
-  pc.num_layers = 1;
-  pc.include_gemv = false;
-  pc.mode = scenario::ExecutionMode::kContinuous;
-  const DecodePass pass(batch, pc, cfg);
-
-  const BatchStats a = pass.run();
-  const BatchStats b = pass.run();
-  EXPECT_EQ(a.makespan, b.makespan);
-  EXPECT_EQ(a.total.cycles, b.total.cycles);
-  EXPECT_EQ(a.total.counters.counters(), b.total.counters.counters());
-  ASSERT_EQ(a.per_request.size(), b.per_request.size());
-  for (std::size_t i = 0; i < a.per_request.size(); ++i) {
-    EXPECT_EQ(a.per_request[i].admit_cycle, b.per_request[i].admit_cycle);
-    EXPECT_EQ(a.per_request[i].finish_cycle, b.per_request[i].finish_cycle);
-    EXPECT_EQ(a.per_request[i].slice.dram_reads,
-              b.per_request[i].slice.dram_reads);
-    EXPECT_EQ(a.per_request[i].slice.llc_hits,
-              b.per_request[i].slice.llc_hits);
-  }
-}
-
 // The tentpole claim: on a skewed batch the short requests no longer wait
 // for the batch's longest member at every stage, so the streaming makespan
 // beats the barrier makespan.

@@ -1,0 +1,123 @@
+// Two-run determinism cross-check for every execution mode: the same
+// DecodePass run twice must produce byte-identical results - every stat,
+// landmark, counter and per-segment row, compared via the canonical digest
+// the serving fuzzer uses (scenario/fuzz.hpp). One parameterized suite
+// replaces the ad-hoc per-suite determinism tests that used to live in
+// test_scenario / test_continuous / test_serving / test_paging, so a new
+// execution mode or policy knob gets determinism coverage by adding a row
+// here instead of hand-picking fields to compare.
+#include <gtest/gtest.h>
+
+#include "scenario/fuzz.hpp"
+#include "scenario/scenario.hpp"
+
+namespace llamcat {
+namespace {
+
+using scenario::AdmitPolicy;
+using scenario::BatchStats;
+using scenario::DecodePass;
+using scenario::DecodePassConfig;
+using scenario::ExecutionMode;
+using scenario::RequestBatch;
+using scenario::RequestSpec;
+
+SimConfig small_config() {
+  SimConfig cfg = SimConfig::table5();
+  cfg.core.num_cores = 4;
+  cfg.llc.size_bytes = 1ull << 20;
+  cfg.llc.num_slices = 2;
+  cfg.dram.num_channels = 2;
+  cfg.max_cycles = 20'000'000;
+  return cfg;
+}
+
+ModelShape tiny_model() {
+  ModelShape m = ModelShape::llama3_70b();
+  m.num_kv_heads = 2;
+  m.group_size = 4;
+  return m;
+}
+
+// tiny_model: H=2, D=128, fp16 -> 512 bytes per resident KV token per layer.
+constexpr std::uint64_t kTinyBytesPerToken = 2ull * 128 * 2;
+
+struct ModeCase {
+  std::string name;
+  std::vector<RequestSpec> requests;
+  void (*configure)(DecodePassConfig&);
+};
+
+class EveryMode : public ::testing::TestWithParam<ModeCase> {};
+
+TEST_P(EveryMode, TwoRunsAreByteIdentical) {
+  const ModeCase& mc = GetParam();
+  DecodePassConfig pc;
+  pc.num_layers = 2;
+  pc.include_gemv = false;
+  mc.configure(pc);
+  const RequestBatch batch(tiny_model(), mc.requests);
+  const DecodePass pass(batch, pc, small_config());
+  const BatchStats a = pass.run();
+  const BatchStats b = pass.run();
+  EXPECT_EQ(scenario::batch_stats_digest(a), scenario::batch_stats_digest(b));
+}
+
+// The in-engine auditor must be observation-only: an audited run reports
+// exactly what the plain run reports, for every mode that supports it.
+TEST_P(EveryMode, AuditedRunIsByteIdenticalToPlain) {
+  const ModeCase& mc = GetParam();
+  DecodePassConfig pc;
+  pc.num_layers = 2;
+  pc.include_gemv = false;
+  mc.configure(pc);
+  const RequestBatch batch(tiny_model(), mc.requests);
+  const BatchStats plain = DecodePass(batch, pc, small_config()).run();
+  pc.audit = true;
+  const BatchStats audited = DecodePass(batch, pc, small_config()).run();
+  EXPECT_EQ(scenario::batch_stats_digest(plain),
+            scenario::batch_stats_digest(audited));
+}
+
+const std::vector<RequestSpec> kBarrierBatch = {{0, 128, 0, 1}, {1, 256, 0, 2}};
+const std::vector<RequestSpec> kStreamBatch = {
+    {0, 256, 0, 1}, {1, 64, 500, 2}, {2, 128, 0, 1}};
+const std::vector<RequestSpec> kServingBatch = {
+    {0, 512, 0, 2}, {1, 128, 1000, 1}, {2, 64, 3000, 1}, {3, 128, 5000, 1}};
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, EveryMode,
+    ::testing::Values(
+        ModeCase{"independent", kBarrierBatch,
+                 [](DecodePassConfig& pc) {
+                   pc.mode = ExecutionMode::kIndependent;
+                 }},
+        ModeCase{"coscheduled", kBarrierBatch,
+                 [](DecodePassConfig& pc) {
+                   pc.mode = ExecutionMode::kCoScheduled;
+                 }},
+        ModeCase{"continuous_raw", kStreamBatch,
+                 [](DecodePassConfig& pc) {
+                   pc.mode = ExecutionMode::kContinuous;
+                 }},
+        ModeCase{"continuous_budgeted_preempt", kServingBatch,
+                 [](DecodePassConfig& pc) {
+                   pc.mode = ExecutionMode::kContinuous;
+                   pc.serving.policy = AdmitPolicy::kShortestRemaining;
+                   pc.serving.kv_budget_bytes = 700 * kTinyBytesPerToken * 2;
+                   pc.serving.preempt = true;
+                 }},
+        ModeCase{"continuous_paged", kServingBatch,
+                 [](DecodePassConfig& pc) {
+                   pc.mode = ExecutionMode::kContinuous;
+                   pc.serving.policy = AdmitPolicy::kShortestRemaining;
+                   pc.serving.kv_budget_bytes = 544 * kTinyBytesPerToken * 2;
+                   pc.serving.preempt = true;
+                   pc.serving.kv_evict = KvEvictPolicy::kColdBlocks;
+                 }}),
+    [](const ::testing::TestParamInfo<ModeCase>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace llamcat

@@ -1,0 +1,192 @@
+// KV byte-conservation ledger: eviction/refetch edge cases at three levels.
+// KvPager bookkeeping (evict-then-immediately-resume round trips, partial
+// tail pinning at odd block sizes), the ServingAuditor shadow ledger (the
+// contract enforcer itself must reject the races it exists to catch, e.g. a
+// finish racing an outstanding swap), and the audited engine end-to-end at
+// an odd --kv-block-bytes.
+#include <gtest/gtest.h>
+
+#include "scenario/invariants.hpp"
+#include "scenario/kv_pager.hpp"
+#include "scenario/scenario.hpp"
+
+namespace llamcat {
+namespace {
+
+using scenario::DecodePass;
+using scenario::DecodePassConfig;
+using scenario::InvariantViolation;
+using scenario::KvPager;
+using scenario::KvPagerConfig;
+using scenario::RequestBatch;
+using scenario::ServingAuditor;
+
+SimConfig small_config() {
+  SimConfig cfg = SimConfig::table5();
+  cfg.core.num_cores = 4;
+  cfg.llc.size_bytes = 1ull << 20;
+  cfg.llc.num_slices = 2;
+  cfg.dram.num_channels = 2;
+  cfg.max_cycles = 20'000'000;
+  return cfg;
+}
+
+ModelShape tiny_model() {
+  ModelShape m = ModelShape::llama3_70b();
+  m.num_kv_heads = 2;
+  m.group_size = 4;
+  return m;
+}
+
+// tiny_model: H=2, D=128, fp16 -> 512 bytes per resident KV token per layer.
+constexpr std::uint64_t kTinyBytesPerToken = 2ull * 128 * 2;
+
+// ---------------------------------------------------------------------------
+// KvPager: swap round trips and tail pinning
+// ---------------------------------------------------------------------------
+
+TEST(KvLedger, EvictThenImmediatelyResumeRoundTrips) {
+  KvPagerConfig cfg;
+  cfg.block_bytes = 64;
+  KvPager pager(cfg, {64 * 10});
+  const std::uint64_t freed = pager.evict_cold(0);
+  EXPECT_EQ(freed, 64u * 10);
+  EXPECT_EQ(pager.swapped_blocks(0), 10u);
+  // Resume before anything else happens: the refetch must restore exactly
+  // what the eviction moved, and the ledger must read fully resident again.
+  const KvPager::Refetch r = pager.refetch(0);
+  EXPECT_EQ(r.bytes, freed);
+  EXPECT_EQ(r.blocks, 10u);
+  EXPECT_EQ(pager.swapped_blocks(0), 0u);
+  EXPECT_EQ(pager.evictable_blocks(0), 10u);
+  // And the round trip is repeatable - no state leaks across cycles.
+  EXPECT_EQ(pager.evict_cold(0), freed);
+  EXPECT_EQ(pager.refetch(0).bytes, freed);
+}
+
+TEST(KvLedger, OddBlockSizePinsThePartialTail) {
+  // 1000-byte footprint, 192-byte blocks: 5 whole blocks (960 B) can move,
+  // the 40-byte tail can never leave the resident tier.
+  KvPagerConfig cfg;
+  cfg.block_bytes = 192;
+  KvPager pager(cfg, {1000});
+  EXPECT_EQ(pager.total_blocks(0), 5u);
+  const std::uint64_t freed = pager.evict_cold(0);
+  EXPECT_EQ(freed, 5u * 192);
+  EXPECT_LT(freed, 1000u);  // the tail stayed pinned
+  // Second eviction with everything already out frees nothing (idempotent).
+  EXPECT_EQ(pager.evict_cold(0), 0u);
+  EXPECT_EQ(pager.refetch(0).bytes, 5u * 192);
+}
+
+TEST(KvLedger, BlockLargerThanFootprintIsUnswappable) {
+  KvPagerConfig cfg;
+  cfg.block_bytes = 1 << 20;
+  KvPager pager(cfg, {4096});
+  EXPECT_EQ(pager.total_blocks(0), 0u);
+  EXPECT_EQ(pager.evict_cold(0), 0u);
+  EXPECT_EQ(pager.refetch(0).bytes, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// ServingAuditor: the shadow ledger rejects the races it exists to catch
+// ---------------------------------------------------------------------------
+
+TEST(KvLedgerAuditor, CleanLifecycleWithSwapRoundTripPasses) {
+  // budget 1000, one request of 700 with 100-byte blocks (700 = 7 blocks).
+  ServingAuditor audit(/*budget=*/1000, {700}, /*block_bytes=*/100);
+  audit.on_admit(0, 10, 700);
+  audit.on_evict(0, 700, 20, 0);    // all 7 blocks out
+  audit.on_resume(0, 700, 30, 700);  // all 7 back
+  audit.on_finish(0, 40, 0);
+  EXPECT_NO_THROW(audit.on_pass_end());
+}
+
+TEST(KvLedgerAuditor, FinishRacingAnOutstandingSwapThrows) {
+  ServingAuditor audit(0, {700}, 100);
+  audit.on_admit(0, 1, 700);
+  audit.on_evict(0, 300, 2, 400);
+  // The engine's contract: a resume refetches everything before the request
+  // can run again, so a finish with bytes still swapped out is impossible.
+  EXPECT_THROW(audit.on_finish(0, 3, 0), InvariantViolation);
+}
+
+TEST(KvLedgerAuditor, PartialRefetchThrows) {
+  ServingAuditor audit(0, {700}, 100);
+  audit.on_admit(0, 1, 700);
+  audit.on_evict(0, 500, 2, 200);
+  // Refetching less than the swapped set would leave the pinned+swapped
+  // sum short of the peak footprint.
+  EXPECT_THROW(audit.on_resume(0, 300, 3, 500), InvariantViolation);
+}
+
+TEST(KvLedgerAuditor, NonBlockGranularSwapThrows) {
+  ServingAuditor audit(0, {700}, 100);
+  audit.on_admit(0, 1, 700);
+  EXPECT_THROW(audit.on_evict(0, 150, 2, 550), InvariantViolation);
+}
+
+TEST(KvLedgerAuditor, EngineLedgerDivergenceThrows) {
+  ServingAuditor audit(0, {700}, 0);
+  // The engine claims 650 resident after pinning 700: the shadow ledger
+  // catches the drift on the exact event.
+  EXPECT_THROW(audit.on_admit(0, 1, 650), InvariantViolation);
+}
+
+TEST(KvLedgerAuditor, OverBudgetPinThrows) {
+  ServingAuditor audit(/*budget=*/1000, {700, 700}, 0);
+  audit.on_admit(0, 1, 700);
+  EXPECT_THROW(audit.on_admit(1, 2, 1400), InvariantViolation);
+}
+
+TEST(KvLedgerAuditor, BackwardsClockThrows) {
+  ServingAuditor audit(0, {700, 700}, 0);
+  audit.on_admit(0, 10, 700);
+  EXPECT_THROW(audit.on_admit(1, 5, 1400), InvariantViolation);
+}
+
+TEST(KvLedgerAuditor, UnfinishedRequestFailsPassEnd) {
+  ServingAuditor audit(0, {700}, 0);
+  audit.on_admit(0, 1, 700);
+  EXPECT_THROW(audit.on_pass_end(), InvariantViolation);
+}
+
+// ---------------------------------------------------------------------------
+// Audited engine end-to-end at an odd block size
+// ---------------------------------------------------------------------------
+
+TEST(KvLedgerEngine, OddBlockBytesCloseTheLedgerUnderAudit) {
+  // The PagedEngine preemption scenario, but with 192-byte blocks (3 lines:
+  // footprints are line-granular, not 192-granular, so partial tails are
+  // the norm) and the in-engine auditor armed. The run must complete with
+  // every cumulative refetch closing the swap ledger at 192 B granularity.
+  const SimConfig cfg = small_config();
+  const RequestBatch batch(tiny_model(), {{0, 512, 0, 2},
+                                          {1, 64, 1000, 1},
+                                          {2, 64, 3000, 1},
+                                          {3, 128, 5000, 1}});
+  DecodePassConfig pc;
+  pc.num_layers = 1;
+  pc.include_gemv = false;
+  pc.mode = scenario::ExecutionMode::kContinuous;
+  pc.serving.policy = AdmitPolicy::kShortestRemaining;
+  pc.serving.kv_budget_bytes = 544 * kTinyBytesPerToken;
+  pc.serving.preempt = true;
+  pc.serving.kv_evict = KvEvictPolicy::kColdBlocks;
+  pc.serving.kv_block_bytes = 192;
+  pc.audit = true;
+
+  const scenario::BatchStats s = DecodePass(batch, pc, cfg).run();
+  ASSERT_GT(s.total_swapped_blocks(), 0u) << "scenario must actually swap";
+  for (const scenario::RequestStats& r : s.per_request) {
+    EXPECT_EQ(r.refetch_bytes, r.swapped_blocks * 192)
+        << "request " << r.id;
+    EXPECT_GT(r.finish_cycle, 0u) << "request " << r.id;
+  }
+  // The post-run contract agrees.
+  const scenario::AuditReport rep = scenario::audit_batch(batch, pc, s);
+  EXPECT_TRUE(rep.ok()) << rep.to_string();
+}
+
+}  // namespace
+}  // namespace llamcat

@@ -305,37 +305,6 @@ TEST(PagedEngine, OversizedBlocksNeverEvictOrChurn) {
   EXPECT_GE(s.per_request[1].admit_cycle, s.per_request[0].finish_cycle);
 }
 
-TEST(PagedEngine, DeterministicAcrossRuns) {
-  const SimConfig cfg = small_config();
-  const RequestBatch batch(tiny_model(), {{0, 512, 0, 2},
-                                          {1, 64, 1000, 1},
-                                          {2, 64, 3000, 1},
-                                          {3, 128, 5000, 1}});
-  DecodePassConfig pc = continuous_cfg();
-  pc.serving.policy = AdmitPolicy::kShortestRemaining;
-  // Request 0 decodes 2 steps: its peak is 544 tokens (513 granule-rounded).
-  pc.serving.kv_budget_bytes = 544 * kTinyBytesPerToken;
-  pc.serving.preempt = true;
-  pc.serving.kv_evict = KvEvictPolicy::kColdBlocks;
-  const DecodePass pass(batch, pc, cfg);
-  const BatchStats a = pass.run();
-  const BatchStats b = pass.run();
-  EXPECT_EQ(a.total.cycles, b.total.cycles);
-  EXPECT_EQ(a.makespan, b.makespan);
-  EXPECT_EQ(a.total.dram_reads, b.total.dram_reads);
-  EXPECT_EQ(a.total.counters.counters(), b.total.counters.counters());
-  ASSERT_EQ(a.per_request.size(), b.per_request.size());
-  for (std::size_t i = 0; i < a.per_request.size(); ++i) {
-    EXPECT_EQ(a.per_request[i].finish_cycle, b.per_request[i].finish_cycle);
-    EXPECT_EQ(a.per_request[i].preemptions, b.per_request[i].preemptions);
-    EXPECT_EQ(a.per_request[i].swapped_blocks,
-              b.per_request[i].swapped_blocks);
-    EXPECT_EQ(a.per_request[i].refetch_bytes, b.per_request[i].refetch_bytes);
-    EXPECT_EQ(a.per_request[i].refetch_cycles,
-              b.per_request[i].refetch_cycles);
-  }
-}
-
 // Everyone still finishes under paging, however tight the budget: swap
 // round-trips never drop a request.
 TEST(PagedEngine, NoRequestIsEverDropped) {

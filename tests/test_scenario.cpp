@@ -166,31 +166,6 @@ TEST(DecodePass, BatchStatsEqualSumOfPerRequestStats) {
                    1.0 / static_cast<double>(stats.per_request[0].stats.cycles));
 }
 
-TEST(DecodePass, TwoRequestBatchDeterministicAcrossRuns) {
-  const SimConfig cfg = small_config();
-  DecodePassConfig pass_cfg;
-  pass_cfg.num_layers = 2;
-  pass_cfg.include_gemv = false;
-  const RequestBatch batch =
-      RequestBatch::with_seq_lens(tiny_model(), {128, 256});
-  const DecodePass pass(batch, pass_cfg, cfg);
-
-  const BatchStats a = pass.run();
-  const BatchStats b = pass.run();
-
-  EXPECT_EQ(a.total.cycles, b.total.cycles);
-  EXPECT_EQ(a.total.instructions, b.total.instructions);
-  EXPECT_EQ(a.total.dram_reads, b.total.dram_reads);
-  EXPECT_EQ(a.total.dram_writes, b.total.dram_writes);
-  EXPECT_EQ(a.total.counters.counters(), b.total.counters.counters());
-  ASSERT_EQ(a.per_request.size(), b.per_request.size());
-  for (std::size_t i = 0; i < a.per_request.size(); ++i) {
-    EXPECT_EQ(a.per_request[i].stats.cycles, b.per_request[i].stats.cycles);
-    EXPECT_EQ(a.per_request[i].stats.dram_reads,
-              b.per_request[i].stats.dram_reads);
-  }
-}
-
 // Acceptance anchor: with a single request there is nothing to contend
 // with, so the fused shared-System path must reproduce the independent
 // per-operator path exactly - totals and per-request stats alike.
@@ -261,29 +236,6 @@ TEST(DecodePass, CoScheduledShowsContentionAtBatchFour) {
   EXPECT_EQ(writes, cos.total.dram_writes);
   EXPECT_EQ(tbs, cos.total.thread_blocks);
   EXPECT_EQ(instrs, cos.total.instructions);
-}
-
-TEST(DecodePass, CoScheduledDeterministicAcrossRuns) {
-  const SimConfig cfg = small_config();
-  DecodePassConfig pass_cfg;
-  pass_cfg.num_layers = 2;
-  pass_cfg.include_gemv = false;
-  pass_cfg.mode = scenario::ExecutionMode::kCoScheduled;
-  const DecodePass pass(RequestBatch::with_seq_lens(tiny_model(), {128, 256}),
-                        pass_cfg, cfg);
-
-  const BatchStats a = pass.run();
-  const BatchStats b = pass.run();
-  EXPECT_EQ(a.total.cycles, b.total.cycles);
-  EXPECT_EQ(a.total.counters.counters(), b.total.counters.counters());
-  ASSERT_EQ(a.per_request.size(), b.per_request.size());
-  for (std::size_t i = 0; i < a.per_request.size(); ++i) {
-    EXPECT_EQ(a.per_request[i].slice.cycles_in_flight,
-              b.per_request[i].slice.cycles_in_flight);
-    EXPECT_EQ(a.per_request[i].slice.dram_reads,
-              b.per_request[i].slice.dram_reads);
-    EXPECT_EQ(a.per_request[i].slice.llc_hits, b.per_request[i].slice.llc_hits);
-  }
 }
 
 TEST(SimStatsAccumulate, RecomputesDerivedMetrics) {

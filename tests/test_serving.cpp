@@ -405,27 +405,6 @@ TEST(ServingEngine, PreemptionBoundsShortRequestLatency) {
   EXPECT_EQ(tbs, pre.total.thread_blocks);
 }
 
-TEST(ServingEngine, DeterministicAcrossRuns) {
-  const SimConfig cfg = small_config();
-  const RequestBatch batch(tiny_model(), {{0, 512, 0, 2},
-                                          {1, 128, 1000, 1},
-                                          {2, 64, 3000, 1},
-                                          {3, 128, 5000, 1}});
-  DecodePassConfig pc = continuous_cfg();
-  pc.serving.policy = AdmitPolicy::kShortestRemaining;
-  pc.serving.kv_budget_bytes = 700 * kTinyBytesPerToken;
-  pc.serving.preempt = true;
-  const DecodePass pass(batch, pc, cfg);
-  const BatchStats a = pass.run();
-  const BatchStats b = pass.run();
-  expect_identical(a, b);
-  ASSERT_EQ(a.per_request.size(), b.per_request.size());
-  for (std::size_t i = 0; i < a.per_request.size(); ++i) {
-    EXPECT_EQ(a.per_request[i].preemptions, b.per_request[i].preemptions);
-    EXPECT_EQ(a.per_request[i].queued_cycles, b.per_request[i].queued_cycles);
-  }
-}
-
 // Everyone finishes under every policy combination, however tight the
 // budget (arrivals queue, they never drop).
 TEST(ServingEngine, NoRequestIsEverDropped) {

@@ -1,0 +1,140 @@
+// llamcat_stress: db_stress-style randomized fuzzer over the
+// continuous-serving engine. Each seed deterministically draws a full
+// scenario (machine x batch x serving policy - scenario/fuzz.hpp), runs it
+// twice through the invariant contract (scenario/invariants.hpp), and any
+// violation prints the scenario plus a one-line replay command.
+//
+//   llamcat_stress                      # 200 runs from the default base seed
+//   llamcat_stress --runs=1000          # longer sweep
+//   llamcat_stress --seed=42            # sweep base: seeds 42, 43, ...
+//   llamcat_stress --replay=1337        # re-run exactly one failing seed
+//   llamcat_stress --verbose            # print every scenario as it runs
+//
+// Exit code 0 = every run clean, 1 = at least one violation (the failing
+// seeds are listed at the end), 2 = bad usage. docs/testing.md has the
+// seed-pinning workflow (a failing seed becomes a regression test in
+// tests/test_serving_fuzz.cpp).
+#include <charconv>
+#include <cstdint>
+#include <iostream>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "scenario/fuzz.hpp"
+
+namespace {
+
+constexpr const char* kUsage = R"(usage: llamcat_stress [options]
+  --runs=N     number of seeds to fuzz (default 200)
+  --seed=S     base seed; run i uses seed S+i (default 1)
+  --replay=S   run exactly the one seed S (what a failure report suggests)
+  --verbose    print every scenario, not just failures
+  --help       this text
+)";
+
+std::optional<std::uint64_t> parse_u64(std::string_view s) {
+  std::uint64_t v = 0;
+  const auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc{} || p != s.data() + s.size()) return std::nullopt;
+  return v;
+}
+
+struct Options {
+  std::uint64_t runs = 200;
+  std::uint64_t base_seed = 1;
+  std::optional<std::uint64_t> replay;
+  bool verbose = false;
+};
+
+void report(const llamcat::scenario::FuzzResult& r) {
+  std::cerr << "FAIL seed " << r.seed << ": "
+            << llamcat::scenario::draw_scenario(r.seed).summary() << "\n";
+  for (const std::string& v : r.violations) {
+    std::cerr << "  " << v << "\n";
+  }
+  std::cerr << "  replay: llamcat_stress --replay=" << r.seed << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    const auto value = [&](std::string_view prefix) {
+      return arg.substr(prefix.size());
+    };
+    if (arg == "--help" || arg == "-h") {
+      std::cout << kUsage;
+      return 0;
+    } else if (arg == "--verbose") {
+      opt.verbose = true;
+    } else if (arg.rfind("--runs=", 0) == 0) {
+      const auto v = parse_u64(value("--runs="));
+      if (!v || *v == 0) {
+        std::cerr << "error: bad --runs\n" << kUsage;
+        return 2;
+      }
+      opt.runs = *v;
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      const auto v = parse_u64(value("--seed="));
+      if (!v) {
+        std::cerr << "error: bad --seed\n" << kUsage;
+        return 2;
+      }
+      opt.base_seed = *v;
+    } else if (arg.rfind("--replay=", 0) == 0) {
+      const auto v = parse_u64(value("--replay="));
+      if (!v) {
+        std::cerr << "error: bad --replay\n" << kUsage;
+        return 2;
+      }
+      opt.replay = *v;
+    } else {
+      std::cerr << "error: unknown option '" << arg << "'\n" << kUsage;
+      return 2;
+    }
+  }
+
+  if (opt.replay) {
+    const auto sc = llamcat::scenario::draw_scenario(*opt.replay);
+    std::cout << "replaying seed " << *opt.replay << ": " << sc.summary()
+              << "\n";
+    const auto r = llamcat::scenario::run_fuzz_seed(*opt.replay);
+    if (!r.ok()) {
+      report(r);
+      return 1;
+    }
+    std::cout << "seed " << *opt.replay << " clean\n";
+    return 0;
+  }
+
+  std::vector<std::uint64_t> failing;
+  for (std::uint64_t i = 0; i < opt.runs; ++i) {
+    const std::uint64_t seed = opt.base_seed + i;
+    if (opt.verbose) {
+      std::cout << "seed " << seed << ": "
+                << llamcat::scenario::draw_scenario(seed).summary() << "\n";
+    }
+    const auto r = llamcat::scenario::run_fuzz_seed(seed);
+    if (!r.ok()) {
+      report(r);
+      failing.push_back(seed);
+    }
+    // A heartbeat every 50 runs so long sweeps are visibly alive.
+    if (!opt.verbose && (i + 1) % 50 == 0) {
+      std::cout << (i + 1) << "/" << opt.runs << " seeds fuzzed, "
+                << failing.size() << " failing\n";
+    }
+  }
+  if (!failing.empty()) {
+    std::cerr << failing.size() << "/" << opt.runs << " seeds FAILED:";
+    for (const std::uint64_t s : failing) std::cerr << " " << s;
+    std::cerr << "\nreplay one with: llamcat_stress --replay=<seed>\n";
+    return 1;
+  }
+  std::cout << "all " << opt.runs << " seeds clean (base seed "
+            << opt.base_seed << ")\n";
+  return 0;
+}
