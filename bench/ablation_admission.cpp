@@ -155,10 +155,27 @@ int main(int argc, char** argv) {
   t.set_header({"policy", "admit", "makespan", "mean lat", "p50 lat",
                 "p99 lat", "wait", "pre", "admit order"});
 
+  // All (policy x variant) points are independent runs: fan them out
+  // across the ThreadPool, then emit tables/JSON serially in sweep order.
+  struct Point {
+    const NamedPolicy* p;
+    const ServingVariant* v;
+  };
+  std::vector<Point> points;
   for (const NamedPolicy& p : policies) {
-    const SimConfig cfg = contention_config(p.thr, p.arb);
-    for (const ServingVariant& v : variants()) {
-      const BatchStats s = run_variant(batch, cfg, layers, v, budget);
+    for (const ServingVariant& v : variants()) points.push_back({&p, &v});
+  }
+  const auto stats = run_points_parallel(points.size(), [&](std::size_t i) {
+    return run_variant(batch, contention_config(points[i].p->thr,
+                                                points[i].p->arb),
+                       layers, *points[i].v, budget);
+  });
+
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const NamedPolicy& p = *points[i].p;
+    const ServingVariant& v = *points[i].v;
+    {
+      const BatchStats& s = stats[i];
       t.add_row({p.name, v.name, std::to_string(s.makespan),
                  TextTable::num(mean_latency(s)),
                  std::to_string(s.latency_percentile(50.0)),
@@ -214,14 +231,27 @@ int main(int argc, char** argv) {
               "discipline is the schedule");
   q.set_header({"policy", "admit", "makespan", "mean lat", "p50 lat",
                 "p99 lat", "admit order"});
+  std::vector<Point> serial_points;
   for (const NamedPolicy& p : policies) {
-    const SimConfig cfg = contention_config(p.thr, p.arb);
     for (const ServingVariant& v : variants()) {
       // One-at-a-time residency means nothing ever co-runs, so the preempt
       // variants would duplicate the fcfs/srf rows exactly.
       if (v.preempt) continue;
-      const BatchStats s = run_variant(serial, cfg, layers, v,
-                                       serial_budget);
+      serial_points.push_back({&p, &v});
+    }
+  }
+  const auto serial_stats =
+      run_points_parallel(serial_points.size(), [&](std::size_t i) {
+        return run_variant(serial,
+                           contention_config(serial_points[i].p->thr,
+                                             serial_points[i].p->arb),
+                           layers, *serial_points[i].v, serial_budget);
+      });
+  for (std::size_t i = 0; i < serial_points.size(); ++i) {
+    const NamedPolicy& p = *serial_points[i].p;
+    const ServingVariant& v = *serial_points[i].v;
+    {
+      const BatchStats& s = serial_stats[i];
       q.add_row({p.name, v.name, std::to_string(s.makespan),
                  TextTable::num(mean_latency(s)),
                  std::to_string(s.latency_percentile(50.0)),

@@ -65,17 +65,41 @@ int main(int argc, char** argv) {
   t.set_header({"policy", "batch", "ind cycles", "cos cycles", "slowdown",
                 "cos l2_hit", "req spread"});
 
+  // Every (policy x batch) point is a pair of independent runs: fan the
+  // points out across the ThreadPool and emit serially in sweep order.
+  struct Point {
+    const NamedPolicy* p;
+    std::uint32_t n;
+  };
+  std::vector<Point> points;
   for (const NamedPolicy& p : policies) {
-    for (const std::uint32_t n : batch_sizes) {
-      const SimConfig cfg = contention_config(p.thr, p.arb);
-      const RequestBatch batch = RequestBatch::uniform(bench_model(), n, seq);
-      DecodePassConfig pc;
-      pc.num_layers = 1;
-      pc.include_gemv = false;
+    for (const std::uint32_t n : batch_sizes) points.push_back({&p, n});
+  }
+  struct PointStats {
+    BatchStats ind;
+    BatchStats cos;
+  };
+  const auto stats = run_points_parallel(points.size(), [&](std::size_t i) {
+    const SimConfig cfg =
+        contention_config(points[i].p->thr, points[i].p->arb);
+    const RequestBatch batch =
+        RequestBatch::uniform(bench_model(), points[i].n, seq);
+    DecodePassConfig pc;
+    pc.num_layers = 1;
+    pc.include_gemv = false;
+    PointStats ps;
+    ps.ind = DecodePass(batch, pc, cfg).run();
+    pc.mode = ExecutionMode::kCoScheduled;
+    ps.cos = DecodePass(batch, pc, cfg).run();
+    return ps;
+  });
 
-      const BatchStats ind = DecodePass(batch, pc, cfg).run();
-      pc.mode = ExecutionMode::kCoScheduled;
-      const BatchStats cos = DecodePass(batch, pc, cfg).run();
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const NamedPolicy& p = *points[i].p;
+    const std::uint32_t n = points[i].n;
+    {
+      const BatchStats& ind = stats[i].ind;
+      const BatchStats& cos = stats[i].cos;
 
       // Fairness spread: max/min per-request cycles-in-flight of the
       // shared run (1.0 = perfectly even progress).

@@ -3,14 +3,17 @@
 
 #include <cstdlib>
 #include <fstream>
+#include <future>
 #include <iostream>
 #include <sstream>
 #include <string>
 #include <string_view>
+#include <type_traits>
 #include <vector>
 
 #include "common/math_util.hpp"
 #include "common/table.hpp"
+#include "common/thread_pool.hpp"
 #include "sim/experiment.hpp"
 
 namespace llamcat::bench {
@@ -155,6 +158,26 @@ inline std::vector<std::vector<SimStats>> run_grid(
         results[k++].stats);
   }
   return grid;
+}
+
+/// Runs `n` independent sweep points across the ThreadPool (0 = hardware
+/// concurrency) and returns the results indexed by point. fn(i) writes its
+/// pre-sized slot i, so the output is bit-identical to the serial loop
+/// regardless of which worker finishes first - the same contract as
+/// run_experiments and run_fuzz_sweep. Each point must itself be a
+/// single-threaded deterministic run (every System is).
+template <typename Fn>
+auto run_points_parallel(std::size_t n, Fn&& fn, std::size_t threads = 0) {
+  using R = std::invoke_result_t<Fn&, std::size_t>;
+  std::vector<R> out(n);
+  ThreadPool pool(threads);
+  std::vector<std::future<void>> futures;
+  futures.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    futures.push_back(pool.submit([&out, &fn, i] { out[i] = fn(i); }));
+  }
+  for (auto& f : futures) f.get();
+  return out;
 }
 
 inline std::string seq_label(std::uint64_t L) {

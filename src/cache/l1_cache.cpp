@@ -12,24 +12,22 @@ L1Cache::L1Cache(const L1Config& cfg, CoreId core, std::uint64_t seed)
                                            (cfg.assoc * kLineBytes))),
       array_(num_sets_, cfg.assoc, cfg.repl, cfg.insert, seed) {
   misses_.reserve(cfg_.miss_queue_entries);
+  miss_index_.reserve(cfg_.miss_queue_entries * 2);
 }
 
 L1Cache::PendingMiss* L1Cache::find_miss(Addr line_addr) {
-  for (auto& m : misses_) {
-    if (m.line_addr == line_addr) return &m;
-  }
-  return nullptr;
+  const auto it = miss_index_.find(line_addr);
+  return it == miss_index_.end() ? nullptr : &misses_[it->second];
 }
 
-L1Cache::LoadResult L1Cache::access_load(Addr line_addr,
-                                         std::uint32_t req_id) {
+L1Cache::LoadResult L1Cache::access_load(Addr line_addr, LoadTag tag) {
   assert(line_addr == line_align(line_addr));
   if (array_.touch(set_of(line_addr), line_addr)) {
     ++counters_.load_hits;
     return LoadResult::kHit;
   }
   if (PendingMiss* m = find_miss(line_addr)) {
-    m->waiters.push_back(req_id);
+    m->waiters.push_back(tag);
     ++counters_.load_merges;
     return LoadResult::kMissMerged;
   }
@@ -37,7 +35,16 @@ L1Cache::LoadResult L1Cache::access_load(Addr line_addr,
     ++counters_.load_blocked;
     return LoadResult::kBlocked;
   }
-  misses_.push_back(PendingMiss{line_addr, {req_id}});
+  PendingMiss m;
+  m.line_addr = line_addr;
+  if (!waiter_pool_.empty()) {
+    m.waiters = std::move(waiter_pool_.back());
+    waiter_pool_.pop_back();
+    m.waiters.clear();
+  }
+  m.waiters.push_back(tag);
+  miss_index_.emplace(line_addr, static_cast<std::uint32_t>(misses_.size()));
+  misses_.push_back(std::move(m));
   outbox_.push_back(line_addr);
   ++counters_.load_misses;
   return LoadResult::kMissNew;
@@ -56,7 +63,8 @@ bool L1Cache::access_store(Addr line_addr) {
   return hit;
 }
 
-std::vector<std::uint32_t> L1Cache::on_fill(Addr line_addr) {
+void L1Cache::on_fill(Addr line_addr, std::vector<LoadTag>& waiters) {
+  waiters.clear();
   const std::uint32_t set = set_of(line_addr);
   if (!array_.probe(set, line_addr)) {
     // Allocate-on-fill; L1 lines are never dirty (write-through), so the
@@ -64,13 +72,21 @@ std::vector<std::uint32_t> L1Cache::on_fill(Addr line_addr) {
     array_.fill(set, line_addr, /*dirty=*/false);
     ++counters_.fills;
   }
-  auto it = std::find_if(
-      misses_.begin(), misses_.end(),
-      [&](const PendingMiss& m) { return m.line_addr == line_addr; });
-  if (it == misses_.end()) return {};
-  std::vector<std::uint32_t> waiters = std::move(it->waiters);
-  misses_.erase(it);
-  return waiters;
+  const auto it = miss_index_.find(line_addr);
+  if (it == miss_index_.end()) return;
+  const std::uint32_t i = it->second;
+  // Swap-erase: line addresses in the miss queue are unique, and no
+  // observable behavior depends on the queue's internal order.
+  std::vector<LoadTag>& w = misses_[i].waiters;
+  waiters.insert(waiters.end(), w.begin(), w.end());
+  w.clear();
+  waiter_pool_.push_back(std::move(w));
+  miss_index_.erase(it);
+  if (i + 1 != misses_.size()) {
+    misses_[i] = std::move(misses_.back());
+    miss_index_[misses_[i].line_addr] = i;
+  }
+  misses_.pop_back();
 }
 
 StatSet L1Cache::stats() const {
@@ -83,16 +99,6 @@ StatSet L1Cache::stats() const {
   s.set("l1.store_misses", counters_.store_misses);
   s.set("l1.fills", counters_.fills);
   return s;
-}
-
-std::optional<Addr> L1Cache::peek_outbox() const {
-  if (outbox_.empty()) return std::nullopt;
-  return outbox_.front();
-}
-
-void L1Cache::pop_outbox() {
-  assert(!outbox_.empty());
-  outbox_.pop_front();
 }
 
 }  // namespace llamcat

@@ -61,6 +61,15 @@ class Mshr {
     occ_.add(static_cast<double>(entries_.size()) /
              static_cast<double>(num_entries_));
   }
+
+  /// Bulk form for skip-ahead: occupancy is constant across a frozen window,
+  /// so `cycles` repeated samples collapse into one call (bit-identical to
+  /// the per-cycle loop via add_repeated).
+  void sample_occupancy(std::uint64_t cycles) {
+    occ_.add_repeated(static_cast<double>(entries_.size()) /
+                          static_cast<double>(num_entries_),
+                      cycles);
+  }
   [[nodiscard]] double avg_entry_utilization() const { return occ_.mean(); }
 
  private:

@@ -58,6 +58,14 @@ class ClockDivider {
     return 0;
   }
 
+  /// Advances `n` fast-clock ticks at once; returns how many slow-clock
+  /// ticks elapse. Exact closed form of calling advance() `n` times.
+  std::uint64_t advance_bulk(std::uint64_t n) {
+    const std::uint64_t total = acc_ + n * numer_;
+    acc_ = total % denom_;
+    return total / denom_;
+  }
+
   void reset() { acc_ = 0; }
 
  private:
@@ -72,6 +80,18 @@ class OccupancyAverage {
   /// Accumulates `value` holding for `cycles` ticks.
   void add(double value, std::uint64_t cycles = 1) {
     sum_ += value * static_cast<double>(cycles);
+    ticks_ += cycles;
+  }
+
+  /// Same observable result as calling add(value) `cycles` times. Kept as a
+  /// literal repeated-add (not value*cycles) so that skip-ahead bulk
+  /// accounting reproduces the per-cycle float rounding bit-for-bit.
+  void add_repeated(double value, std::uint64_t cycles) {
+    if (value == 0.0) {
+      ticks_ += cycles;
+      return;
+    }
+    for (std::uint64_t i = 0; i < cycles; ++i) sum_ += value;
     ticks_ += cycles;
   }
 

@@ -41,6 +41,11 @@ void DramController::enqueue(const DramRequest& r, DramTick now) {
 bool DramController::maybe_refresh(DramTick now) {
   if (!cfg_.enable_refresh) return false;
   if (now < next_refresh_) return false;
+  do_refresh_at(now);
+  return true;
+}
+
+void DramController::do_refresh_at(DramTick now) {
   // All-bank refresh of one rank per tREFI, round-robin across ranks.
   const std::uint32_t rank = refresh_rank_rr_;
   refresh_rank_rr_ = (refresh_rank_rr_ + 1) % cfg_.ranks_per_channel;
@@ -53,7 +58,19 @@ bool DramController::maybe_refresh(DramTick now) {
   }
   ranks_[rank].begin_refresh(now, now + timing_.tRFC);
   ++counters_.refreshes;
-  return true;
+}
+
+void DramController::skip_idle(DramTick from, std::uint64_t ticks) {
+  assert(idle());
+  read_q_occ_.add_repeated(0.0, ticks);
+  if (!cfg_.enable_refresh) return;
+  // Per-tick stepping calls maybe_refresh at each tick in (from, from+ticks];
+  // next_refresh_ > from holds at entry (the channel was ticked at `from`),
+  // so each refresh in the window fires at exactly its scheduled tick.
+  const DramTick end = from + ticks;
+  while (next_refresh_ <= end) {
+    do_refresh_at(std::max(next_refresh_, from + 1));
+  }
 }
 
 bool DramController::ready_for_data(const Entry& e, bool is_write,
@@ -164,20 +181,22 @@ StatSet DramController::stats() const {
 }
 
 void DramController::tick(DramTick now, std::vector<DramCompletion>& done) {
-  // Deliver finished reads.
-  for (std::size_t i = 0; i < inflight_reads_.size();) {
-    if (inflight_reads_[i].finish_tick <= now) {
-      done.push_back(inflight_reads_[i]);
-      inflight_reads_.erase(inflight_reads_.begin() +
-                            static_cast<std::ptrdiff_t>(i));
-    } else {
-      ++i;
-    }
+  // Deliver finished reads (finish ticks are monotonic; see inflight_reads_).
+  while (!inflight_reads_.empty() &&
+         inflight_reads_.front().finish_tick <= now) {
+    done.push_back(inflight_reads_.front());
+    inflight_reads_.pop_front();
   }
 
   read_q_occ_.add(static_cast<double>(read_q_.size()));
 
   if (maybe_refresh(now)) return;
+
+  if (read_q_.empty() && write_q_.empty()) {
+    // Nothing to schedule; the hysteresis below would see occ == 0.
+    draining_writes_ = false;
+    return;
+  }
 
   // Write drain hysteresis.
   const double occ = static_cast<double>(write_q_.size()) /

@@ -2,7 +2,9 @@
 // draining and all-bank refresh.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <vector>
 
@@ -55,6 +57,32 @@ class DramController {
     return read_q_.empty() && write_q_.empty() && inflight_reads_.empty();
   }
 
+  // ---- skip-ahead event hooks --------------------------------------------
+  /// Unfinished read work (queued or awaiting data latency). Writes are
+  /// excluded: they produce no completion events.
+  [[nodiscard]] bool has_read_work() const {
+    return !read_q_.empty() || !inflight_reads_.empty();
+  }
+  /// Conservative earliest DRAM tick at which this channel could deliver a
+  /// read completion: the minimum in-flight finish tick, lower-bounded for
+  /// queued reads by an issue at tick now+1 plus the fixed data latency.
+  /// Returns DramTick max when there is no read work.
+  [[nodiscard]] DramTick next_read_event(DramTick now) const {
+    DramTick f = ~DramTick{0};
+    if (!inflight_reads_.empty()) f = inflight_reads_.front().finish_tick;
+    if (!read_q_.empty()) {
+      f = std::min(f, now + 1 + timing_.read_latency() + cfg_.ctrl_latency);
+    }
+    return f;
+  }
+
+  /// Bulk-advances an idle channel by `ticks` DRAM ticks starting after
+  /// `from`: samples queue occupancy (zero) and fires any refreshes that
+  /// fall in the window, exactly as per-tick stepping would. Precondition:
+  /// idle(). (The write-drain hysteresis needs no bulk handling - every
+  /// real tick recomputes it from the queue occupancy before using it.)
+  void skip_idle(DramTick from, std::uint64_t ticks);
+
   /// Hot-path counters (plain fields; converted to a StatSet on demand).
   struct Counters {
     std::uint64_t reads_enq = 0;
@@ -91,6 +119,8 @@ class DramController {
   }
 
   bool maybe_refresh(DramTick now);
+  /// All-bank refresh of the round-robin rank, issued at tick `now`.
+  void do_refresh_at(DramTick now);
   /// Returns true if a command was issued this cycle.
   bool schedule_from(std::vector<Entry>& q, bool is_write, DramTick now,
                      std::vector<DramCompletion>& done);
@@ -110,7 +140,10 @@ class DramController {
 
   std::vector<Entry> read_q_;
   std::vector<Entry> write_q_;
-  std::vector<DramCompletion> inflight_reads_;  // waiting for data latency
+  // Reads awaiting their fixed data latency. One data command issues per
+  // tick and the latency is constant, so finish ticks are monotonic:
+  // delivery and next_read_event only ever look at the front.
+  std::deque<DramCompletion> inflight_reads_;
   bool draining_writes_ = false;
   DramTick next_refresh_ = 0;
   std::uint32_t refresh_rank_rr_ = 0;

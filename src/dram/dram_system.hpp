@@ -38,6 +38,38 @@ class DramSystem {
 
   [[nodiscard]] bool idle() const;
 
+  // ---- skip-ahead event hooks --------------------------------------------
+  /// Any channel holds unfinished read work (reads produce completion
+  /// events; writes do not).
+  [[nodiscard]] bool has_read_work() const {
+    for (const auto& ch : channels_) {
+      if (ch->has_read_work()) return true;
+    }
+    return false;
+  }
+  /// Conservative earliest DRAM tick at which any channel could deliver a
+  /// read completion (DramTick max when no read work exists). The DRAM
+  /// domain advances at most one tick per core cycle, so completions
+  /// cannot fire before core cycle now + (next_read_event() - now()).
+  [[nodiscard]] DramTick next_read_event() const {
+    DramTick f = ~DramTick{0};
+    for (const auto& ch : channels_) {
+      f = std::min(f, ch->next_read_event(now_));
+    }
+    return f;
+  }
+
+  /// Bulk-advances a fully idle DRAM system by `core_cycles` core cycles:
+  /// the clock divider moves in closed form and each channel replays only
+  /// its refresh landmarks. Exactly equivalent to core_cycles calls of
+  /// tick_core_cycle() when idle() (no completions can fire).
+  void skip_idle_cycles(std::uint64_t core_cycles) {
+    const std::uint64_t ticks = divider_.advance_bulk(core_cycles);
+    if (ticks == 0) return;
+    for (auto& ch : channels_) ch->skip_idle(now_, ticks);
+    now_ += ticks;
+  }
+
   /// Aggregated stats across channels, plus derived bandwidth numbers.
   [[nodiscard]] StatSet stats() const;
   [[nodiscard]] DramTick now() const { return now_; }

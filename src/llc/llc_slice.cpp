@@ -18,18 +18,6 @@ SliceMap::SliceMap(const LlcConfig& cfg)
   if (set_bits_ < shift_ + slice_bits_) shift_ = 0;  // tiny test caches
 }
 
-std::uint32_t SliceMap::slice_of(Addr line_addr) const {
-  const std::uint64_t gs = line_index(line_addr) & (total_sets_ - 1);
-  return static_cast<std::uint32_t>((gs >> shift_) & (num_slices_ - 1));
-}
-
-std::uint32_t SliceMap::local_set_of(Addr line_addr) const {
-  const std::uint64_t gs = line_index(line_addr) & (total_sets_ - 1);
-  const std::uint64_t low = gs & ((std::uint64_t{1} << shift_) - 1);
-  const std::uint64_t high = gs >> (shift_ + slice_bits_);
-  return static_cast<std::uint32_t>(low | (high << shift_));
-}
-
 // ------------------------------------------------------------- LlcSlice --
 
 LlcSlice::LlcSlice(const LlcConfig& cfg, const ArbConfig& arb_cfg,
@@ -50,11 +38,13 @@ LlcSlice::LlcSlice(const LlcConfig& cfg, const ArbConfig& arb_cfg,
 void LlcSlice::push_request(const MemRequest& req, Cycle now) {
   assert(can_accept_request());
   assert(map_.slice_of(req.line_addr) == slice_id_);
+  frozen_valid_ = false;  // new ingress: the frozen profile is stale
   req_q_.push_back(QueuedRequest{req, now});
   ++counters_.requests_in;
 }
 
 void LlcSlice::on_dram_fill(Addr line_addr) {
+  frozen_valid_ = false;  // new ingress: the frozen profile is stale
   pending_fills_.push_back(line_addr);
 }
 
@@ -288,6 +278,100 @@ void LlcSlice::tick(Cycle now, DramSystem& dram) {
 
   if (stalled_this_cycle_) {
     ++stall_cycles_;
+  }
+
+  if (fast_path_) {
+    frozen_ = wait_profile(now);
+    frozen_valid_ = !frozen_.busy;
+  }
+}
+
+LlcSlice::WaitProfile LlcSlice::wait_profile(Cycle now) const {
+  WaitProfile p;
+  // Any of these makes progress unconditionally at the next tick: fills
+  // are processed (or stall into a non-empty resp_q_, which both arbiter
+  // policies then serve), responses install, writebacks retry against a
+  // DRAM whose occupancy changes as it ticks.
+  if (!pending_fills_.empty() || !resp_q_.empty() || !wb_buffer_.empty()) {
+    p.busy = true;
+    return p;
+  }
+  if (!out_resp_.empty()) {
+    const Cycle r = out_resp_.top().ready;
+    if (r <= now + 1) {
+      p.busy = true;  // drains into the NoC next cycle
+      return p;
+    }
+    p.next_event = std::min(p.next_event, r);
+  }
+  bool mshr_frozen = false;
+  if (!mshr_pipe_.empty()) {
+    const PipeEntry& head = mshr_pipe_.front();
+    if (head.ready > now + 1) {
+      p.next_event = std::min(p.next_event, head.ready);
+    } else {
+      // Head is mature every coming cycle: mirror advance_mshr_stage.
+      const Addr line = head.req.line_addr;
+      if (const Mshr::Entry* e = mshr_.find(line)) {
+        if (e->targets.size() >= mshr_.target_capacity()) {
+          mshr_frozen = true;  // releases only via a DRAM fill
+          p.stall_target = true;
+        } else {
+          p.busy = true;  // merge succeeds
+          return p;
+        }
+      } else if (!mshr_.entry_available()) {
+        mshr_frozen = true;  // releases only via a DRAM fill
+        p.stall_entry = true;
+      } else {
+        // Alloc path: either issues to DRAM now or stalls on DRAM
+        // backpressure that can clear as DRAM drains mid-skip - treat
+        // both as busy.
+        p.busy = true;
+        return p;
+      }
+    }
+  }
+  // An MSHR resource stall freezes the earlier stages too: the tick skips
+  // both advance_lookup and serve_request, so neither produces events,
+  // counters, or queue movement while frozen.
+  if (!mshr_frozen) {
+    if (!lookup_pipe_.empty()) {
+      const PipeEntry& head = lookup_pipe_.front();
+      if (head.ready > now + 1) {
+        p.next_event = std::min(p.next_event, head.ready);
+      } else {
+        const std::uint32_t set = map_.local_set_of(head.req.line_addr);
+        if (array_.probe(set, head.req.line_addr) ||
+            mshr_pipe_.size() < cfg_.mshr_latency) {
+          p.busy = true;  // hit completes, or miss hands over
+          return p;
+        }
+        // Miss into a full probe stage; the probe head's maturity is
+        // already in next_event (it cannot be mature, else it were busy
+        // or an MSHR-frozen state above).
+        p.lookup_backpressure = true;
+      }
+    }
+    if (!req_q_.empty() && lookup_pipe_.size() < cfg_.hit_latency) {
+      p.busy = true;  // the arbiter serves a queued request
+      return p;
+    }
+  }
+  return p;
+}
+
+void LlcSlice::apply_skip(std::uint64_t cycles, const WaitProfile& p) {
+  assert(!p.busy);
+  // Per-tick occupancy sampling, collapsed (occupancy is frozen).
+  mshr_.sample_occupancy(cycles);
+  // arbiter_.on_cycle is a pure monotone expiry with no reader while the
+  // slice is frozen; the single call at the wake tick is equivalent.
+  if (p.stall_target) counters_.stall_target += cycles;
+  if (p.stall_entry) counters_.stall_entry += cycles;
+  if (p.lookup_backpressure) counters_.lookup_backpressure += cycles;
+  if (p.stall_target || p.stall_entry || p.lookup_backpressure) {
+    stall_cycles_ += cycles;
   }
 }
 

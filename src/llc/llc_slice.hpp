@@ -30,8 +30,18 @@ class SliceMap {
  public:
   explicit SliceMap(const LlcConfig& cfg);
 
-  [[nodiscard]] std::uint32_t slice_of(Addr line_addr) const;
-  [[nodiscard]] std::uint32_t local_set_of(Addr line_addr) const;
+  // Inlined: slice_of runs once per injected request and once per core in
+  // every next_wake probe (hot per the self-benchmark profile).
+  [[nodiscard]] std::uint32_t slice_of(Addr line_addr) const {
+    const std::uint64_t gs = line_index(line_addr) & (total_sets_ - 1);
+    return static_cast<std::uint32_t>((gs >> shift_) & (num_slices_ - 1));
+  }
+  [[nodiscard]] std::uint32_t local_set_of(Addr line_addr) const {
+    const std::uint64_t gs = line_index(line_addr) & (total_sets_ - 1);
+    const std::uint64_t low = gs & ((std::uint64_t{1} << shift_) - 1);
+    const std::uint64_t high = gs >> (shift_ + slice_bits_);
+    return static_cast<std::uint32_t>(low | (high << shift_));
+  }
   [[nodiscard]] std::uint64_t total_sets() const { return total_sets_; }
   [[nodiscard]] std::uint64_t sets_per_slice() const {
     return total_sets_ / num_slices_;
@@ -111,8 +121,60 @@ class LlcSlice {
     std::uint64_t dram_writes = 0;  // writebacks issued
   };
 
+  // ---- skip-ahead -----------------------------------------------------------
+  /// What the slice would do over the coming cycles if its inputs stay
+  /// frozen (no new requests, no DRAM fills). `busy` = observable progress
+  /// at cycle now+1 (no skip). Otherwise the slice is frozen until
+  /// `next_event` (pipeline-head maturity / response release), and each
+  /// frozen cycle accrues exactly the recorded stall deltas.
+  struct WaitProfile {
+    bool busy = false;
+    Cycle next_event = kNeverCycle;
+    bool stall_target = false;         // numTarget exhaustion per cycle
+    bool stall_entry = false;          // numEntry exhaustion per cycle
+    bool lookup_backpressure = false;  // miss into a full probe stage
+  };
+  [[nodiscard]] WaitProfile wait_profile(Cycle now) const;
+  /// Bulk-accounts `cycles` frozen cycles previously profiled by
+  /// wait_profile (byte-identical to ticking the frozen slice that often).
+  void apply_skip(std::uint64_t cycles, const WaitProfile& p);
+
+  /// Enables/disables self-freezing (the per-tick O(1) replay of a cached
+  /// wait profile). Mirrors System's fast-path switch.
+  void set_fast_path(bool on) {
+    fast_path_ = on;
+    if (!on) frozen_valid_ = false;
+  }
+  /// O(1) replay of the cached wait profile; returns true when it
+  /// substituted for tick() this cycle. While frozen no out-response is
+  /// ready, so the caller may skip drain_responses too. Invalidated by any
+  /// ingress (push_request, on_dram_fill) or by reaching next_event.
+  bool frozen_tick(Cycle now) {
+    if (!frozen_valid_) return false;
+    if (now >= frozen_.next_event) {
+      frozen_valid_ = false;
+      return false;
+    }
+    // Exactly what tick() does in this state; arbiter_.on_cycle is elided
+    // by the same argument as apply_skip (pure monotone expiry, no reader
+    // until the wake tick calls it).
+    mshr_.sample_occupancy();
+    if (frozen_.stall_target) ++counters_.stall_target;
+    if (frozen_.stall_entry) ++counters_.stall_entry;
+    if (frozen_.lookup_backpressure) ++counters_.lookup_backpressure;
+    if (frozen_.stall_target || frozen_.stall_entry ||
+        frozen_.lookup_backpressure) {
+      ++stall_cycles_;
+    }
+    return true;
+  }
+
   // ---- introspection ----------------------------------------------------------
   [[nodiscard]] bool drained() const;
+  /// DRAM fills delivered but not yet processed (skip-ahead debug checks).
+  [[nodiscard]] std::size_t fills_pending() const {
+    return pending_fills_.size();
+  }
   [[nodiscard]] const Counters& counters() const { return counters_; }
   /// Indexed by dense request index; empty when no tagger is set.
   [[nodiscard]] const std::vector<ReqCounters>& request_counters() const {
@@ -186,6 +248,11 @@ class LlcSlice {
   std::deque<Addr> wb_buffer_;  // dirty victims awaiting DRAM write slots
   std::priority_queue<OutResp, std::vector<OutResp>, std::greater<>>
       out_resp_;
+
+  // Self-freeze cache (see frozen_tick); any ingress invalidates it.
+  bool fast_path_ = true;
+  bool frozen_valid_ = false;
+  WaitProfile frozen_;
 
   bool stalled_this_cycle_ = false;
   bool mshr_resource_stall_ = false;  // freezes lookup+arbiter this cycle

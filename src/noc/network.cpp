@@ -14,44 +14,4 @@ Network::Network(const NocConfig& cfg, std::uint32_t num_cores,
   credits_.assign(num_slices, credits_per_slice_);
 }
 
-void Network::send_request(std::uint32_t slice, const MemRequest& req,
-                           Cycle now) {
-  assert(can_send_request(slice));
-  --credits_[slice];
-  req_ch_[slice].push(req, now);
-  ++requests_sent_;
-}
-
-const MemRequest* Network::peek_request(std::uint32_t slice,
-                                        Cycle now) const {
-  return req_ch_[slice].peek_ready(now);
-}
-
-MemRequest Network::pop_request(std::uint32_t slice) {
-  MemRequest r = req_ch_[slice].pop();
-  ++credits_[slice];
-  assert(credits_[slice] <= credits_per_slice_);
-  return r;
-}
-
-void Network::send_response(const MemResponse& resp, Cycle now) {
-  resp_ch_[resp.core].push(resp, now);
-}
-
-const MemResponse* Network::peek_response(CoreId core, Cycle now) const {
-  return resp_ch_[core].peek_ready(now);
-}
-
-MemResponse Network::pop_response(CoreId core) { return resp_ch_[core].pop(); }
-
-bool Network::idle() const {
-  for (const auto& ch : req_ch_) {
-    if (!ch.empty()) return false;
-  }
-  for (const auto& ch : resp_ch_) {
-    if (!ch.empty()) return false;
-  }
-  return true;
-}
-
 }  // namespace llamcat

@@ -40,6 +40,12 @@ class DelayChannel {
   [[nodiscard]] bool empty() const { return q_.empty(); }
   [[nodiscard]] std::size_t size() const { return q_.size(); }
 
+  /// Cycle at which the head matures (kNeverCycle when empty). The head is
+  /// the minimum: latency is constant, so ready values are FIFO-ordered.
+  [[nodiscard]] Cycle next_ready() const {
+    return q_.empty() ? kNeverCycle : q_.front().ready;
+  }
+
  private:
   struct Timed {
     Cycle ready;
@@ -62,21 +68,57 @@ class Network {
   [[nodiscard]] bool can_send_request(std::uint32_t slice) const {
     return credits_[slice] > 0;
   }
-  void send_request(std::uint32_t slice, const MemRequest& req, Cycle now);
+  // The accessors below run for every core and slice on every stepped
+  // cycle (hot per the self-benchmark profile); all are inlined.
+  void send_request(std::uint32_t slice, const MemRequest& req, Cycle now) {
+    assert(can_send_request(slice));
+    --credits_[slice];
+    req_ch_[slice].push(req, now);
+    ++requests_sent_;
+    ++in_flight_;
+  }
   /// Matured request at the head of a slice's ingress, if any.
   [[nodiscard]] const MemRequest* peek_request(std::uint32_t slice,
-                                               Cycle now) const;
+                                               Cycle now) const {
+    return req_ch_[slice].peek_ready(now);
+  }
   /// Pops the head request and releases its credit.
-  MemRequest pop_request(std::uint32_t slice);
+  MemRequest pop_request(std::uint32_t slice) {
+    MemRequest r = req_ch_[slice].pop();
+    ++credits_[slice];
+    assert(credits_[slice] <= credits_per_slice_);
+    --in_flight_;
+    return r;
+  }
 
   // ---- response direction -------------------------------------------------
-  void send_response(const MemResponse& resp, Cycle now);
+  void send_response(const MemResponse& resp, Cycle now) {
+    resp_ch_[resp.core].push(resp, now);
+    ++in_flight_;
+  }
   [[nodiscard]] const MemResponse* peek_response(CoreId core,
-                                                 Cycle now) const;
-  MemResponse pop_response(CoreId core);
+                                                 Cycle now) const {
+    return resp_ch_[core].peek_ready(now);
+  }
+  MemResponse pop_response(CoreId core) {
+    --in_flight_;
+    return resp_ch_[core].pop();
+  }
 
-  [[nodiscard]] bool idle() const;
+  /// O(1): no messages in flight in either direction.
+  [[nodiscard]] bool idle() const { return in_flight_ == 0; }
   [[nodiscard]] std::uint64_t requests_sent() const { return requests_sent_; }
+
+  // ---- skip-ahead event hooks --------------------------------------------
+  /// Maturity cycle of the head request toward `slice` (kNeverCycle if the
+  /// channel is empty).
+  [[nodiscard]] Cycle next_request_ready(std::uint32_t slice) const {
+    return req_ch_[slice].next_ready();
+  }
+  /// Maturity cycle of the head response toward `core`.
+  [[nodiscard]] Cycle next_response_ready(CoreId core) const {
+    return resp_ch_[core].next_ready();
+  }
 
  private:
   std::vector<DelayChannel<MemRequest>> req_ch_;    // per slice
@@ -84,6 +126,7 @@ class Network {
   std::vector<std::uint32_t> credits_;
   std::uint32_t credits_per_slice_;
   std::uint64_t requests_sent_ = 0;
+  std::uint64_t in_flight_ = 0;  // total queued messages, both directions
 };
 
 }  // namespace llamcat

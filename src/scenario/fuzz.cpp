@@ -1,9 +1,11 @@
 #include "scenario/fuzz.hpp"
 
+#include <future>
 #include <sstream>
 #include <stdexcept>
 
 #include "common/rng.hpp"
+#include "common/thread_pool.hpp"
 #include "scenario/invariants.hpp"
 
 namespace llamcat::scenario {
@@ -195,6 +197,7 @@ FuzzResult run_fuzz_seed(std::uint64_t seed) {
     // that the auditor is observation-only, in one comparison.
     const BatchStats s2 = DecodePass(batch, sc.pass_cfg, sc.cfg).run();
     const std::string d1 = batch_stats_digest(s1), d2 = batch_stats_digest(s2);
+    out.digest = d1;
     if (d1 != d2) {
       out.violations.push_back(
           "determinism: audited and plain runs of the same scenario "
@@ -227,6 +230,28 @@ FuzzResult run_fuzz_seed(std::uint64_t seed) {
     out.violations.push_back(std::string("engine exception: ") + e.what());
   }
   return out;
+}
+
+std::vector<FuzzResult> run_fuzz_sweep(std::uint64_t base_seed,
+                                       std::uint64_t n, std::size_t jobs) {
+  std::vector<FuzzResult> results(n);
+  if (jobs == 1) {
+    for (std::uint64_t i = 0; i < n; ++i) {
+      results[i] = run_fuzz_seed(base_seed + i);
+    }
+    return results;
+  }
+  // Each seed writes its own pre-sized slot, so the result vector is
+  // identical to the serial sweep no matter which worker finishes first.
+  ThreadPool pool(jobs);
+  std::vector<std::future<void>> futures;
+  futures.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    futures.push_back(pool.submit(
+        [&results, base_seed, i] { results[i] = run_fuzz_seed(base_seed + i); }));
+  }
+  for (auto& f : futures) f.get();
+  return results;
 }
 
 }  // namespace llamcat::scenario

@@ -46,10 +46,15 @@ struct FuzzScenario {
 
 /// Outcome of fuzzing one seed: `violations` is empty on a clean pass,
 /// otherwise each entry is one self-contained line (an invariant breach, a
-/// determinism diff, or an unexpected engine exception).
+/// determinism diff, or an unexpected engine exception). `digest` is the
+/// canonical batch_stats_digest of the audited run (empty when the engine
+/// threw before producing stats) - two sweeps over the same seeds are
+/// equivalent iff their per-seed digests compare equal, which is how the
+/// --jobs=N parallel sweep is proven bit-identical to serial order.
 struct FuzzResult {
   std::uint64_t seed = 0;
   std::vector<std::string> violations;
+  std::string digest;
 
   [[nodiscard]] bool ok() const { return violations.empty(); }
 };
@@ -57,6 +62,15 @@ struct FuzzResult {
 /// Runs the full double-run + contract harness for one seed (see the
 /// header comment). Never throws: engine exceptions become violations.
 [[nodiscard]] FuzzResult run_fuzz_seed(std::uint64_t seed);
+
+/// Runs seeds base_seed .. base_seed+n-1 across `jobs` worker threads
+/// (0 = hardware concurrency, 1 = in-caller serial execution). Every run
+/// is an independent single-threaded simulation and results land in
+/// pre-assigned seed-order slots, so the returned vector is bit-identical
+/// to a serial sweep regardless of thread interleaving.
+[[nodiscard]] std::vector<FuzzResult> run_fuzz_sweep(std::uint64_t base_seed,
+                                                     std::uint64_t n,
+                                                     std::size_t jobs = 1);
 
 /// Canonical text form of everything a run reports (every stat, landmark,
 /// counter and per-segment row). Two runs are byte-identical iff their

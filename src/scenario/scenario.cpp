@@ -830,6 +830,26 @@ BatchStats DecodePass::run_continuous(bool verbose) const {
 
     const auto hook = [&](System& s, Cycle now) {
       const Cycle global = base + now;
+      // Skip-ahead contract: every exit path publishes the earliest future
+      // landmark this hook can act on its own - an unarrived request's
+      // arrival clock or a pending refetch completion. Until then every
+      // elided invocation is a no-op (completions always surface through
+      // busy machine cycles, which forbid skipping by themselves), so the
+      // System may jump straight to the landmark.
+      const auto publish_hint = [&] {
+        Cycle next = kNeverCycle;
+        for (std::size_t i = 0; i < reqs.size(); ++i) {
+          if (!st[i].queued && !st[i].running && !st[i].admitted_ever &&
+              !st[i].finished && reqs[i].arrival_cycle > global) {
+            next = std::min(next, reqs[i].arrival_cycle);
+          }
+          if (st[i].running && !st[i].finished && st[i].awaiting_refetch &&
+              st[i].refetch_ready > global) {
+            next = std::min(next, st[i].refetch_ready);
+          }
+        }
+        s.set_wake_hint(next == kNeverCycle ? kNeverCycle : next - base);
+      };
       const auto commit_and_refresh = [&](const std::vector<std::size_t>& is) {
         src.commit(pass_cfg_.interleave);
         s.inject_work();
@@ -894,7 +914,10 @@ BatchStats DecodePass::run_continuous(bool verbose) const {
       for (std::size_t i = 0; i < reqs.size(); ++i) {
         if (st[i].running && !st[i].finished) ++live;
       }
-      if (live < 2) return;
+      if (live < 2) {
+        publish_hint();
+        return;
+      }
       const auto seg_completed = [&](std::size_t i) -> std::uint64_t {
         if (dense[i] == kNoRequest) {
           dense[i] = s.scheduler().dense_index_of(reqs[i].id);
@@ -935,6 +958,7 @@ BatchStats DecodePass::run_continuous(bool verbose) const {
         admit_sweep();
         if (!touched.empty()) commit_and_refresh(touched);
       }
+      publish_hint();
     };
 
     const auto t0 = std::chrono::steady_clock::now();

@@ -1,6 +1,11 @@
 #include "sim/system.hpp"
 
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
 #include <stdexcept>
+#include <unordered_map>
 
 namespace llamcat {
 
@@ -15,24 +20,28 @@ System::System(const SimConfig& cfg, const ITbSource& source,
       throttle_(make_throttle_controller(cfg.throttle, cfg.core)),
       tagger_(tagger) {
   cfg_.validate();
+  const char* no_fp = std::getenv("LLAMCAT_NO_FASTPATH");
+  fast_path_ = !(no_fp != nullptr && no_fp[0] == '1');
   if (tagger_ != nullptr) {
     const std::uint32_t n = scheduler_.num_requests();
     req_started_.assign(n, false);
     req_first_dispatch_.assign(n, 0);
     req_last_complete_.assign(n, 0);
-    req_prev_completed_.assign(n, 0);
+    scheduler_.set_flight_observer(this);
   }
   cores_.reserve(cfg_.core.num_cores);
   for (std::uint32_t c = 0; c < cfg_.core.num_cores; ++c) {
     cores_.push_back(std::make_unique<VectorCore>(
         cfg_.core, cfg_.l1, static_cast<CoreId>(c), cfg_.seed + c));
     cores_.back()->bind(&scheduler_);
+    cores_.back()->set_fast_path(fast_path_);
   }
   slices_.reserve(cfg_.llc.num_slices);
   for (std::uint32_t s = 0; s < cfg_.llc.num_slices; ++s) {
     slices_.push_back(std::make_unique<LlcSlice>(
         cfg_.llc, cfg_.arb, s, cfg_.core.num_cores, cfg_.seed + 1000 + s));
     slices_.back()->set_tagger(tagger_);
+    slices_.back()->set_fast_path(fast_path_);
   }
   dram_.on_read_complete = [this](const DramCompletion& d) {
     slices_[d.payload]->on_dram_fill(d.line_addr);
@@ -81,13 +90,12 @@ void System::deliver_slice_requests() {
   }
 }
 
-std::vector<std::uint64_t> System::aggregate_progress() const {
-  std::vector<std::uint64_t> progress(cfg_.core.num_cores, 0);
+void System::aggregate_progress(std::vector<std::uint64_t>& out) const {
+  out.assign(cfg_.core.num_cores, 0);
   for (const auto& slice : slices_) {
     const auto& p = slice->arbiter().progress();
-    for (std::size_t c = 0; c < progress.size(); ++c) progress[c] += p[c];
+    for (std::size_t c = 0; c < out.size(); ++c) out[c] += p[c];
   }
-  return progress;
 }
 
 void System::sample_throttling() {
@@ -95,19 +103,19 @@ void System::sample_throttling() {
   if (cfg_.throttle.policy == ThrottlePolicy::kNone) return;
   if (cycle_ == 0 || cycle_ % tc.sub_period != 0) return;
 
-  // Sub-period: per-core counters.
-  std::vector<CoreSample> samples;
-  std::vector<std::optional<FirstTbReport>> first_tb;
-  samples.reserve(cores_.size());
-  first_tb.reserve(cores_.size());
+  // Sub-period: per-core counters (member scratch, no per-sample allocs).
+  samples_scratch_.clear();
+  first_tb_scratch_.clear();
+  samples_scratch_.reserve(cores_.size());
+  first_tb_scratch_.reserve(cores_.size());
   for (auto& core : cores_) {
     const CoreSample s = core->take_sample();
     total_c_mem_ += s.c_mem;
     total_c_idle_ += s.c_idle;
-    samples.push_back(s);
-    first_tb.push_back(core->first_tb_report());
+    samples_scratch_.push_back(s);
+    first_tb_scratch_.push_back(core->first_tb_report());
   }
-  throttle_->on_sub_period(samples, first_tb);
+  throttle_->on_sub_period(samples_scratch_, first_tb_scratch_);
 
   // Global period: contention classification + gear move.
   if (cycle_ % tc.sampling_period == 0) {
@@ -117,10 +125,9 @@ void System::sample_throttling() {
         static_cast<double>(stall_total - prev_stall_total_) /
         (static_cast<double>(tc.sampling_period) * slices_.size());
     prev_stall_total_ = stall_total;
-    GlobalSample gs;
-    gs.t_cs = t_cs;
-    gs.progress = aggregate_progress();
-    throttle_->on_global_period(gs);
+    global_scratch_.t_cs = t_cs;
+    aggregate_progress(global_scratch_.progress);
+    throttle_->on_global_period(global_scratch_);
   }
 
   for (auto& core : cores_) {
@@ -135,6 +142,7 @@ void System::step() {
   inject_core_traffic();
   deliver_slice_requests();
   for (auto& slice : slices_) {
+    if (slice->frozen_tick(cycle_)) continue;  // no response can be ready
     slice->tick(cycle_, dram_);
     resp_scratch_.clear();
     slice->drain_responses(cycle_, resp_scratch_);
@@ -144,21 +152,18 @@ void System::step() {
   }
   dram_.tick_core_cycle();
   sample_throttling();
-  if (tagger_ != nullptr) track_request_flight();
 }
 
-void System::track_request_flight() {
-  for (std::uint32_t r = 0; r < scheduler_.num_requests(); ++r) {
-    if (!req_started_[r] && scheduler_.dispatched_of(r) > 0) {
-      req_started_[r] = true;
-      req_first_dispatch_[r] = cycle_;
-    }
-    const std::uint64_t done = scheduler_.completed_of(r);
-    if (done != req_prev_completed_[r]) {
-      req_prev_completed_[r] = done;
-      req_last_complete_[r] = cycle_;
-    }
-  }
+// Flight observation: the scheduler fires these from inside the core ticks
+// of step(), where cycle_ already holds the step's cycle - the recorded
+// cycles are identical to the old end-of-step scan.
+void System::on_first_dispatch(std::uint32_t req_index) {
+  req_started_[req_index] = true;
+  req_first_dispatch_[req_index] = cycle_;
+}
+
+void System::on_request_complete(std::uint32_t req_index) {
+  req_last_complete_[req_index] = cycle_;
 }
 
 bool System::done() const {
@@ -181,21 +186,168 @@ std::uint64_t System::inject_work() {
     req_started_.resize(n, false);
     req_first_dispatch_.resize(n, 0);
     req_last_complete_.resize(n, 0);
-    req_prev_completed_.resize(n, 0);
   }
   for (auto& core : cores_) core->sync_requests(n);
   for (auto& slice : slices_) slice->sync_tagger_requests();
   return added;
 }
 
+Cycle System::next_wake(bool has_hook) {
+  const Cycle now = cycle_;
+  const Cycle no_skip = now + 1;
+  Cycle wake = kNeverCycle;
+
+  // Admission hook: skip at most to the hint its latest invocation
+  // published (elided invocations in between are no-ops by the wake-hint
+  // contract; a hook that never hints leaves wake_hint_ at 0 = no skip).
+  if (has_hook) {
+    if (wake_hint_ <= no_skip) return no_skip;
+    wake = std::min(wake, wake_hint_);
+  }
+
+  // Throttle sampling boundaries are real steps: take_sample/set_max_tb
+  // must run there, with the bulk frozen deltas already applied.
+  if (cfg_.throttle.policy != ThrottlePolicy::kNone) {
+    const Cycle sub = cfg_.throttle.sub_period;
+    const Cycle next_sub = (now / sub + 1) * sub;
+    if (next_sub <= no_skip) return no_skip;
+    wake = std::min(wake, next_sub);
+    const Cycle sp = cfg_.throttle.sampling_period;
+    const Cycle next_sp = (now / sp + 1) * sp;
+    if (next_sp <= no_skip) return no_skip;
+    wake = std::min(wake, next_sp);
+  }
+
+  // DRAM. A write-only backlog produces no completion events but gates
+  // done(): step it cycle by cycle. Read work bounds the wake so that no
+  // completion can fire inside the skip window (the DRAM domain advances
+  // at most one tick per core cycle).
+  if (!dram_.idle() && !dram_.has_read_work()) return no_skip;
+  if (dram_.has_read_work()) {
+    const DramTick gap = dram_.next_read_event() - dram_.now();
+    if (gap <= 1) return no_skip;
+    wake = std::min(wake, now + gap);
+  }
+
+  // Cores: inbound NoC responses, then the core's own frozen profile, then
+  // outbound traffic (with a credit it injects next cycle; without one, the
+  // credit release is a slice-side event already covered below).
+  core_prof_.resize(cores_.size());
+  for (std::size_t c = 0; c < cores_.size(); ++c) {
+    const Cycle rr = net_.next_response_ready(cores_[c]->id());
+    if (rr != kNeverCycle) {
+      if (rr <= no_skip) return no_skip;
+      wake = std::min(wake, rr);
+    }
+    core_prof_[c] = cores_[c]->wait_profile(now);
+    if (core_prof_[c].busy) return no_skip;
+    wake = std::min(wake, core_prof_[c].next_event);
+    if (const auto out = cores_[c]->peek_outgoing()) {
+      if (net_.can_send_request(slice_map_.slice_of(out->line_addr))) {
+        return no_skip;
+      }
+    }
+  }
+
+  // Slices: inbound NoC requests (a matured head delivers next cycle iff
+  // the slice has queue room; a full slice unfreezes only through its own
+  // profile), then the slice's frozen profile.
+  slice_prof_.resize(slices_.size());
+  for (std::size_t s = 0; s < slices_.size(); ++s) {
+    const Cycle rr = net_.next_request_ready(static_cast<std::uint32_t>(s));
+    if (rr != kNeverCycle) {
+      if (rr <= no_skip) {
+        if (slices_[s]->can_accept_request()) return no_skip;
+      } else {
+        wake = std::min(wake, rr);
+      }
+    }
+    slice_prof_[s] = slices_[s]->wait_profile(now);
+    if (slice_prof_[s].busy) return no_skip;
+    wake = std::min(wake, slice_prof_[s].next_event);
+  }
+
+  // Nothing actionable: either the machine is done (caller checked) or it
+  // is deadlocked - clamp to the guard so the throw fires at the exact
+  // cycle the plain path would have reached.
+  if (wake == kNeverCycle) wake = cfg_.max_cycles + 1;
+  return wake;
+}
+
+void System::fast_forward(Cycle cycles) {
+  for (std::size_t c = 0; c < cores_.size(); ++c) {
+    cores_[c]->apply_skip(cycles, core_prof_[c]);
+  }
+  for (std::size_t s = 0; s < slices_.size(); ++s) {
+    slices_[s]->apply_skip(cycles, slice_prof_[s]);
+  }
+  // The DRAM clock domain advances normally (refresh cadence, queue
+  // occupancy sampling and FR-FCFS scheduling are exact); the wake bound
+  // guarantees no read completion fires inside the window. A fully idle
+  // DRAM system (the common case in admission gaps) moves in closed form.
+  if (dram_.idle()) {
+    dram_.skip_idle_cycles(cycles);
+  } else {
+    for (Cycle i = 0; i < cycles; ++i) dram_.tick_core_cycle();
+  }
+  cycle_ += cycles;
+#ifndef NDEBUG
+  for (const auto& slice : slices_) {
+    assert(slice->fills_pending() == 0 && "DRAM fill fired during a skip");
+  }
+#endif
+}
+
 SimStats System::run(const AdmissionHook& admission) {
+  // Failed skip attempts back off exponentially (2..16 cycles): a machine
+  // that is steadily busy stops paying for next_wake() almost entirely,
+  // while a freeze window that opens during the back-off is entered at
+  // most 16 cycles late - skipping less is always safe, never wrong.
+  Cycle retry_at = 0;
+  std::uint32_t fail_streak = 0;
+  // LLAMCAT_FASTPATH_STATS=1 prints skip effectiveness to stderr (steps
+  // taken, windows skipped, cycles skipped) - a debugging aid only; it
+  // never touches simulation state.
+  const bool fp_stats = [] {
+    const char* e = std::getenv("LLAMCAT_FASTPATH_STATS");
+    return e != nullptr && e[0] == '1';
+  }();
+  std::uint64_t n_steps = 0, n_windows = 0, n_skipped = 0;
   while (true) {
-    if (admission) admission(*this, cycle_);
+    if (admission) {
+      wake_hint_ = 0;  // hooks must re-publish a hint on every invocation
+      admission(*this, cycle_);
+    }
     if (done()) break;
+    if (fast_path_ && cycle_ >= retry_at) {
+      const Cycle wake = next_wake(static_cast<bool>(admission));
+      if (wake > cycle_ + 1) {
+        if (fp_stats) {
+          ++n_windows;
+          n_skipped += wake - cycle_ - 1;
+        }
+        fast_forward(wake - cycle_ - 1);
+        fail_streak = 0;
+      } else {
+        if (fail_streak < 4) ++fail_streak;
+        retry_at = cycle_ + (Cycle{1} << fail_streak);
+      }
+    }
     step();
+    ++n_steps;
     if (cycle_ > cfg_.max_cycles) {
       throw std::runtime_error("System::run exceeded max_cycles (deadlock?)");
     }
+  }
+  if (fp_stats) {
+    std::fprintf(stderr,
+                 "[fastpath] cycles=%llu stepped=%llu skipped=%llu "
+                 "windows=%llu avg_window=%.1f\n",
+                 static_cast<unsigned long long>(cycle_),
+                 static_cast<unsigned long long>(n_steps),
+                 static_cast<unsigned long long>(n_skipped),
+                 static_cast<unsigned long long>(n_windows),
+                 n_windows ? static_cast<double>(n_skipped) / n_windows : 0.0);
   }
   return collect_stats();
 }
@@ -246,18 +398,19 @@ SimStats System::collect_stats() const {
 
   if (tagger_ != nullptr) {
     // The scheduler and the tagger both index requests densely but may
-    // disagree on order; reconcile through the external request id. The
-    // emitted order follows the scheduler (first dispatch-list appearance).
+    // disagree on order; reconcile through the external request id with a
+    // single id->index map instead of a per-request rescan. The emitted
+    // order follows the scheduler (first dispatch-list appearance).
+    std::unordered_map<std::uint32_t, std::uint32_t> id_to_tagger;
+    id_to_tagger.reserve(tagger_->num_requests());
+    for (std::uint32_t t = 0; t < tagger_->num_requests(); ++t) {
+      id_to_tagger.emplace(tagger_->request_id_at(t), t);
+    }
     std::vector<std::uint32_t> tagger_index(scheduler_.num_requests(),
                                             kNoRequest);
     for (std::uint32_t r = 0; r < scheduler_.num_requests(); ++r) {
-      const std::uint32_t id = scheduler_.request_id_at(r);
-      for (std::uint32_t t = 0; t < tagger_->num_requests(); ++t) {
-        if (tagger_->request_id_at(t) == id) {
-          tagger_index[r] = t;
-          break;
-        }
-      }
+      const auto it = id_to_tagger.find(scheduler_.request_id_at(r));
+      if (it != id_to_tagger.end()) tagger_index[r] = it->second;
     }
     s.per_request.reserve(scheduler_.num_requests());
     for (std::uint32_t r = 0; r < scheduler_.num_requests(); ++r) {

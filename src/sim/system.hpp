@@ -20,7 +20,7 @@
 
 namespace llamcat {
 
-class System {
+class System : private IFlightObserver {
  public:
   /// `tagger` (optional, must outlive the System) enables per-request
   /// attribution of a fused multi-request source: LLC slices count their
@@ -57,6 +57,26 @@ class System {
   [[nodiscard]] Cycle now() const { return cycle_; }
   [[nodiscard]] SimStats collect_stats() const;
 
+  // ---- event-driven skip-ahead ---------------------------------------------
+  /// The fast path (skip-ahead over provably frozen cycles plus per-core
+  /// self-freezing) is on by default and produces byte-identical stats; it
+  /// can be disabled for A/B debugging here or with the environment knob
+  /// LLAMCAT_NO_FASTPATH=1.
+  void set_fast_path(bool on) {
+    fast_path_ = on;
+    for (auto& core : cores_) core->set_fast_path(on);
+    for (auto& slice : slices_) slice->set_fast_path(on);
+  }
+  [[nodiscard]] bool fast_path() const { return fast_path_; }
+
+  /// Admission hooks call this on every invocation to publish the earliest
+  /// future cycle at which they need to act again (their next arrival or
+  /// refetch landmark; kNeverCycle when none is pending). A hook that never
+  /// publishes a hint keeps the hint at 0, which disables skipping entirely
+  /// while that hook drives the run - hooks stay correct by default and
+  /// opt in to skip-ahead by hinting.
+  void set_wake_hint(Cycle cycle) { wake_hint_ = cycle; }
+
   // Introspection for tests.
   [[nodiscard]] const std::vector<std::unique_ptr<VectorCore>>& cores() const {
     return cores_;
@@ -75,10 +95,25 @@ class System {
   void inject_core_traffic();
   void deliver_slice_requests();
   void sample_throttling();
-  /// Per-request first-dispatch / last-completion observation (tagged runs).
-  void track_request_flight();
-  /// Sum of per-core progress counters across all slice arbiters.
-  [[nodiscard]] std::vector<std::uint64_t> aggregate_progress() const;
+  /// Sum of per-core progress counters across all slice arbiters, written
+  /// into `out` (reused scratch; resized to num_cores).
+  void aggregate_progress(std::vector<std::uint64_t>& out) const;
+
+  // Per-request first-dispatch / last-completion observation: event
+  // callbacks from the scheduler (registered only on tagged runs), replacing
+  // the old per-cycle O(num_requests) scan.
+  void on_first_dispatch(std::uint32_t req_index) override;
+  void on_request_complete(std::uint32_t req_index) override;
+
+  /// Earliest cycle > now() at which any component can make observable
+  /// progress. Returns now()+1 ("no skip") the moment any component is
+  /// busy; when every component is frozen, fills core_prof_/slice_prof_
+  /// with the per-component frozen deltas that fast_forward() consumes.
+  [[nodiscard]] Cycle next_wake(bool has_hook);
+  /// Advances cycle_ across `cycles` frozen cycles: bulk-accounts the
+  /// profiled per-cycle deltas and ticks the DRAM clock domain normally
+  /// (its completion events are provably after the wake cycle).
+  void fast_forward(Cycle cycles);
 
   SimConfig cfg_;
   TbScheduler scheduler_;
@@ -96,13 +131,25 @@ class System {
   std::uint64_t total_c_mem_ = 0;
   std::uint64_t total_c_idle_ = 0;
 
+  // Skip-ahead state. wake_hint_ starts at 0 so a hook that never hints
+  // forbids skipping; it is reset to 0 before every hook invocation.
+  bool fast_path_ = true;
+  Cycle wake_hint_ = 0;
+  std::vector<VectorCore::WaitProfile> core_prof_;
+  std::vector<LlcSlice::WaitProfile> slice_prof_;
+
+  // Reusable sampling scratch (hoisted out of sample_throttling; same
+  // pattern as resp_scratch_).
+  std::vector<CoreSample> samples_scratch_;
+  std::vector<std::optional<FirstTbReport>> first_tb_scratch_;
+  GlobalSample global_scratch_;
+
   // Per-request flight tracking (indexed by the scheduler's dense request
   // index; empty when no tagger is attached).
   const IRequestTagger* tagger_ = nullptr;
   std::vector<bool> req_started_;
   std::vector<Cycle> req_first_dispatch_;
   std::vector<Cycle> req_last_complete_;
-  std::vector<std::uint64_t> req_prev_completed_;
 };
 
 }  // namespace llamcat

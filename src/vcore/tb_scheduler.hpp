@@ -39,6 +39,17 @@
 
 namespace llamcat {
 
+/// Request-flight event sink: fired by the scheduler the moment a request's
+/// first thread block is dispatched and the moment its last thread block
+/// completes. Lets System record flight cycles without a per-cycle
+/// O(num_requests) scan.
+class IFlightObserver {
+ public:
+  virtual ~IFlightObserver() = default;
+  virtual void on_first_dispatch(std::uint32_t req_index) = 0;
+  virtual void on_request_complete(std::uint32_t req_index) = 0;
+};
+
 class TbScheduler {
  public:
   TbScheduler(const ITbSource& source, std::uint32_t num_cores,
@@ -49,6 +60,24 @@ class TbScheduler {
   /// modes) the front of the most-loaded other partition - restricted to
   /// the core's own request group under RequestDispatch::kPartitioned.
   std::optional<std::uint64_t> next_tb(CoreId core);
+
+  /// Const mirror of next_tb's reachability: would next_tb(core) return a
+  /// thread block right now? Mutates nothing; used by the skip-ahead probe
+  /// to decide whether a core could fetch this cycle.
+  [[nodiscard]] bool has_tb_for(CoreId core) const {
+    if (queues_.size() == 1) return !queues_[0].empty();
+    if (!queues_[core].empty()) return true;
+    const std::uint32_t group =
+        core_group_.empty() ? kNoRequest : core_group_[core];
+    for (std::size_t c = 0; c < queues_.size(); ++c) {
+      if (group != kNoRequest && core_group_[c] != group) continue;
+      if (!queues_[c].empty()) return true;
+    }
+    return false;
+  }
+
+  /// Registers the (single) flight observer; pass nullptr to detach.
+  void set_flight_observer(IFlightObserver* obs) { observer_ = obs; }
 
   /// Records completion of `tb_idx` (per-request attribution) and asserts,
   /// in debug builds, that no thread block completes twice.
@@ -70,6 +99,12 @@ class TbScheduler {
   }
   [[nodiscard]] std::uint64_t stolen() const { return stolen_; }
   [[nodiscard]] const ITbSource& source() const { return source_; }
+
+  /// Monotonic mutation counter, bumped by every queue/bookkeeping change
+  /// (dispatch, completion, injection). A self-frozen core re-validates
+  /// against it, so any scheduler change wakes the core for a full tick
+  /// (see VectorCore; over-invalidation is harmless, staleness is not).
+  [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
 
   // -- per-request attribution ------------------------------------------------
   /// Distinct request tags seen in the source so far (plain single-operator
@@ -124,6 +159,7 @@ class TbScheduler {
   std::uint64_t total_;
   std::uint64_t completed_ = 0;
   std::uint64_t stolen_ = 0;
+  std::uint64_t epoch_ = 0;
   std::vector<std::deque<std::uint64_t>> queues_;  // per core; [0] if global
 
   // Request bookkeeping (dense indices, order of first appearance).
@@ -135,6 +171,7 @@ class TbScheduler {
   /// kPartitioned: request group owning each core (kNoRequest = any).
   std::vector<std::uint32_t> core_group_;
   std::vector<bool> done_;  // double-complete guard
+  IFlightObserver* observer_ = nullptr;
 };
 
 }  // namespace llamcat

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdint>
 
 namespace llamcat {
 
@@ -11,25 +12,25 @@ VectorCore::VectorCore(const CoreConfig& cfg, const L1Config& l1cfg,
       id_(id),
       l1_(l1cfg, id, seed),
       windows_(cfg.num_inst_windows),
-      max_tb_(cfg.num_inst_windows) {}
+      max_tb_(cfg.num_inst_windows) {
+  for (auto& w : windows_) w.slots.init(cfg_.inst_window_depth);
+}
 
 void VectorCore::on_load_fill(Addr line_addr) {
-  for (std::uint32_t id : l1_.on_fill(line_addr)) {
-    auto it = inflight_loads_.find(id);
-    assert(it != inflight_loads_.end());
-    it->second->ready = 0;  // completes immediately (retired next retire phase)
-    inflight_loads_.erase(it);
+  frozen_valid_ = false;  // a fill readies slots and changes L1 contents
+  l1_.on_fill(line_addr, fill_waiters_);
+  for (const L1Cache::LoadTag tag : fill_waiters_) {
+    // The tag is the waiting slot's address (see try_issue): the load
+    // completes immediately and is retired at the next retire phase.
+    reinterpret_cast<Slot*>(static_cast<std::uintptr_t>(tag))->ready = 0;
   }
+  assert(pending_loads_ >= fill_waiters_.size());
+  pending_loads_ -= fill_waiters_.size();
 }
 
 void VectorCore::set_max_tb(std::uint32_t n) {
+  frozen_valid_ = false;  // a throttle move can enable a fetch
   max_tb_ = std::clamp<std::uint32_t>(n, 1, cfg_.num_inst_windows);
-}
-
-std::uint32_t VectorCore::active_windows() const {
-  std::uint32_t n = 0;
-  for (const auto& w : windows_) n += w.has_tb ? 1 : 0;
-  return n;
 }
 
 void VectorCore::retire(Cycle now) {
@@ -53,6 +54,7 @@ void VectorCore::retire(Cycle now) {
                      static_cast<double>(dur)};
       }
       w.has_tb = false;
+      --active_count_;
     }
   }
 }
@@ -71,6 +73,7 @@ void VectorCore::fetch_tb(Cycle now) {
     auto tb = scheduler_->next_tb(id_);
     if (!tb) return;
     w.has_tb = true;
+    ++active_count_;
     w.tb_idx = *tb;
     w.req_idx = scheduler_->request_index_of_tb(*tb);
     w.next_instr = 0;
@@ -105,27 +108,31 @@ VectorCore::BlockReason VectorCore::try_issue(Window& w, Cycle now) {
       scheduler_->source().instr_at(w.tb_idx, w.next_instr);
   switch (ins.kind) {
     case Instr::Kind::kCompute: {
-      w.slots.push_back(Slot{ins.kind, now + ins.cycles, 0});
+      w.slots.push_back(Slot{ins.kind, now + ins.cycles});
       ++w.next_instr;
       return BlockReason::kNone;
     }
     case Instr::Kind::kLoad: {
-      const std::uint32_t id = next_load_id_++;
-      switch (l1_.access_load(ins.line_addr, id)) {
+      // Push the slot first so its (stable) address can serve as the L1
+      // load tag; a kBlocked result pops it right back.
+      Slot& slot = w.slots.push_back(Slot{ins.kind, kNeverCycle});
+      const auto tag = static_cast<L1Cache::LoadTag>(
+          reinterpret_cast<std::uintptr_t>(&slot));
+      switch (l1_.access_load(ins.line_addr, tag)) {
         case L1Cache::LoadResult::kHit:
-          w.slots.push_back(Slot{ins.kind, now + l1_.latency(), 0});
+          slot.ready = now + l1_.latency();
           ++w.next_instr;
           return BlockReason::kNone;
         case L1Cache::LoadResult::kMissMerged:
-        case L1Cache::LoadResult::kMissNew: {
-          w.slots.push_back(Slot{ins.kind, kNeverCycle, id});
-          inflight_loads_[id] = &w.slots.back();
+        case L1Cache::LoadResult::kMissNew:
+          ++pending_loads_;
           ++w.next_instr;
           return BlockReason::kNone;
-        }
         case L1Cache::LoadResult::kBlocked:
+          w.slots.pop_back();
           return BlockReason::kMemory;
       }
+      w.slots.pop_back();
       return BlockReason::kMemory;
     }
     case Instr::Kind::kStore: {
@@ -141,12 +148,15 @@ VectorCore::BlockReason VectorCore::try_issue(Window& w, Cycle now) {
   return BlockReason::kNone;
 }
 
-void VectorCore::tick(Cycle now) {
-  retire(now);
+void VectorCore::tick_full(Cycle now) {
+  frozen_valid_ = false;
+
+  if (active_count_ != 0) retire(now);  // nothing to retire on an idle core
   fetch_tb(now);
 
-  if (active_windows() == 0) {
+  if (active_count_ == 0) {
     ++c_idle_;
+    try_freeze(now);
     return;
   }
 
@@ -169,20 +179,109 @@ void VectorCore::tick(Cycle now) {
       active_ptr_ = (active_ptr_ + 1) % n;
     }
   }
-  if (!issued_any && any_mem_block) {
-    ++c_mem_;
-    ++c_mem_abs_;
+  if (!issued_any) {
+    if (any_mem_block) {
+      ++c_mem_;
+      ++c_mem_abs_;
+    }
+    try_freeze(now);
   }
 }
 
-std::optional<VectorCore::Outgoing> VectorCore::peek_outgoing() const {
-  if (auto line = l1_.peek_outbox()) {
-    return Outgoing{*line, AccessType::kLoad};
+void VectorCore::try_freeze(Cycle now) {
+  if (!fast_path_) return;
+  const WaitProfile p = wait_profile(now);
+  if (p.busy) return;
+  frozen_ = p;
+  frozen_epoch_ = scheduler_->epoch();
+  frozen_valid_ = true;
+}
+
+VectorCore::WaitProfile VectorCore::wait_profile(Cycle now) const {
+  WaitProfile p;
+  // A fetch is possible next cycle: active < max_tb guarantees a free
+  // window (max_tb <= num_windows), and the scheduler has eligible work.
+  if (active_count_ < max_tb_ && scheduler_ != nullptr &&
+      scheduler_->has_tb_for(id_)) {
+    p.busy = true;
+    return p;
   }
-  if (!store_buffer_.empty()) {
-    return Outgoing{store_buffer_.front(), AccessType::kStore};
+  if (active_count_ == 0) {
+    // Idle core: only an external injection (wake-hinted) or nothing can
+    // change it. Posted stores in the store buffer drain through the
+    // System-level outgoing check, not through tick.
+    p.idle = true;
+    return p;
   }
-  return std::nullopt;
+  for (const auto& w : windows_) {
+    if (!w.has_tb) continue;
+    if (w.next_instr == w.instr_count && w.slots.empty()) {
+      // Completion pending: mark_complete fires at the next retire.
+      p.busy = true;
+      return p;
+    }
+    if (!w.slots.empty()) {
+      const Cycle head_ready = w.slots.front().ready;
+      if (head_ready != kNeverCycle) {
+        if (head_ready <= now + 1) {
+          p.busy = true;  // retires next cycle
+          return p;
+        }
+        p.next_event = std::min(p.next_event, head_ready);
+      }
+    }
+    // Issue attempt mirror of try_issue (const; no side effects).
+    const bool draining = w.next_instr >= w.instr_count;
+    const bool full = w.slots.size() >= cfg_.inst_window_depth;
+    if (draining || full) {
+      // Blocked on the head slot: kMemory iff it is a pending load
+      // (only loads carry ready == kNeverCycle); a finite head is a
+      // kCompute block whose unblock cycle is already in next_event.
+      if (!w.slots.empty() && w.slots.front().ready == kNeverCycle) {
+        p.mem_block = true;
+      }
+      continue;
+    }
+    const Instr ins = scheduler_->source().instr_at(w.tb_idx, w.next_instr);
+    switch (ins.kind) {
+      case Instr::Kind::kCompute:
+        p.busy = true;
+        return p;
+      case Instr::Kind::kLoad:
+        // access_load issues (hit, merge, or new miss) unless the miss
+        // queue is full and the line neither hits nor merges.
+        if (l1_.would_hit(ins.line_addr) ||
+            l1_.has_pending_miss(ins.line_addr) || !l1_.miss_queue_full()) {
+          p.busy = true;
+          return p;
+        }
+        p.mem_block = true;
+        ++p.blocked_loads;  // one ++load_blocked attempt per frozen cycle
+        break;
+      case Instr::Kind::kStore:
+        if (store_buffer_.size() < cfg_.store_buffer_size) {
+          p.busy = true;
+          return p;
+        }
+        p.mem_block = true;
+        break;
+    }
+  }
+  return p;
+}
+
+void VectorCore::apply_skip(std::uint64_t cycles, const WaitProfile& p) {
+  assert(!p.busy);
+  if (p.idle) {
+    c_idle_ += cycles;
+  } else if (p.mem_block) {
+    c_mem_ += cycles;
+    c_mem_abs_ += cycles;
+  }
+  if (p.blocked_loads != 0) {
+    l1_.add_blocked_loads(static_cast<std::uint64_t>(p.blocked_loads) *
+                          cycles);
+  }
 }
 
 void VectorCore::pop_outgoing() {
@@ -191,6 +290,7 @@ void VectorCore::pop_outgoing() {
     return;
   }
   assert(!store_buffer_.empty());
+  frozen_valid_ = false;  // the drain can unblock a store-blocked window
   store_buffer_.pop_front();
 }
 
@@ -202,7 +302,7 @@ CoreSample VectorCore::take_sample() {
 }
 
 bool VectorCore::fully_idle() const {
-  if (!store_buffer_.empty() || !inflight_loads_.empty()) return false;
+  if (!store_buffer_.empty() || pending_loads_ != 0) return false;
   if (l1_.peek_outbox()) return false;
   for (const auto& w : windows_) {
     if (w.has_tb) return false;

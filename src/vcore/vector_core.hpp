@@ -7,7 +7,7 @@
 #include <cstdint>
 #include <deque>
 #include <optional>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "cache/l1_cache.hpp"
@@ -40,7 +40,28 @@ class VectorCore {
   void on_load_fill(Addr line_addr);
 
   /// One core cycle: retire -> fetch TB -> issue (<= issue_width).
-  void tick(Cycle now);
+  /// Inlined frozen replay: while the cached wait profile is valid this is
+  /// a branch plus a couple of adds (hot per the self-benchmark profile);
+  /// otherwise the full tick runs.
+  void tick(Cycle now) {
+    if (frozen_valid_ && now < frozen_.next_event &&
+        scheduler_->epoch() == frozen_epoch_) {
+      // Exactly what the full tick would do in this state. A non-issuing
+      // tick rotates active_ptr_ num_inst_windows times - back to where it
+      // started - so no state beyond the deltas moves.
+      if (frozen_.idle) {
+        ++c_idle_;
+      } else if (frozen_.mem_block) {
+        ++c_mem_;
+        ++c_mem_abs_;
+      }
+      if (frozen_.blocked_loads != 0) {
+        l1_.add_blocked_loads(frozen_.blocked_loads);
+      }
+      return;
+    }
+    tick_full(now);
+  }
 
   // -- outgoing traffic (drained by the simulator under NoC credits) --------
   struct Outgoing {
@@ -48,7 +69,17 @@ class VectorCore {
     AccessType type = AccessType::kLoad;
   };
   /// Head outgoing request: L1 load misses first, then posted stores.
-  [[nodiscard]] std::optional<Outgoing> peek_outgoing() const;
+  /// Inlined: polled for every core on every stepped cycle (hot per the
+  /// self-benchmark profile).
+  [[nodiscard]] std::optional<Outgoing> peek_outgoing() const {
+    if (auto line = l1_.peek_outbox()) {
+      return Outgoing{*line, AccessType::kLoad};
+    }
+    if (!store_buffer_.empty()) {
+      return Outgoing{store_buffer_.front(), AccessType::kStore};
+    }
+    return std::nullopt;
+  }
   void pop_outgoing();
 
   // -- throttling ------------------------------------------------------------
@@ -62,10 +93,37 @@ class VectorCore {
     return first_tb_report_;
   }
 
+  // -- skip-ahead -------------------------------------------------------------
+  /// What the core would do over the coming cycles if its inputs stay
+  /// frozen (no fills, no scheduler changes). `busy` means it makes
+  /// observable progress at cycle now+1, so no skip is possible. Otherwise
+  /// the core is frozen until `next_event` (earliest finite head-slot
+  /// completion; kNeverCycle when it can only be woken externally), and
+  /// each frozen cycle accrues exactly the recorded per-cycle deltas.
+  struct WaitProfile {
+    bool busy = false;
+    Cycle next_event = kNeverCycle;
+    bool idle = false;                 // ++c_idle_ per frozen cycle
+    bool mem_block = false;            // ++c_mem_/++c_mem_abs_ per frozen cycle
+    std::uint32_t blocked_loads = 0;   // l1 load_blocked per frozen cycle
+  };
+  [[nodiscard]] WaitProfile wait_profile(Cycle now) const;
+  /// Bulk-accounts `cycles` frozen cycles previously profiled by
+  /// wait_profile (byte-identical to ticking the frozen core that often).
+  void apply_skip(std::uint64_t cycles, const WaitProfile& p);
+
+  /// Enables/disables self-freezing (the per-tick O(1) replay of a cached
+  /// wait profile). Mirrors System's fast-path switch so LLAMCAT_NO_FASTPATH
+  /// disables every fast-path mechanism at once.
+  void set_fast_path(bool on) {
+    fast_path_ = on;
+    if (!on) frozen_valid_ = false;
+  }
+
   // -- state/introspection ----------------------------------------------------
   /// True when the core holds no work at all (safe to end simulation).
   [[nodiscard]] bool fully_idle() const;
-  [[nodiscard]] std::uint32_t active_windows() const;
+  [[nodiscard]] std::uint32_t active_windows() const { return active_count_; }
   [[nodiscard]] std::uint64_t instructions_issued() const { return issued_; }
   /// Issued instructions split by the dense request index of the issuing
   /// thread block (single-request sources put everything in element 0).
@@ -81,7 +139,41 @@ class VectorCore {
   struct Slot {
     Instr::Kind kind = Instr::Kind::kCompute;
     Cycle ready = kNeverCycle;  // completion cycle; kNever = pending load
-    std::uint32_t load_id = 0;  // key into inflight_loads_ for loads
+  };
+
+  /// Fixed-capacity FIFO of in-flight slots. A ring over a pre-sized array
+  /// beats std::deque here (hot per the self-benchmark profile), and slot
+  /// addresses stay stable while live - required by the L1 load-tag scheme
+  /// (a live slot is never moved; its cell is reused only after pop).
+  class SlotRing {
+   public:
+    void init(std::uint32_t capacity) { buf_.assign(capacity, Slot{}); }
+    [[nodiscard]] bool empty() const { return count_ == 0; }
+    [[nodiscard]] std::uint32_t size() const { return count_; }
+    [[nodiscard]] Slot& front() { return buf_[head_]; }
+    [[nodiscard]] const Slot& front() const { return buf_[head_]; }
+    /// Precondition: size() < capacity (the issue path checks depth first).
+    Slot& push_back(const Slot& s) {
+      std::uint32_t i = head_ + count_;
+      if (i >= buf_.size()) i -= static_cast<std::uint32_t>(buf_.size());
+      buf_[i] = s;
+      ++count_;
+      return buf_[i];
+    }
+    void pop_front() {
+      if (++head_ >= buf_.size()) head_ = 0;
+      --count_;
+    }
+    void pop_back() { --count_; }
+    void clear() {
+      head_ = 0;
+      count_ = 0;
+    }
+
+   private:
+    std::vector<Slot> buf_;
+    std::uint32_t head_ = 0;
+    std::uint32_t count_ = 0;
   };
 
   struct Window {
@@ -90,13 +182,17 @@ class VectorCore {
     std::uint32_t req_idx = 0;  // dense request index, cached at fetch
     std::uint32_t next_instr = 0;
     std::uint32_t instr_count = 0;
-    std::deque<Slot> slots;
+    SlotRing slots;
   };
 
   enum class BlockReason : std::uint8_t { kNone, kMemory, kCompute, kNoWork };
 
+  void tick_full(Cycle now);
   void retire(Cycle now);
   void fetch_tb(Cycle now);
+  /// Caches the wait profile after a non-issuing tick so subsequent ticks
+  /// replay it in O(1) until an input changes (self-freeze).
+  void try_freeze(Cycle now);
   /// Attempts to issue one instruction from window `w`.
   BlockReason try_issue(Window& w, Cycle now);
   /// C_mem accumulated since the core's first TB started (LCS observation).
@@ -106,13 +202,27 @@ class VectorCore {
   CoreId id_;
   L1Cache l1_;
   std::vector<Window> windows_;
-  std::uint32_t active_ptr_ = 0;  // current issue window
+  std::uint32_t active_ptr_ = 0;   // current issue window
+  std::uint32_t active_count_ = 0;  // windows with has_tb (O(1) active_windows)
   std::uint32_t max_tb_;
   TbScheduler* scheduler_ = nullptr;
 
+  // Self-freeze: after a tick that issues nothing, the core caches its
+  // wait profile and replays the per-cycle deltas in O(1) until an input
+  // changes. Inputs are invalidated conservatively: a fill, a store-buffer
+  // drain, a throttle change, or any scheduler mutation (epoch) forces a
+  // full tick; a spurious wake costs speed, never correctness.
+  bool fast_path_ = true;
+  bool frozen_valid_ = false;
+  WaitProfile frozen_;
+  std::uint64_t frozen_epoch_ = 0;
+
   std::deque<Addr> store_buffer_;
-  std::unordered_map<std::uint32_t, Slot*> inflight_loads_;
-  std::uint32_t next_load_id_ = 1;
+  // Pending (miss-waiting) loads. The L1 carries each waiting slot's
+  // address as its opaque load tag, so a fill wakes its waiters without
+  // any id lookup; this counter exists only for fully_idle().
+  std::uint64_t pending_loads_ = 0;
+  std::vector<L1Cache::LoadTag> fill_waiters_;  // scratch for l1_.on_fill
 
   // sampling
   Cycle c_mem_ = 0;      // reset by take_sample()

@@ -1,0 +1,173 @@
+// Fast-path equivalence suite: the event-driven skip-ahead and self-freeze
+// machinery (System fast path, on by default) must be an invisible
+// optimization. Every execution mode and a slice of the pinned fuzz corpus
+// run once with the fast path enabled and once with LLAMCAT_NO_FASTPATH=1,
+// and the two runs are compared through the same canonical digest the
+// serving fuzzer uses - byte-identity, not approximate equality. A third
+// suite pins the parallel sweep contract: llamcat_stress-style sweeps give
+// bit-identical results for any --jobs count.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "scenario/fuzz.hpp"
+#include "scenario/scenario.hpp"
+
+namespace llamcat {
+namespace {
+
+using scenario::AdmitPolicy;
+using scenario::BatchStats;
+using scenario::DecodePass;
+using scenario::DecodePassConfig;
+using scenario::ExecutionMode;
+using scenario::FuzzResult;
+using scenario::RequestBatch;
+using scenario::RequestSpec;
+
+/// Scoped LLAMCAT_NO_FASTPATH=1: System reads the env var at construction,
+/// so setting it around a DecodePass run disables the fast path in every
+/// System that run creates.
+class ScopedNoFastpath {
+ public:
+  ScopedNoFastpath() { ::setenv("LLAMCAT_NO_FASTPATH", "1", 1); }
+  ~ScopedNoFastpath() { ::unsetenv("LLAMCAT_NO_FASTPATH"); }
+  ScopedNoFastpath(const ScopedNoFastpath&) = delete;
+  ScopedNoFastpath& operator=(const ScopedNoFastpath&) = delete;
+};
+
+SimConfig small_config() {
+  SimConfig cfg = SimConfig::table5();
+  cfg.core.num_cores = 4;
+  cfg.llc.size_bytes = 1ull << 20;
+  cfg.llc.num_slices = 2;
+  cfg.dram.num_channels = 2;
+  cfg.max_cycles = 20'000'000;
+  return cfg;
+}
+
+ModelShape tiny_model() {
+  ModelShape m = ModelShape::llama3_70b();
+  m.num_kv_heads = 2;
+  m.group_size = 4;
+  return m;
+}
+
+// tiny_model: H=2, D=128, fp16 -> 512 bytes per resident KV token per layer.
+constexpr std::uint64_t kTinyBytesPerToken = 2ull * 128 * 2;
+
+struct ModeCase {
+  std::string name;
+  std::vector<RequestSpec> requests;
+  void (*configure)(DecodePassConfig&);
+};
+
+std::string run_digest(const ModeCase& mc) {
+  DecodePassConfig pc;
+  pc.num_layers = 2;
+  pc.include_gemv = false;
+  mc.configure(pc);
+  const RequestBatch batch(tiny_model(), mc.requests);
+  return scenario::batch_stats_digest(
+      DecodePass(batch, pc, small_config()).run());
+}
+
+class EveryModeFastpath : public ::testing::TestWithParam<ModeCase> {};
+
+TEST_P(EveryModeFastpath, FastPathOffIsByteIdenticalToOn) {
+  const std::string fast = run_digest(GetParam());
+  std::string slow;
+  {
+    ScopedNoFastpath off;
+    slow = run_digest(GetParam());
+  }
+  EXPECT_EQ(fast, slow);
+}
+
+const std::vector<RequestSpec> kBarrierBatch = {{0, 128, 0, 1}, {1, 256, 0, 2}};
+const std::vector<RequestSpec> kStreamBatch = {
+    {0, 256, 0, 1}, {1, 64, 500, 2}, {2, 128, 0, 1}};
+const std::vector<RequestSpec> kServingBatch = {
+    {0, 512, 0, 2}, {1, 128, 1000, 1}, {2, 64, 3000, 1}, {3, 128, 5000, 1}};
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, EveryModeFastpath,
+    ::testing::Values(
+        ModeCase{"independent", kBarrierBatch,
+                 [](DecodePassConfig& pc) {
+                   pc.mode = ExecutionMode::kIndependent;
+                 }},
+        ModeCase{"coscheduled", kBarrierBatch,
+                 [](DecodePassConfig& pc) {
+                   pc.mode = ExecutionMode::kCoScheduled;
+                 }},
+        ModeCase{"continuous_raw", kStreamBatch,
+                 [](DecodePassConfig& pc) {
+                   pc.mode = ExecutionMode::kContinuous;
+                 }},
+        ModeCase{"continuous_budgeted_preempt", kServingBatch,
+                 [](DecodePassConfig& pc) {
+                   pc.mode = ExecutionMode::kContinuous;
+                   pc.serving.policy = AdmitPolicy::kShortestRemaining;
+                   pc.serving.kv_budget_bytes = 700 * kTinyBytesPerToken * 2;
+                   pc.serving.preempt = true;
+                 }},
+        ModeCase{"continuous_paged", kServingBatch,
+                 [](DecodePassConfig& pc) {
+                   pc.mode = ExecutionMode::kContinuous;
+                   pc.serving.policy = AdmitPolicy::kShortestRemaining;
+                   pc.serving.kv_budget_bytes = 544 * kTinyBytesPerToken * 2;
+                   pc.serving.preempt = true;
+                   pc.serving.kv_evict = KvEvictPolicy::kColdBlocks;
+                 }}),
+    [](const ::testing::TestParamInfo<ModeCase>& info) {
+      return info.param.name;
+    });
+
+// A slice of the pinned fuzz corpus (randomized machine/batch/policy
+// draws): the fast path must reproduce the disabled path byte for byte on
+// scenarios nobody hand-picked. The seeds match the corpus pinned in
+// tests/test_serving_fuzz.cpp.
+class FuzzCorpusFastpath : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzCorpusFastpath, FastPathOffIsByteIdenticalToOn) {
+  const std::uint64_t seed = GetParam();
+  const FuzzResult fast = scenario::run_fuzz_seed(seed);
+  EXPECT_TRUE(fast.ok()) << fast.violations.front();
+  FuzzResult slow;
+  {
+    ScopedNoFastpath off;
+    slow = scenario::run_fuzz_seed(seed);
+  }
+  EXPECT_TRUE(slow.ok()) << slow.violations.front();
+  EXPECT_FALSE(fast.digest.empty());
+  EXPECT_EQ(fast.digest, slow.digest);
+}
+
+INSTANTIATE_TEST_SUITE_P(PinnedSeeds, FuzzCorpusFastpath,
+                         ::testing::Values(57u, 93u, 148u, 171u));
+
+// The parallel sweep contract behind `llamcat_stress --jobs=N`: a sweep
+// fanned across 4 worker threads lands every result in its seed-order slot
+// and is bit-identical to the serial sweep.
+TEST(ParallelSweep, FourJobsMatchesSerial) {
+  constexpr std::uint64_t kBase = 57;
+  constexpr std::uint64_t kRuns = 8;
+  const std::vector<FuzzResult> serial =
+      scenario::run_fuzz_sweep(kBase, kRuns, /*jobs=*/1);
+  const std::vector<FuzzResult> parallel =
+      scenario::run_fuzz_sweep(kBase, kRuns, /*jobs=*/4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].seed, parallel[i].seed);
+    EXPECT_EQ(serial[i].violations, parallel[i].violations);
+    EXPECT_FALSE(serial[i].digest.empty()) << "seed " << serial[i].seed;
+    EXPECT_EQ(serial[i].digest, parallel[i].digest)
+        << "seed " << serial[i].seed;
+  }
+}
+
+}  // namespace
+}  // namespace llamcat

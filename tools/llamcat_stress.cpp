@@ -6,14 +6,20 @@
 //
 //   llamcat_stress                      # 200 runs from the default base seed
 //   llamcat_stress --runs=1000          # longer sweep
+//   llamcat_stress --jobs=4             # sweep across 4 worker threads
 //   llamcat_stress --seed=42            # sweep base: seeds 42, 43, ...
 //   llamcat_stress --replay=1337        # re-run exactly one failing seed
 //   llamcat_stress --verbose            # print every scenario as it runs
+//
+// Every seed is an independent single-threaded simulation, so --jobs only
+// changes wall-clock time: results land in seed-order slots and the output
+// (and exit code) is identical for any job count.
 //
 // Exit code 0 = every run clean, 1 = at least one violation (the failing
 // seeds are listed at the end), 2 = bad usage. docs/testing.md has the
 // seed-pinning workflow (a failing seed becomes a regression test in
 // tests/test_serving_fuzz.cpp).
+#include <algorithm>
 #include <charconv>
 #include <cstdint>
 #include <iostream>
@@ -27,6 +33,8 @@ namespace {
 
 constexpr const char* kUsage = R"(usage: llamcat_stress [options]
   --runs=N     number of seeds to fuzz (default 200)
+  --jobs=N     worker threads for the sweep; 0 = all cores (default 1);
+               output is identical for any job count
   --seed=S     base seed; run i uses seed S+i (default 1)
   --replay=S   run exactly the one seed S (what a failure report suggests)
   --verbose    print every scenario, not just failures
@@ -43,6 +51,7 @@ std::optional<std::uint64_t> parse_u64(std::string_view s) {
 struct Options {
   std::uint64_t runs = 200;
   std::uint64_t base_seed = 1;
+  std::uint64_t jobs = 1;
   std::optional<std::uint64_t> replay;
   bool verbose = false;
 };
@@ -77,6 +86,13 @@ int main(int argc, char** argv) {
         return 2;
       }
       opt.runs = *v;
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      const auto v = parse_u64(value("--jobs="));
+      if (!v) {
+        std::cerr << "error: bad --jobs\n" << kUsage;
+        return 2;
+      }
+      opt.jobs = *v;
     } else if (arg.rfind("--seed=", 0) == 0) {
       const auto v = parse_u64(value("--seed="));
       if (!v) {
@@ -110,21 +126,28 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  // The sweep runs in chunks of 50 seeds (the heartbeat cadence): each
+  // chunk fans out across --jobs worker threads into seed-order slots, then
+  // reports serially, so the output stream is identical for any job count.
+  constexpr std::uint64_t kChunk = 50;
   std::vector<std::uint64_t> failing;
-  for (std::uint64_t i = 0; i < opt.runs; ++i) {
-    const std::uint64_t seed = opt.base_seed + i;
-    if (opt.verbose) {
-      std::cout << "seed " << seed << ": "
-                << llamcat::scenario::draw_scenario(seed).summary() << "\n";
+  for (std::uint64_t done = 0; done < opt.runs; done += kChunk) {
+    const std::uint64_t n = std::min(kChunk, opt.runs - done);
+    const auto results = llamcat::scenario::run_fuzz_sweep(
+        opt.base_seed + done, n, opt.jobs);
+    for (const auto& r : results) {
+      if (opt.verbose) {
+        std::cout << "seed " << r.seed << ": "
+                  << llamcat::scenario::draw_scenario(r.seed).summary()
+                  << "\n";
+      }
+      if (!r.ok()) {
+        report(r);
+        failing.push_back(r.seed);
+      }
     }
-    const auto r = llamcat::scenario::run_fuzz_seed(seed);
-    if (!r.ok()) {
-      report(r);
-      failing.push_back(seed);
-    }
-    // A heartbeat every 50 runs so long sweeps are visibly alive.
-    if (!opt.verbose && (i + 1) % 50 == 0) {
-      std::cout << (i + 1) << "/" << opt.runs << " seeds fuzzed, "
+    if (!opt.verbose && (done + n) % kChunk == 0) {
+      std::cout << (done + n) << "/" << opt.runs << " seeds fuzzed, "
                 << failing.size() << " failing\n";
     }
   }
