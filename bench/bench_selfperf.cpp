@@ -101,6 +101,24 @@ const Scenario kMatrix[] = {
        pc.serving.kv_evict = KvEvictPolicy::kColdBlocks;
        pc.serving.kv_block_bytes = 256;
      }},
+    // Prefix-heavy sharing: three requests decode from one 256-token system
+    // prompt under a tight paged budget, so admission, eviction and refetch
+    // all route through the ref-counted shared block pool (the hot path the
+    // kv_block_pool shard table serves).
+    {"continuous_prefix_shared",
+     {{0, 512, 0, 2, 0, 256},
+      {1, 512, 1000, 1, 0, 256},
+      {2, 512, 3000, 1, 0, 256},
+      {3, 128, 5000, 1}},
+     [](DecodePassConfig& pc) {
+       pc.mode = ExecutionMode::kContinuous;
+       pc.serving.policy = AdmitPolicy::kShortestRemaining;
+       pc.serving.kv_budget_bytes = 700 * kBytesPerToken * 2;
+       pc.serving.preempt = true;
+       pc.serving.kv_evict = KvEvictPolicy::kColdBlocks;
+       pc.serving.kv_block_bytes = 256;
+       pc.serving.kv_share = true;
+     }},
 };
 
 std::uint64_t peak_rss_kb() {

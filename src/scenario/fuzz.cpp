@@ -90,6 +90,30 @@ ServingConfig draw_serving(Xoshiro256& rng, const RequestBatch& batch,
   return s;
 }
 
+/// Timing-only projection of a run: landmarks, queue/preempt counts and
+/// per-segment cycles, but no byte counters. Prefix sharing with an
+/// unlimited budget and no paged eviction must be timing-neutral (it only
+/// changes what the ledger charges, never when anything runs), which is a
+/// weaker relation than digest equality - the share counters themselves
+/// legitimately differ.
+std::string timing_digest(const BatchStats& s) {
+  std::ostringstream os;
+  os << "makespan=" << s.makespan << " cycles=" << s.total.cycles << "\n";
+  for (const RequestStats& r : s.per_request) {
+    os << "req " << r.id << ": admit=" << r.admit_cycle
+       << " finish=" << r.finish_cycle << " queued=" << r.queued_cycles
+       << " preempt=" << r.preemptions << " cycles=" << r.stats.cycles
+       << " first=" << r.slice.first_dispatch_cycle
+       << " last=" << r.slice.last_complete_cycle << "\n";
+  }
+  os << "segments=" << s.per_op.size() << ":";
+  for (const auto& op : s.per_op) {
+    os << " " << op.name << "=" << op.stats.cycles;
+  }
+  os << "\n";
+  return os.str();
+}
+
 /// First line where two digests diverge, for a one-look failure report.
 std::string first_diff(const std::string& a, const std::string& b) {
   std::istringstream sa(a), sb(b);
@@ -110,7 +134,13 @@ std::string first_diff(const std::string& a, const std::string& b) {
 std::string batch_stats_digest(const BatchStats& s) {
   std::ostringstream os;
   os << "mode=" << static_cast<int>(s.mode) << " makespan=" << s.makespan
-     << " paged=" << s.paged << "\n";
+     << " paged=" << s.paged << " shared=" << s.shared << "\n";
+  if (s.shared) {
+    os << "pool: lookups=" << s.kv_block_lookups << " hits=" << s.kv_block_hits
+       << " shared_b=" << s.kv_shared_bytes
+       << " charged_b=" << s.kv_charged_bytes
+       << " logical_b=" << s.kv_logical_bytes << "\n";
+  }
   os << "total: cycles=" << s.total.cycles << " instr=" << s.total.instructions
      << " tbs=" << s.total.thread_blocks << " dram_r=" << s.total.dram_reads
      << " dram_w=" << s.total.dram_writes << "\n";
@@ -121,6 +151,7 @@ std::string batch_stats_digest(const BatchStats& s) {
     os << "req " << r.id << ": arrival=" << r.arrival_cycle
        << " admit=" << r.admit_cycle << " finish=" << r.finish_cycle
        << " queued=" << r.queued_cycles << " preempt=" << r.preemptions
+       << " pfx=" << r.prefix_hit_blocks << "/" << r.prefix_hit_bytes
        << " swapped=" << r.swapped_blocks << " refetch_b=" << r.refetch_bytes
        << " refetch_c=" << r.refetch_cycles << " cycles=" << r.stats.cycles
        << " instr=" << r.slice.instructions << " tbs=" << r.slice.thread_blocks
@@ -148,13 +179,29 @@ std::string FuzzScenario::summary() const {
   for (const RequestSpec& r : requests) os << " " << r.decode_steps;
   os << "), layers=" << pass_cfg.num_layers
      << " gemv=" << (pass_cfg.include_gemv ? "on" : "off")
+     << " interleave=" << to_string(pass_cfg.interleave)
      << ", cores=" << cfg.core.num_cores << " slices=" << cfg.llc.num_slices
+     << " dram_ch=" << cfg.dram.num_channels
+     << " mshr=" << cfg.llc.mshr_entries << " req_q=" << cfg.llc.req_q_size
+     << " mseed=" << cfg.seed
      << ", admit=" << to_string(pass_cfg.serving.policy)
      << " budget=" << pass_cfg.serving.kv_budget_bytes
      << " preempt=" << (pass_cfg.serving.preempt ? "on" : "off")
      << " evict=" << to_string(pass_cfg.serving.kv_evict)
      << " block=" << pass_cfg.serving.kv_block_bytes
-     << " refetch=" << pass_cfg.serving.refetch_cost;
+     << " refetch=" << pass_cfg.serving.refetch_cost
+     << " share=" << (pass_cfg.serving.kv_share ? "on" : "off");
+  if (pass_cfg.serving.kv_share) {
+    os << " (pfx";
+    for (const RequestSpec& r : requests) {
+      if (r.prefix_group == kNoPrefixGroup) {
+        os << " -";
+      } else {
+        os << " g" << r.prefix_group << ":" << r.prefix_tokens;
+      }
+    }
+    os << ")";
+  }
   return os.str();
 }
 
@@ -171,6 +218,26 @@ FuzzScenario draw_scenario(std::uint64_t seed) {
       rng.below(2) == 0 ? FuseOrder::kRoundRobin : FuseOrder::kConcat;
   const RequestBatch batch(sc.model, sc.requests);
   sc.pass_cfg.serving = draw_serving(rng, batch, sc.pass_cfg.num_layers);
+  // Cross-request prefix sharing: drawn strictly after every pre-existing
+  // knob so each pre-pool pinned seed replays its original scenario
+  // unchanged (the draw order is part of the corpus contract).
+  if (rng.below(2) == 0) {
+    sc.pass_cfg.serving.kv_share = true;
+    const std::uint64_t num_groups = 1 + rng.below(2);
+    for (RequestSpec& r : sc.requests) {
+      // A quarter of the requests stay private even in a sharing run.
+      if (rng.below(4) == 0) continue;
+      r.prefix_group = static_cast<std::uint32_t>(rng.below(num_groups));
+      r.prefix_tokens = 1 + rng.below(r.seq_len);
+    }
+    if (sc.pass_cfg.serving.kv_block_bytes == 0 && rng.below(2) == 0) {
+      // Sharing without paged eviction still exercises the block granule
+      // (the paged path draws its own block size above).
+      static constexpr std::uint64_t kShareBlocks[] = {64, 192, 256, 4096};
+      sc.pass_cfg.serving.kv_block_bytes =
+          kShareBlocks[rng.below(std::size(kShareBlocks))];
+    }
+  }
   return sc;
 }
 
@@ -210,7 +277,7 @@ FuzzResult run_fuzz_seed(std::uint64_t seed) {
     // engine byte for byte.
     const ServingConfig& serving = sc.pass_cfg.serving;
     if (!serving.unconditional() && serving.kv_budget_bytes == 0 &&
-        !serving.preempt) {
+        !serving.preempt && !serving.kv_share) {
       DecodePassConfig raw = sc.pass_cfg;
       raw.serving = ServingConfig{};
       const BatchStats s3 = DecodePass(batch, raw, sc.cfg).run();
@@ -222,6 +289,25 @@ FuzzResult run_fuzz_seed(std::uint64_t seed) {
             " with unlimited budget and no preemption diverges from the "
             "raw engine: " +
             first_diff(d1, d3));
+      }
+    }
+
+    // Share neutrality: with an unlimited budget and no paged eviction,
+    // prefix sharing only changes what the ledger charges - never when
+    // anything runs. The same scenario with kv_share off must match on the
+    // timing projection (full digests legitimately differ in the share
+    // counters themselves).
+    if (serving.kv_share && !serving.paged() &&
+        serving.kv_budget_bytes == 0) {
+      DecodePassConfig unshared = sc.pass_cfg;
+      unshared.serving.kv_share = false;
+      const BatchStats s4 = DecodePass(batch, unshared, sc.cfg).run();
+      const std::string t1 = timing_digest(s1), t4 = timing_digest(s4);
+      if (t1 != t4) {
+        out.violations.push_back(
+            "share neutrality: kv_share with an unlimited budget and no "
+            "paged eviction changed the timing: " +
+            first_diff(t1, t4));
       }
     }
   } catch (const InvariantViolation& e) {

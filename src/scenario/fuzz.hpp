@@ -5,8 +5,9 @@
 //
 // One seed deterministically draws a full serving scenario - machine
 // (including starved MSHR/queue/slice shapes), batch (arrival pattern,
-// seq-len/step mix) and serving policy (admission discipline x KV budget x
-// preemption x paged eviction x block size x refetch price) - and
+// seq-len/step mix, prefix-group overlap) and serving policy (admission
+// discipline x KV budget x preemption x paged eviction x block size x
+// refetch price x prefix sharing) - and
 // run_fuzz_seed() puts it through the whole invariant contract
 // (scenario/invariants.hpp):
 //
@@ -17,7 +18,11 @@
 //    policy accounting;
 //  - draws whose knobs are provably no-ops (a queueing discipline with an
 //    unlimited budget and no preemption) are re-run under policy=none and
-//    must be byte-identical to the raw PR 3 engine.
+//    must be byte-identical to the raw PR 3 engine;
+//  - prefix-sharing draws (kv_share with an unlimited budget and no paged
+//    eviction) are re-run with sharing off and must match on the timing
+//    projection - sharing may only change what the ledger charges, never
+//    when anything runs.
 #pragma once
 
 #include <cstdint>

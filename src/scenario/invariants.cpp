@@ -32,6 +32,43 @@ ServingAuditor::ServingAuditor(std::uint64_t budget_bytes,
       admitted_(peak_.size(), false),
       finished_(peak_.size(), false) {}
 
+ServingAuditor::ServingAuditor(std::uint64_t budget_bytes,
+                               std::vector<std::uint64_t> peak_bytes,
+                               SharedLayout layout)
+    : ServingAuditor(budget_bytes, std::move(peak_bytes),
+                     layout.block_bytes) {
+  if (layout.block_bytes == 0 || layout.groups.size() != peak_.size() ||
+      layout.prefix_bytes.size() != peak_.size()) {
+    throw std::invalid_argument(
+        "ServingAuditor: shared layout needs a positive block size and one "
+        "group/prefix entry per request");
+  }
+  shared_ = true;
+  paged_ = layout.paged;
+  groups_ = std::move(layout.groups);
+  prefix_ = std::move(layout.prefix_bytes);
+  released_.assign(peak_.size(), false);
+  private_swapped_blk_.assign(peak_.size(), 0);
+}
+
+std::uint64_t ServingAuditor::shared_blocks(std::size_t i) const {
+  if (groups_[i] == kNoPrefixGroup) return 0;
+  return prefix_[i] / block_bytes_;
+}
+
+std::uint64_t ServingAuditor::private_whole_blocks(std::size_t i) const {
+  return peak_[i] / block_bytes_ - shared_blocks(i);
+}
+
+std::uint64_t ServingAuditor::private_bytes(std::size_t i) const {
+  return peak_[i] - shared_blocks(i) * block_bytes_;
+}
+
+std::uint64_t ServingAuditor::shadow_key(std::size_t i,
+                                         std::uint64_t block) const {
+  return (static_cast<std::uint64_t>(groups_[i]) << 32) | block;
+}
+
 void ServingAuditor::check_clock(const char* event, std::size_t i, Cycle now) {
   if (now < last_event_) {
     throw InvariantViolation(fmt_event(event, i) + " at cycle " +
@@ -67,6 +104,29 @@ void ServingAuditor::on_admit(std::size_t i, Cycle now,
                              "must report on_resume)");
   }
   admitted_[i] = true;
+  if (shared_) {
+    // Replay the block-level admission: every unique block charges once.
+    // The expected charge comes from the shadow map alone, so an engine /
+    // pool disagreement about what was already resident surfaces as a
+    // ledger divergence on this exact event.
+    std::uint64_t charge = private_bytes(i);
+    for (std::uint64_t b = 0; b < shared_blocks(i); ++b) {
+      auto [it, inserted] = blocks_.try_emplace(shadow_key(i, b));
+      ShadowBlock& e = it->second;
+      if (inserted) {
+        charge += block_bytes_;
+      } else if (!e.resident) {
+        e.resident = true;  // host-tier reuse: refetched and re-charged
+        charge += block_bytes_;
+      }
+      ++e.pins;
+      ++e.holders;
+    }
+    pinned_[i] = charge;
+    resident_ += charge;
+    check_resident("admit", i, engine_resident);
+    return;
+  }
   pinned_[i] = peak_[i];
   resident_ += peak_[i];
   check_resident("admit", i, engine_resident);
@@ -79,6 +139,35 @@ void ServingAuditor::on_resume(std::size_t i, std::uint64_t refetched_bytes,
     throw InvariantViolation(fmt_event("resume", i) +
                              ": only a previously admitted, unfinished "
                              "request can resume");
+  }
+  if (shared_) {
+    // Expected refetch = the request's private host-tier blocks plus its
+    // shared blocks nobody re-pinned since the eviction (a peer's admission
+    // may have brought some back - those re-pin for free).
+    std::uint64_t expect = 0;
+    if (paged_ && released_[i]) {
+      expect = private_swapped_blk_[i] * block_bytes_;
+      private_swapped_blk_[i] = 0;
+      for (std::uint64_t b = 0; b < shared_blocks(i); ++b) {
+        ShadowBlock& e = blocks_.at(shadow_key(i, b));
+        if (!e.resident) {
+          e.resident = true;
+          expect += block_bytes_;
+        }
+        ++e.pins;
+      }
+      released_[i] = false;
+    }
+    if (refetched_bytes != expect) {
+      throw InvariantViolation(
+          fmt_event("resume", i) + ": refetched " +
+          std::to_string(refetched_bytes) + " bytes but the shadow block " +
+          "map expected " + std::to_string(expect) +
+          " (private host blocks + shared blocks no peer re-pinned)");
+    }
+    resident_ += expect;
+    check_resident("resume", i, engine_resident);
+    return;
   }
   if (refetched_bytes != swapped_[i]) {
     throw InvariantViolation(
@@ -106,6 +195,47 @@ void ServingAuditor::on_evict(std::size_t i, std::uint64_t freed_bytes,
     throw InvariantViolation(fmt_event("evict", i) +
                              ": only a running (admitted, unfinished) "
                              "request can be preempted");
+  }
+  if (shared_) {
+    if (released_[i]) {
+      throw InvariantViolation(fmt_event("evict", i) +
+                               ": request was already evicted and has not "
+                               "resumed");
+    }
+    std::uint64_t expect = 0;
+    if (paged_) {
+      // Replay the ref-counted release: a shared block only moves to the
+      // host tier when its *last* pinner leaves; a block another admitted
+      // request still pins stays resident and frees nothing.
+      for (std::uint64_t b = 0; b < shared_blocks(i); ++b) {
+        ShadowBlock& e = blocks_.at(shadow_key(i, b));
+        if (e.pins == 0 || !e.resident) {
+          throw InvariantViolation(
+              fmt_event("evict", i) + ": shadow block " + std::to_string(b) +
+              " has corrupt refcounts (an active request must pin a "
+              "resident block)");
+        }
+        --e.pins;
+        if (e.pins == 0) {
+          e.resident = false;
+          expect += block_bytes_;
+        }
+      }
+      expect += private_whole_blocks(i) * block_bytes_;
+      private_swapped_blk_[i] = private_whole_blocks(i);
+      released_[i] = true;
+    }
+    // !paged_: resident preemption - pins survive, nothing frees.
+    if (freed_bytes != expect) {
+      throw InvariantViolation(
+          fmt_event("evict", i) + ": freed " + std::to_string(freed_bytes) +
+          " bytes but the shadow block map expected " +
+          std::to_string(expect) +
+          " (private whole blocks + shared blocks whose last pinner left)");
+    }
+    resident_ -= expect;
+    check_resident("evict", i, engine_resident);
+    return;
   }
   if (freed_bytes > pinned_[i]) {
     throw InvariantViolation(fmt_event("evict", i) + ": freed " +
@@ -144,6 +274,39 @@ void ServingAuditor::on_finish(std::size_t i, Cycle now,
     throw InvariantViolation(fmt_event("finish", i) +
                              ": request finished twice or without admission");
   }
+  if (shared_) {
+    if (released_[i]) {
+      throw InvariantViolation(fmt_event("finish", i) +
+                               ": request finished while evicted - it must "
+                               "resume (and refetch) before finishing");
+    }
+    // Drop the holder refs: a shared block frees only when its *last*
+    // holder finishes. pins <= holders always, and an unreleased finisher
+    // still pins, so a block reaching holders == 0 is resident by
+    // construction - its bytes leave the ledger here.
+    std::uint64_t freed = private_bytes(i);
+    for (std::uint64_t b = 0; b < shared_blocks(i); ++b) {
+      auto it = blocks_.find(shadow_key(i, b));
+      if (it == blocks_.end() || it->second.pins == 0 ||
+          it->second.holders == 0 || !it->second.resident) {
+        throw InvariantViolation(
+            fmt_event("finish", i) + ": shadow block " + std::to_string(b) +
+            " has corrupt refcounts (a finishing request must pin a "
+            "resident block)");
+      }
+      --it->second.pins;
+      --it->second.holders;
+      if (it->second.holders == 0) {
+        blocks_.erase(it);
+        freed += block_bytes_;
+      }
+    }
+    finished_[i] = true;
+    pinned_[i] = 0;
+    resident_ -= freed;
+    check_resident("finish", i, engine_resident);
+    return;
+  }
   if (swapped_[i] != 0) {
     throw InvariantViolation(
         fmt_event("finish", i) + ": " + std::to_string(swapped_[i]) +
@@ -172,6 +335,11 @@ void ServingAuditor::on_pass_end() const {
   if (resident_ != 0) {
     throw InvariantViolation("pass ended with " + std::to_string(resident_) +
                              " resident bytes still pinned");
+  }
+  if (shared_ && !blocks_.empty()) {
+    throw InvariantViolation(
+        "pass ended with " + std::to_string(blocks_.size()) +
+        " shared blocks still alive - every refcount must drain to zero");
   }
 }
 
@@ -268,11 +436,22 @@ AuditReport audit_batch(const RequestBatch& batch,
           ") != sequential-equivalent cycles (", stats.total.cycles, ")");
     check(!stats.paged && stats.total_swapped_blocks() == 0,
           "barrier modes can never page");
+    check(!stats.shared, "barrier modes can never share KV");
     return report;
   }
 
   // -- continuous: no drop + monotone landmark chain ------------------------
   const ServingConfig& serving = pass_cfg.serving;
+  bool any_group = false;
+  if (serving.kv_share) {
+    for (const RequestSpec& r : reqs) {
+      if (r.prefix_group != kNoPrefixGroup) any_group = true;
+    }
+  }
+  const std::uint64_t share_block =
+      serving.kv_block_bytes != 0 ? serving.kv_block_bytes : kLineBytes;
+  std::uint64_t sum_refetch_bytes = 0, sum_refetch_cycles = 0;
+  std::uint64_t sum_hit_blocks = 0, sum_hit_bytes = 0;
   Cycle max_finish = 0;
   for (std::size_t i = 0; i < reqs.size(); ++i) {
     const RequestStats& r = stats.per_request[i];
@@ -316,21 +495,41 @@ AuditReport audit_batch(const RequestBatch& batch,
             ": preempted with preemption disabled");
     }
 
+    // -- prefix-share counters ---------------------------------------------
+    sum_hit_blocks += r.prefix_hit_blocks;
+    sum_hit_bytes += r.prefix_hit_bytes;
+    if (!serving.kv_share) {
+      check(r.prefix_hit_blocks == 0 && r.prefix_hit_bytes == 0, "request ",
+            r.id, ": prefix-hit counters set with kv_share off");
+    }
+
     // -- paged-KV ledger closure -------------------------------------------
+    sum_refetch_bytes += r.refetch_bytes;
+    sum_refetch_cycles += r.refetch_cycles;
     if (serving.paged()) {
       KvPagerConfig pager_cfg;
-      pager_cfg.block_bytes =
-          serving.kv_block_bytes != 0 ? serving.kv_block_bytes : kLineBytes;
+      pager_cfg.block_bytes = share_block;
       pager_cfg.refetch_cost = serving.refetch_cost;
-      check(r.refetch_bytes == r.swapped_blocks * pager_cfg.block_bytes,
-            "request ", r.id, ": cumulative refetch bytes (", r.refetch_bytes,
-            ") do not close the swap ledger (", r.swapped_blocks, " blocks x ",
-            pager_cfg.block_bytes, " B) - a request must end fully resident");
-      check(r.refetch_cycles ==
-                r.swapped_blocks * pager_cfg.cycles_per_block(),
-            "request ", r.id, ": refetch cycles (", r.refetch_cycles,
-            ") != swapped blocks (", r.swapped_blocks, ") x link price (",
-            pager_cfg.cycles_per_block(), ")");
+      if (serving.kv_share && any_group) {
+        // A peer's admission can refetch a shared host block, so per-request
+        // closure does not hold under sharing - only block granularity does
+        // (the batch-level closure is checked after the loop).
+        check(r.refetch_bytes % pager_cfg.block_bytes == 0, "request ", r.id,
+              ": refetch bytes (", r.refetch_bytes,
+              ") are not a multiple of the ", pager_cfg.block_bytes,
+              "-byte block");
+      } else {
+        check(r.refetch_bytes == r.swapped_blocks * pager_cfg.block_bytes,
+              "request ", r.id, ": cumulative refetch bytes (",
+              r.refetch_bytes, ") do not close the swap ledger (",
+              r.swapped_blocks, " blocks x ", pager_cfg.block_bytes,
+              " B) - a request must end fully resident");
+        check(r.refetch_cycles ==
+                  r.swapped_blocks * pager_cfg.cycles_per_block(),
+              "request ", r.id, ": refetch cycles (", r.refetch_cycles,
+              ") != swapped blocks (", r.swapped_blocks, ") x link price (",
+              pager_cfg.cycles_per_block(), ")");
+      }
     } else {
       check(r.swapped_blocks == 0 && r.refetch_bytes == 0 &&
                 r.refetch_cycles == 0,
@@ -339,6 +538,61 @@ AuditReport audit_batch(const RequestBatch& batch,
   }
   check(stats.paged == serving.paged(), "paged flag (", stats.paged,
         ") disagrees with the serving config (", serving.paged(), ")");
+  check(stats.shared == serving.kv_share, "shared flag (", stats.shared,
+        ") disagrees with the serving config (", serving.kv_share, ")");
+
+  // -- shared-KV accounting (batch-level) -----------------------------------
+  if (serving.paged() && serving.kv_share && any_group) {
+    KvPagerConfig pager_cfg;
+    pager_cfg.block_bytes = share_block;
+    pager_cfg.refetch_cost = serving.refetch_cost;
+    // Every host-tier block is eventually refetched exactly once (a finish
+    // requires full residency and no request is dropped), so the swap
+    // ledger closes at batch scope even though peers refetch for each other.
+    check(sum_refetch_bytes == stats.total_swapped_blocks() * share_block,
+          "batch refetch bytes (", sum_refetch_bytes,
+          ") do not close the batch swap ledger (",
+          stats.total_swapped_blocks(), " blocks x ", share_block, " B)");
+    check(sum_refetch_cycles ==
+              stats.total_swapped_blocks() * pager_cfg.cycles_per_block(),
+          "batch refetch cycles (", sum_refetch_cycles,
+          ") != swapped blocks (", stats.total_swapped_blocks(),
+          ") x link price (", pager_cfg.cycles_per_block(), ")");
+  }
+  if (!stats.shared) {
+    check(stats.kv_block_lookups == 0 && stats.kv_block_hits == 0 &&
+              stats.kv_shared_bytes == 0 && stats.kv_charged_bytes == 0 &&
+              stats.kv_logical_bytes == 0,
+          "share counters set with kv_share off");
+  } else {
+    check(stats.kv_block_hits <= stats.kv_block_lookups, "block hits (",
+          stats.kv_block_hits, ") exceed lookups (", stats.kv_block_lookups,
+          ")");
+    check(stats.kv_shared_bytes == stats.kv_block_hits * share_block,
+          "shared bytes (", stats.kv_shared_bytes, ") != block hits (",
+          stats.kv_block_hits, ") x block size (", share_block, ")");
+    check(stats.kv_charged_bytes ==
+              stats.kv_logical_bytes - stats.kv_shared_bytes,
+          "charged bytes (", stats.kv_charged_bytes,
+          ") != logical footprint (", stats.kv_logical_bytes,
+          ") minus deduped bytes (", stats.kv_shared_bytes, ")");
+    check(stats.kv_logical_bytes ==
+              batch.total_peak_kv_bytes(pass_cfg.num_layers),
+          "logical KV bytes (", stats.kv_logical_bytes,
+          ") != the batch's total peak footprint (",
+          batch.total_peak_kv_bytes(pass_cfg.num_layers), ")");
+    check(sum_hit_bytes == stats.kv_shared_bytes,
+          "per-request prefix-hit bytes sum to ", sum_hit_bytes,
+          " but the batch deduped ", stats.kv_shared_bytes);
+    check(sum_hit_blocks == stats.kv_block_hits,
+          "per-request prefix-hit blocks sum to ", sum_hit_blocks,
+          " but the batch counted ", stats.kv_block_hits, " hits");
+    if (!any_group) {
+      check(stats.kv_block_lookups == 0,
+            "block lookups (", stats.kv_block_lookups,
+            ") in a batch with no prefix groups");
+    }
+  }
   check(stats.makespan >= max_finish, "makespan (", stats.makespan,
         ") before the last finish (", max_finish, ")");
   check(stats.makespan >= stats.total.cycles, "makespan (", stats.makespan,

@@ -35,6 +35,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -68,6 +69,29 @@ class ServingAuditor {
                  std::vector<std::uint64_t> peak_bytes,
                  std::uint64_t block_bytes);
 
+  /// Prefix-sharing layout for the shared-byte conservation mode: when any
+  /// request shares a prefix, the auditor replays the block-level lifecycle
+  /// (pin/unref/swap/free per (group, block) key) through its own shadow
+  /// map - independent of KvBlockPool's implementation - and checks after
+  /// every event that the engine's ledger equals the sum of unique charged
+  /// blocks, that eviction freed exactly the blocks whose last pinner left,
+  /// and at pass end that every refcount drained to zero.
+  struct SharedLayout {
+    std::uint64_t block_bytes = kLineBytes;
+    /// Whether preemption swaps blocks to the host tier (kv_evict =
+    /// cold-blocks). Off: evictions must free 0 bytes and pins survive
+    /// preemption, exactly like the legacy resident-preemption contract.
+    bool paged = false;
+    /// Per-request prefix group (kNoPrefixGroup = fully private KV).
+    std::vector<std::uint32_t> groups;
+    /// Per-request prefix bytes (<= the request's peak footprint).
+    std::vector<std::uint64_t> prefix_bytes;
+  };
+
+  /// Shared-byte conservation mode (see SharedLayout).
+  ServingAuditor(std::uint64_t budget_bytes,
+                 std::vector<std::uint64_t> peak_bytes, SharedLayout layout);
+
   /// First admission of request i: pins its full peak footprint.
   void on_admit(std::size_t i, Cycle now, std::uint64_t engine_resident);
   /// Re-admission of a preempted request: re-pins `refetched_bytes` (the
@@ -87,9 +111,23 @@ class ServingAuditor {
   [[nodiscard]] std::uint64_t resident_bytes() const { return resident_; }
 
  private:
+  /// One shared block in the shadow map: alive while holders > 0,
+  /// swappable only at pins == 0 (mirrors the pool's contract, but
+  /// replayed independently).
+  struct ShadowBlock {
+    std::uint32_t pins = 0;
+    std::uint32_t holders = 0;
+    bool resident = true;
+  };
+
   void check_resident(const char* event, std::size_t i,
                       std::uint64_t engine_resident) const;
   void check_clock(const char* event, std::size_t i, Cycle now);
+  [[nodiscard]] std::uint64_t shared_blocks(std::size_t i) const;
+  [[nodiscard]] std::uint64_t private_whole_blocks(std::size_t i) const;
+  [[nodiscard]] std::uint64_t private_bytes(std::size_t i) const;
+  [[nodiscard]] std::uint64_t shadow_key(std::size_t i,
+                                         std::uint64_t block) const;
 
   std::uint64_t budget_;
   std::uint64_t block_bytes_;
@@ -100,6 +138,15 @@ class ServingAuditor {
   std::vector<bool> finished_;
   std::uint64_t resident_ = 0;  // shadow of the engine's ledger
   Cycle last_event_ = 0;        // serving events never move backwards
+
+  // -- shared-byte conservation mode (SharedLayout ctor) --------------------
+  bool shared_ = false;
+  bool paged_ = false;
+  std::vector<std::uint32_t> groups_;
+  std::vector<std::uint64_t> prefix_;
+  std::vector<bool> released_;  // evicted, not yet resumed (paged only)
+  std::vector<std::uint64_t> private_swapped_blk_;
+  std::map<std::uint64_t, ShadowBlock> blocks_;  // (group, index) -> state
 };
 
 /// Result of the post-run contract check: empty = clean. Each violation is

@@ -14,7 +14,7 @@
 #include <optional>
 
 #include "scenario/invariants.hpp"
-#include "scenario/kv_pager.hpp"
+#include "scenario/kv_block_pool.hpp"
 #include "sim/system.hpp"
 #include "trace/dynamic_source.hpp"
 
@@ -46,6 +46,19 @@ RequestBatch::RequestBatch(ModelShape model, std::vector<RequestSpec> requests)
     if (!ids.insert(r.id).second) {
       throw std::invalid_argument("RequestBatch: duplicate request id " +
                                   std::to_string(r.id));
+    }
+    if (r.prefix_group == kNoPrefixGroup) {
+      if (r.prefix_tokens != 0) {
+        throw std::invalid_argument(
+            "RequestBatch: request " + std::to_string(r.id) +
+            " declares prefix tokens without a prefix group");
+      }
+    } else if (r.prefix_tokens == 0 || r.prefix_tokens > r.seq_len) {
+      throw std::invalid_argument(
+          "RequestBatch: request " + std::to_string(r.id) +
+          " prefix length must be in [1, seq_len]; got " +
+          std::to_string(r.prefix_tokens) + " of " +
+          std::to_string(r.seq_len) + " tokens");
     }
   }
 }
@@ -96,6 +109,15 @@ std::uint64_t RequestBatch::kv_bytes_per_token() const {
 std::uint64_t RequestBatch::peak_kv_bytes(const RequestSpec& r,
                                           std::uint32_t num_layers) const {
   return peak_kv_tokens(r) * kv_bytes_per_token() * num_layers;
+}
+
+std::uint64_t RequestBatch::prefix_kv_bytes(const RequestSpec& r,
+                                            std::uint32_t num_layers) const {
+  if (r.prefix_group == kNoPrefixGroup) return 0;
+  // The prefix occupies the leading prefix_tokens of every layer's KV;
+  // aggregated across layers like peak_kv_bytes (prefix_tokens <= seq_len
+  // <= peak tokens, so this never exceeds the footprint).
+  return r.prefix_tokens * kv_bytes_per_token() * num_layers;
 }
 
 std::uint64_t RequestBatch::total_peak_kv_bytes(
@@ -160,6 +182,9 @@ void BatchStats::print(std::ostream& os) const {
       os << std::setw(9) << "swap" << std::setw(12) << "refetch_b"
          << std::setw(12) << "refetch_c";
     }
+    if (shared) {
+      os << std::setw(9) << "pfx_hit" << std::setw(12) << "pfx_bytes";
+    }
     os << std::setw(10) << "dram_rd" << std::setw(10) << "l2_hit";
   } else if (mode == ExecutionMode::kCoScheduled) {
     os << std::setw(12) << "in_flight" << std::setw(10) << "dram_rd"
@@ -178,6 +203,10 @@ void BatchStats::print(std::ostream& os) const {
       if (paged) {
         os << std::setw(9) << r.swapped_blocks << std::setw(12)
            << r.refetch_bytes << std::setw(12) << r.refetch_cycles;
+      }
+      if (shared) {
+        os << std::setw(9) << r.prefix_hit_blocks << std::setw(12)
+           << r.prefix_hit_bytes;
       }
       os << std::setw(10) << r.slice.dram_reads << std::fixed
          << std::setprecision(4) << std::setw(10) << r.slice.l2_hit_rate()
@@ -203,6 +232,16 @@ void BatchStats::print(std::ostream& os) const {
          << "refetch_bytes     " << total_refetch_bytes() << "\n"
          << "refetch_cycles    " << total_refetch_cycles() << "\n";
     }
+    if (shared) {
+      os << "kv_lookups        " << kv_block_lookups << "\n"
+         << "kv_hits           " << kv_block_hits << "\n"
+         << std::fixed << std::setprecision(4) << "kv_hit_rate       "
+         << kv_hit_rate() << std::defaultfloat << "\n"
+         << "kv_shared_bytes   " << kv_shared_bytes << "\n"
+         << "kv_charged_bytes  " << kv_charged_bytes << "\n"
+         << std::fixed << std::setprecision(4) << "kv_dedup_ratio    "
+         << kv_dedup_ratio() << std::defaultfloat << "\n";
+    }
   }
   os << std::scientific << std::setprecision(3) << "tokens/cycle      "
      << tokens_per_cycle() << "\n"
@@ -227,12 +266,12 @@ DecodePass::DecodePass(RequestBatch batch, DecodePassConfig pass_cfg,
     }
   }
   pass_cfg_.serving.validate();
-  if (!pass_cfg_.serving.unconditional() &&
+  if ((!pass_cfg_.serving.unconditional() || pass_cfg_.serving.kv_share) &&
       pass_cfg_.mode != ExecutionMode::kContinuous) {
     throw std::invalid_argument(
         "DecodePass: the serving-policy layer (admission policy, KV budget, "
-        "preemption) requires ExecutionMode::kContinuous - the barrier "
-        "modes have no serving queue");
+        "preemption, prefix sharing) requires ExecutionMode::kContinuous - "
+        "the barrier modes have no serving queue or block pool");
   }
   if (const std::uint64_t budget = pass_cfg_.serving.kv_budget_bytes;
       budget != 0) {
@@ -552,27 +591,64 @@ BatchStats DecodePass::run_continuous(bool verbose) const {
   for (std::size_t i = 0; i < reqs.size(); ++i) {
     peak_bytes[i] = batch_.peak_kv_bytes(reqs[i], pass_cfg_.num_layers);
   }
-  // Paged KV model (kv_evict=cold-blocks): tracks each request's resident
-  // vs swapped-out block sets and prices the resume refetch.
-  std::optional<KvPager> pager;
-  if (pass_cfg_.serving.paged()) {
-    KvPagerConfig pager_cfg;
-    pager_cfg.block_bytes = pass_cfg_.serving.kv_block_bytes != 0
-                                ? pass_cfg_.serving.kv_block_bytes
-                                : kLineBytes;
-    pager_cfg.refetch_cost = pass_cfg_.serving.refetch_cost;
-    pager.emplace(pager_cfg, peak_bytes);
+  // Shared KV block pool (kv_block_pool.hpp): instantiated whenever paged
+  // eviction or prefix sharing is on. With sharing off every layout is
+  // private and the pool's charges/frees/refetch prices reproduce the
+  // legacy per-request pager byte for byte; with sharing on, requests in a
+  // prefix group pin their common leading blocks once.
+  const bool share = pass_cfg_.serving.kv_share;
+  const bool paged = pass_cfg_.serving.paged();
+  std::optional<KvBlockPool> pool;
+  bool any_group = false;
+  if (share || paged) {
+    KvBlockPoolConfig pool_cfg;
+    pool_cfg.block_bytes = pass_cfg_.serving.kv_block_bytes != 0
+                               ? pass_cfg_.serving.kv_block_bytes
+                               : kLineBytes;
+    pool_cfg.refetch_cost = pass_cfg_.serving.refetch_cost;
+    std::vector<KvBlockPool::RequestLayout> layouts(reqs.size());
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+      layouts[i].footprint_bytes = peak_bytes[i];
+      if (share && reqs[i].prefix_group != kNoPrefixGroup) {
+        layouts[i].prefix_group = reqs[i].prefix_group;
+        layouts[i].prefix_bytes =
+            batch_.prefix_kv_bytes(reqs[i], pass_cfg_.num_layers);
+        any_group = true;
+      }
+    }
+    pool.emplace(pool_cfg, std::move(layouts));
   }
-  out.paged = pager.has_value();
+  out.paged = paged;
+  out.shared = share;
   // In-engine ledger auditor (invariants.hpp): every serving event below
   // reports itself so a KV-conservation break throws on the cycle it
   // happens. Off by default - it adds no stats and changes no behavior.
+  // When any request actually shares a prefix the auditor replays the
+  // block-level lifecycle through its own shadow map (shared-byte
+  // conservation); otherwise the legacy per-request shadow ledger applies.
   std::optional<ServingAuditor> auditor;
   const char* audit_env = std::getenv("LLAMCAT_AUDIT");
   if (pass_cfg_.audit || (audit_env != nullptr && *audit_env != '\0' &&
                           *audit_env != '0')) {
-    auditor.emplace(pass_cfg_.serving.kv_budget_bytes, peak_bytes,
-                    pager ? pager->config().block_bytes : 0);
+    if (any_group) {
+      ServingAuditor::SharedLayout layout;
+      layout.block_bytes = pool->config().block_bytes;
+      layout.paged = paged;
+      layout.groups.resize(reqs.size(), kNoPrefixGroup);
+      layout.prefix_bytes.resize(reqs.size(), 0);
+      for (std::size_t i = 0; i < reqs.size(); ++i) {
+        if (reqs[i].prefix_group != kNoPrefixGroup) {
+          layout.groups[i] = reqs[i].prefix_group;
+          layout.prefix_bytes[i] =
+              batch_.prefix_kv_bytes(reqs[i], pass_cfg_.num_layers);
+        }
+      }
+      auditor.emplace(pass_cfg_.serving.kv_budget_bytes, peak_bytes,
+                      std::move(layout));
+    } else {
+      auditor.emplace(pass_cfg_.serving.kv_budget_bytes, peak_bytes,
+                      pool ? pool->config().block_bytes : 0);
+    }
   }
 
   // Remaining service-demand estimate: remaining chain operators weighted
@@ -580,12 +656,18 @@ BatchStats DecodePass::run_continuous(bool verbose) const {
   const auto remaining_work = [&](std::size_t i) -> std::uint64_t {
     return (chains[i].size() - st[i].cursor) * batch_.peak_kv_tokens(reqs[i]);
   };
-  // Bytes an admission of request i would newly pin: its full peak on
-  // first admission, the swapped-out share on a paged resume, 0 for a
-  // resident (non-evicted) preempted request.
+  // Bytes an admission of request i would newly pin: its effective
+  // (dedup-aware) footprint on first admission - the full peak unless a
+  // prefix peer already charged shared blocks - the swapped-out share on a
+  // paged resume, 0 for a resident (non-evicted) preempted request. Pool
+  // estimates are conservative upper bounds: between this sweep's estimate
+  // and the actual admission, shared blocks can only get cheaper (a peer
+  // admitted first), so the budget gate never over-admits.
   const auto admit_bytes = [&](std::size_t i) -> std::uint64_t {
-    if (!st[i].admitted_ever) return peak_bytes[i];
-    return pager ? pager->swapped_bytes(i) : 0;
+    if (!st[i].admitted_ever) {
+      return pool ? pool->admit_cost(i) : peak_bytes[i];
+    }
+    return (pool && paged) ? pool->resume_cost(i) : 0;
   };
   const auto queued_candidates = [&] {
     std::vector<AdmissionPolicy::Candidate> q;
@@ -601,7 +683,7 @@ BatchStats DecodePass::run_continuous(bool verbose) const {
   // evicting a much-longer runner's cold blocks is what unblocks them.
   const auto blocked_work = [&]() -> std::vector<std::uint64_t> {
     std::vector<std::uint64_t> w;
-    if (!pager) return w;
+    if (!paged) return w;
     const std::uint64_t budget = pass_cfg_.serving.kv_budget_bytes;
     for (std::size_t i = 0; i < reqs.size(); ++i) {
       if (st[i].queued && resident_bytes + admit_bytes(i) > budget) {
@@ -617,7 +699,7 @@ BatchStats DecodePass::run_continuous(bool verbose) const {
   // lost its stage boundary.
   const auto eviction_pressure_on =
       [&](std::size_t i) -> std::vector<std::uint64_t> {
-    if (!pager || pager->evictable_blocks(i) == 0) return {};
+    if (!paged || pool->releasable_blocks(i) == 0) return {};
     return blocked_work();
   };
   // A running request's demand adds one operator's worth for the one in
@@ -649,21 +731,40 @@ BatchStats DecodePass::run_continuous(bool verbose) const {
     st[i].queued = false;
     st[i].running = true;
     out.per_request[i].queued_cycles += now - st[i].queue_enter;
+    // Charges and refetch prices route through the pool when it exists
+    // (refetches can now happen at FIRST admissions too: a prefix peer may
+    // have released a shared block to the host tier, and reusing it pays
+    // the link transfer like any paged resume).
     if (!st[i].admitted_ever) {
       st[i].admitted_ever = true;
       out.per_request[i].admit_cycle = now;
-      resident_bytes += peak_bytes[i];
+      if (pool) {
+        const KvBlockPool::Admission a = pool->admit(i);
+        resident_bytes += a.charged_bytes;
+        out.per_request[i].prefix_hit_blocks += a.hit_blocks;
+        out.per_request[i].prefix_hit_bytes += a.hit_bytes;
+        if (a.refetch_blocks != 0) {
+          out.per_request[i].refetch_bytes += a.refetch_bytes;
+          out.per_request[i].refetch_cycles += a.refetch_cycles;
+          st[i].awaiting_refetch = true;
+          st[i].refetch_ready = now + a.refetch_cycles;
+        }
+      } else {
+        resident_bytes += peak_bytes[i];
+      }
       if (auditor) auditor->on_admit(i, now, resident_bytes);
     } else {
       std::uint64_t refetched = 0;
-      if (pager && pager->swapped_blocks(i) != 0) {
-        const KvPager::Refetch r = pager->refetch(i);
-        refetched = r.bytes;
-        resident_bytes += r.bytes;
-        out.per_request[i].refetch_bytes += r.bytes;
-        out.per_request[i].refetch_cycles += r.cycles;
-        st[i].awaiting_refetch = true;
-        st[i].refetch_ready = now + r.cycles;
+      if (pool && paged) {
+        const KvBlockPool::Admission a = pool->resume(i);
+        refetched = a.charged_bytes;
+        resident_bytes += a.charged_bytes;
+        if (a.refetch_blocks != 0) {
+          out.per_request[i].refetch_bytes += a.refetch_bytes;
+          out.per_request[i].refetch_cycles += a.refetch_cycles;
+          st[i].awaiting_refetch = true;
+          st[i].refetch_ready = now + a.refetch_cycles;
+        }
       }
       if (auditor) auditor->on_resume(i, refetched, now, resident_bytes);
     }
@@ -686,10 +787,13 @@ BatchStats DecodePass::run_continuous(bool verbose) const {
     enter_queue(i, now);
     ++out.per_request[i].preemptions;
     std::uint64_t freed = 0;
-    if (pager) {
-      freed = pager->evict_cold(i);
+    if (pool && paged) {
+      // Refcounted eviction: only blocks whose last pinner this was swap
+      // out - a shared block a peer still runs against stays resident and
+      // charged, so `freed` can be less than the whole-block footprint.
+      freed = pool->release(i);
       resident_bytes -= freed;
-      out.per_request[i].swapped_blocks += freed / pager->config().block_bytes;
+      out.per_request[i].swapped_blocks += freed / pool->config().block_bytes;
     }
     if (auditor) auditor->on_evict(i, freed, now, resident_bytes);
   };
@@ -761,7 +865,7 @@ BatchStats DecodePass::run_continuous(bool verbose) const {
       // where a LONE long request is evicted in favor of a budget-blocked
       // short arrival (mid-flight stage boundaries take the hook's
       // preemption path instead; a lone request's boundary IS the drain).
-      if (pager && policy.config().preempt) {
+      if (paged && policy.config().preempt) {
         for (std::size_t i = 0; i < reqs.size(); ++i) {
           if (!st[i].running || st[i].finished || st[i].awaiting_refetch) {
             continue;
@@ -886,9 +990,10 @@ BatchStats DecodePass::run_continuous(bool verbose) const {
       }
       if (swept) admit_sweep();
       if (!touched.empty()) commit_and_refresh(touched);
-      // 1.5) Paged resumes whose refetch transfer just completed enter the
-      // machine.
-      if (pager) {
+      // 1.5) Requests whose refetch transfer just completed (paged resumes,
+      // or first admissions that refetched a peer-released shared block)
+      // enter the machine.
+      if (pool) {
         touched.clear();
         for (std::size_t i = 0; i < reqs.size(); ++i) {
           if (st[i].running && !st[i].finished && st[i].awaiting_refetch &&
@@ -944,7 +1049,10 @@ BatchStats DecodePass::run_continuous(bool verbose) const {
           st[i].finished = true;
           st[i].running = false;
           out.per_request[i].finish_cycle = global;
-          resident_bytes -= peak_bytes[i];
+          // A finish unrefs instead of freeing: shared blocks a peer still
+          // holds stay resident and charged, so the pool's freed bytes can
+          // be less than the peak footprint.
+          resident_bytes -= pool ? pool->finish(i) : peak_bytes[i];
           if (auditor) auditor->on_finish(i, global, resident_bytes);
           src.retire_request(reqs[i].id);
           freed = true;
@@ -975,7 +1083,7 @@ BatchStats DecodePass::run_continuous(bool verbose) const {
         st[i].finished = true;
         st[i].running = false;
         out.per_request[i].finish_cycle = base + seg.cycles;
-        resident_bytes -= peak_bytes[i];
+        resident_bytes -= pool ? pool->finish(i) : peak_bytes[i];
         if (auditor) {
           auditor->on_finish(i, base + seg.cycles, resident_bytes);
         }
@@ -996,6 +1104,13 @@ BatchStats DecodePass::run_continuous(bool verbose) const {
 
   if (auditor) auditor->on_pass_end();
   out.makespan = base;
+  if (out.shared) {
+    out.kv_block_lookups = pool->total_lookups();
+    out.kv_block_hits = pool->total_hits();
+    out.kv_shared_bytes = pool->total_shared_bytes();
+    out.kv_charged_bytes = pool->total_charged_bytes();
+    out.kv_logical_bytes = pool->total_logical_bytes();
+  }
   for (RequestStats& rs : out.per_request) {
     // True per-request latency: finish minus arrival, queueing included.
     rs.stats.cycles = rs.latency();
@@ -1006,6 +1121,10 @@ BatchStats DecodePass::run_continuous(bool verbose) const {
       rs.stats.counters.set("req.swapped_blocks", rs.swapped_blocks);
       rs.stats.counters.set("req.refetch_bytes", rs.refetch_bytes);
       rs.stats.counters.set("req.refetch_cycles", rs.refetch_cycles);
+    }
+    if (out.shared) {
+      rs.stats.counters.set("req.prefix_hit_blocks", rs.prefix_hit_blocks);
+      rs.stats.counters.set("req.prefix_hit_bytes", rs.prefix_hit_bytes);
     }
   }
   return out;

@@ -40,6 +40,7 @@
 #include <vector>
 
 #include "common/config.hpp"
+#include "scenario/kv_block_pool.hpp"
 #include "scenario/serving.hpp"
 #include "sim/experiment.hpp"
 #include "sim/sim_stats.hpp"
@@ -60,6 +61,18 @@ struct RequestSpec {
   /// Tokens decoded this pass; step s runs the layer chain against a KV
   /// cache grown to seq_len + s.
   std::uint32_t decode_steps = 1;
+  /// Prefix identity for cross-request KV reuse (kv_block_pool.hpp):
+  /// requests in the same group share the KV blocks of their common prefix.
+  /// kNoPrefixGroup (the default) keeps the KV fully private. Honored only
+  /// when ServingConfig::kv_share is on - with sharing off these fields are
+  /// ignored and the run is byte-identical to a batch without them (the
+  /// ablation control).
+  std::uint32_t prefix_group = kNoPrefixGroup;
+  /// Length of the shared prefix in tokens (1 <= prefix_tokens <= seq_len
+  /// when a group is set; must be 0 otherwise). Members of one group may
+  /// declare different lengths - they share the whole blocks of the common
+  /// leading range.
+  std::uint64_t prefix_tokens = 0;
 };
 
 /// A set of concurrent decode requests sharing one model shape.
@@ -103,6 +116,10 @@ class RequestBatch {
   /// Peak KV bytes one request pins across `num_layers` decode layers.
   [[nodiscard]] std::uint64_t peak_kv_bytes(const RequestSpec& r,
                                             std::uint32_t num_layers) const;
+  /// Bytes of one request's shared-prefix region across `num_layers` layers
+  /// (0 for a request with no prefix group). Always <= peak_kv_bytes.
+  [[nodiscard]] std::uint64_t prefix_kv_bytes(const RequestSpec& r,
+                                              std::uint32_t num_layers) const;
   /// Peak KV bytes the whole batch pins across `num_layers` layers.
   [[nodiscard]] std::uint64_t total_peak_kv_bytes(
       std::uint32_t num_layers) const;
@@ -196,6 +213,11 @@ struct RequestStats {
   /// ...and the stream cycles its resumes were held back paying for those
   /// transfers (part of latency(): refetch delays the finish).
   Cycle refetch_cycles = 0;
+  /// Prefix-sharing counters (0 unless kv_share; see kv_block_pool.hpp):
+  /// shared blocks this request's first admission found resident, and the
+  /// budget bytes that dedup saved it.
+  std::uint64_t prefix_hit_blocks = 0;
+  std::uint64_t prefix_hit_bytes = 0;
 
   /// End-to-end latency in stream time (equals stats.cycles when streamed);
   /// kNeverCycle for barrier-mode results, which have no stream landmarks.
@@ -253,6 +275,35 @@ struct BatchStats {
   /// True when the pass ran with the paged KV model (gates the swap/refetch
   /// columns in print() so non-paged tables stay unchanged).
   bool paged = false;
+
+  /// True when the pass ran with the prefix-sharing block pool (kv_share);
+  /// gates the sharing columns in print() exactly like `paged` gates the
+  /// swap columns. The counters below stay 0 when sharing is off.
+  bool shared = false;
+  /// Shared blocks probed at first admissions...
+  std::uint64_t kv_block_lookups = 0;
+  /// ...and how many of those probes found the block resident (charged 0).
+  std::uint64_t kv_block_hits = 0;
+  /// Budget bytes dedup saved across first admissions (hits x block size).
+  std::uint64_t kv_shared_bytes = 0;
+  /// Bytes first admissions actually charged against the budget.
+  std::uint64_t kv_charged_bytes = 0;
+  /// Sum of admitted requests' peak footprints (what an all-private run
+  /// would have charged). kv_charged_bytes == kv_logical_bytes -
+  /// kv_shared_bytes always holds (audited).
+  std::uint64_t kv_logical_bytes = 0;
+  /// Fraction of shared-block probes that hit (0 when nothing was probed).
+  [[nodiscard]] double kv_hit_rate() const {
+    return kv_block_lookups > 0 ? static_cast<double>(kv_block_hits) /
+                                      static_cast<double>(kv_block_lookups)
+                                : 0.0;
+  }
+  /// Fraction of the logical footprint dedup never charged (0 = no reuse).
+  [[nodiscard]] double kv_dedup_ratio() const {
+    return kv_logical_bytes > 0 ? static_cast<double>(kv_shared_bytes) /
+                                      static_cast<double>(kv_logical_bytes)
+                                : 0.0;
+  }
 
   /// Batch throughput: tokens produced this pass over sequential-equivalent
   /// cycles (barrier modes) or the stream makespan (kContinuous).

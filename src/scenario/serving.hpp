@@ -78,6 +78,14 @@ struct ServingConfig {
   /// Core cycles charged per refetched block at resume (0 = derive from
   /// the modeled ~8 B/cycle host link; see KvPagerConfig::cycles_per_block).
   Cycle refetch_cost = 0;
+  /// Cross-request KV prefix reuse (scenario/kv_block_pool.hpp): requests
+  /// in the same prefix group share the KV blocks of their common prefix,
+  /// each unique block charges the budget once, and eviction respects the
+  /// block refcounts. Off (the default) keeps every request's KV private
+  /// and ignores any RequestSpec prefix identity - byte-identical to the
+  /// pre-pool engine. Composes with any admission policy and with paged
+  /// eviction; `kv_block_bytes` sets the sharing granule either way.
+  bool kv_share = false;
 
   /// True when the configuration is the raw unconditional-admission engine.
   [[nodiscard]] bool unconditional() const {

@@ -223,6 +223,18 @@ batch scenario (--op=batch)
   --refetch-cost=N   cold-blocks only: resume refetch price in cycles per
                      block (default block_bytes/8: an ~8 B/cycle modeled
                      host link)
+  --kv-share=S       continuous only: cross-request KV prefix reuse: off
+                     (default: every request's KV is private, byte-identical
+                     to the pre-pool engine) | on (requests in the same
+                     --prefix-groups group share the KV blocks of their
+                     common prefix - each unique block charges the budget
+                     once, eviction respects the block refcounts);
+                     --kv-block-bytes sets the sharing granule
+  --prefix-groups=G,..  kv-share only: per-request prefix-group id
+                     (broadcast like --arrivals); requires --prefix-tokens
+  --prefix-tokens=N,..  kv-share only: tokens of the shared prefix per
+                     request (broadcast; 0 keeps that request private;
+                     otherwise must not exceed the request's --seqs length)
   --interleave=I     co-admitted TB fusing: rr (default) | concat
   --req-dispatch=R   request-aware core dispatch for fused sources:
                      shared (default) | interleave | partitioned
@@ -404,6 +416,31 @@ ParseResult parse_cli_options(const std::vector<std::string_view>& args) {
                     "flag for the modeled host-link default)");
       }
       opt.batch_refetch_cost = *v;
+    } else if (key == "kv-share") {
+      if (val == "on") {
+        opt.batch_kv_share = true;
+      } else if (val == "off") {
+        opt.batch_kv_share = false;
+      } else {
+        return fail("bad --kv-share: \"" + std::string(val) +
+                    "\" (expect on or off)");
+      }
+    } else if (key == "prefix-groups") {
+      const auto v = parse_uint_list(val, /*allow_zero=*/true);
+      if (!v) {
+        return fail("bad --prefix-groups: \"" + std::string(val) +
+                    "\" (expect a comma-separated list of group ids, e.g. "
+                    "0,0,1)");
+      }
+      opt.batch_prefix_groups = *v;
+    } else if (key == "prefix-tokens") {
+      const auto v = parse_uint_list(val, /*allow_zero=*/true);
+      if (!v) {
+        return fail("bad --prefix-tokens: \"" + std::string(val) +
+                    "\" (expect a comma-separated list of shared-prefix "
+                    "token counts; 0 keeps a request private)");
+      }
+      opt.batch_prefix_tokens = *v;
     } else if (key == "interleave") {
       const auto f = fuse_order_from_string(val);
       if (!f) return fail("unknown interleave: " + std::string(val));
@@ -513,18 +550,42 @@ ParseResult parse_cli_options(const std::vector<std::string_view>& args) {
                   "relieve, so eviction would only add refetch cost)");
     }
   } else {
-    if (opt.batch_kv_block_bytes != 0) {
-      return fail("--kv-block-bytes requires --kv-evict=cold-blocks (the "
-                  "pager is the only consumer of the block size)");
+    if (opt.batch_kv_block_bytes != 0 && !opt.batch_kv_share) {
+      return fail("--kv-block-bytes requires --kv-evict=cold-blocks or "
+                  "--kv-share=on (the block pool is the only consumer of "
+                  "the block size)");
     }
     if (opt.batch_refetch_cost != 0) {
       return fail("--refetch-cost requires --kv-evict=cold-blocks (nothing "
                   "is ever refetched without paged eviction)");
     }
   }
+  if (opt.batch_kv_share && opt.batch_mode != ExecutionMode::kContinuous) {
+    return fail("--kv-share requires --mode=continuous (the barrier modes "
+                "admit everything at once, so there is no serving-time "
+                "block pool to share through)");
+  }
+  if (!opt.batch_prefix_groups.empty() || !opt.batch_prefix_tokens.empty()) {
+    if (!opt.batch_kv_share) {
+      return fail("--prefix-groups/--prefix-tokens require --kv-share=on "
+                  "(prefix identity is ignored while sharing is off)");
+    }
+    if (opt.batch_prefix_groups.empty() || opt.batch_prefix_tokens.empty()) {
+      return fail("--prefix-groups and --prefix-tokens require each other "
+                  "(a group without a prefix length shares nothing)");
+    }
+    for (const std::uint64_t g : opt.batch_prefix_groups) {
+      if (g >= 0xFFFFFFFFull) {
+        return fail("bad --prefix-groups: group ids must fit 32 bits "
+                    "(0xFFFFFFFF is the no-group sentinel)");
+      }
+    }
+  }
   const std::pair<const char*, std::size_t> arities[] = {
       {"--arrivals", opt.batch_arrivals.size()},
       {"--steps", opt.batch_steps.size()},
+      {"--prefix-groups", opt.batch_prefix_groups.size()},
+      {"--prefix-tokens", opt.batch_prefix_tokens.size()},
   };
   for (const auto& [flag, size] : arities) {
     if (size > 1 && size != n_requests) {

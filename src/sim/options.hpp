@@ -79,6 +79,14 @@ struct CliOptions {
   /// refetch price in cycles per block (0 = the modeled host-link default).
   std::uint64_t batch_kv_block_bytes = 0;
   std::uint64_t batch_refetch_cost = 0;
+  /// Cross-request KV prefix sharing (scenario/kv_block_pool.hpp): requests
+  /// in the same --prefix-groups group pin their common prefix blocks once.
+  bool batch_kv_share = false;
+  /// Per-request prefix-group ids and shared-prefix token counts (size 1
+  /// broadcasts; a 0 token entry keeps that request fully private). Both
+  /// require --kv-share=on and each other.
+  std::vector<std::uint64_t> batch_prefix_groups;
+  std::vector<std::uint64_t> batch_prefix_tokens;
   std::string csv_path;      // empty = no CSV export
   std::string json_path;     // empty = no JSON export
   bool print_counters = false;

@@ -1,12 +1,17 @@
-// KV byte-conservation ledger: eviction/refetch edge cases at three levels.
+// KV byte-conservation ledger: eviction/refetch edge cases at four levels.
 // KvPager bookkeeping (evict-then-immediately-resume round trips, partial
-// tail pinning at odd block sizes), the ServingAuditor shadow ledger (the
-// contract enforcer itself must reject the races it exists to catch, e.g. a
-// finish racing an outstanding swap), and the audited engine end-to-end at
-// an odd --kv-block-bytes.
+// tail pinning at odd block sizes), the shared KvBlockPool's ref-counted
+// eviction (double-unref rejection, swap refusal while a peer pins a block,
+// last-unref-then-evict, shared partial tails at odd block sizes), the
+// ServingAuditor shadow ledger (the contract enforcer itself must reject the
+// races it exists to catch, e.g. a finish racing an outstanding swap), and
+// the audited engine end-to-end at an odd --kv-block-bytes.
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "scenario/invariants.hpp"
+#include "scenario/kv_block_pool.hpp"
 #include "scenario/kv_pager.hpp"
 #include "scenario/scenario.hpp"
 
@@ -16,6 +21,8 @@ namespace {
 using scenario::DecodePass;
 using scenario::DecodePassConfig;
 using scenario::InvariantViolation;
+using scenario::KvBlockPool;
+using scenario::KvBlockPoolConfig;
 using scenario::KvPager;
 using scenario::KvPagerConfig;
 using scenario::RequestBatch;
@@ -86,6 +93,93 @@ TEST(KvLedger, BlockLargerThanFootprintIsUnswappable) {
   EXPECT_EQ(pager.total_blocks(0), 0u);
   EXPECT_EQ(pager.evict_cold(0), 0u);
   EXPECT_EQ(pager.refetch(0).bytes, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// KvBlockPool: ref-counted eviction edge cases
+// ---------------------------------------------------------------------------
+
+/// Two requests in prefix group 0, equal footprints, equal prefix lengths.
+KvBlockPool shared_pair(std::uint64_t block_bytes, std::uint64_t footprint,
+                        std::uint64_t prefix) {
+  KvBlockPoolConfig cfg;
+  cfg.block_bytes = block_bytes;
+  return KvBlockPool(cfg, {{footprint, 0, prefix}, {footprint, 0, prefix}});
+}
+
+TEST(KvBlockPoolLedger, DoubleReleaseIsRejected) {
+  KvBlockPool pool = shared_pair(64, 640, 320);
+  // Release before admission is as corrupt as a double release.
+  EXPECT_THROW((void)pool.release(0), std::logic_error);
+  (void)pool.admit(0);
+  (void)pool.release(0);
+  EXPECT_THROW((void)pool.release(0), std::logic_error);
+}
+
+TEST(KvBlockPoolLedger, SwapIsRefusedWhileAPeerPinsTheBlock) {
+  // 640-byte footprints, 320-byte prefix at 64-byte blocks: 5 shared blocks
+  // + 5 private whole blocks each.
+  KvBlockPool pool = shared_pair(64, 640, 320);
+  EXPECT_EQ(pool.admit(0).charged_bytes, 640u);
+  const KvBlockPool::Admission a1 = pool.admit(1);
+  EXPECT_EQ(a1.charged_bytes, 320u);  // the shared 5 blocks dedup
+  EXPECT_EQ(a1.hit_blocks, 5u);
+  // Request 1 still pins the shared blocks: releasing request 0 may only
+  // swap its private region - the refcounted eviction refuses the rest.
+  EXPECT_EQ(pool.releasable_blocks(0), 5u);
+  EXPECT_EQ(pool.release(0), 5u * 64);
+  // Request 1 is now the sole pinner, so all 10 of its blocks could move.
+  EXPECT_EQ(pool.releasable_blocks(1), 10u);
+}
+
+TEST(KvBlockPoolLedger, LastUnrefThenEvictFreesTheSharedRun) {
+  KvBlockPool pool = shared_pair(64, 640, 320);
+  (void)pool.admit(0);
+  (void)pool.admit(1);
+  EXPECT_EQ(pool.release(0), 5u * 64);   // private only: peer pins the prefix
+  EXPECT_EQ(pool.release(1), 10u * 64);  // last pinner left: prefix swaps too
+  // Everything of request 0 is on the host tier now; its resume pays for
+  // the private run AND the shared run (nobody kept the prefix warm).
+  EXPECT_EQ(pool.resume_cost(0), 640u);
+  const KvBlockPool::Admission r0 = pool.resume(0);
+  EXPECT_EQ(r0.charged_bytes, 640u);
+  EXPECT_EQ(r0.refetch_blocks, 10u);
+  // Request 1 resumes after: the shared blocks are warm again, only its
+  // private region refetches.
+  EXPECT_EQ(pool.resume(1).charged_bytes, 5u * 64);
+}
+
+TEST(KvBlockPoolLedger, OddBlockSizeSharesOnlyWholePrefixBlocks) {
+  // 1000-byte footprints, 500-byte prefix at 192-byte blocks: the prefix
+  // shares floor(500/192) = 2 blocks (384 B); the remaining 616 bytes are
+  // private - 3 whole blocks (576 B) plus a 40-byte resident tail.
+  KvBlockPool pool = shared_pair(192, 1000, 500);
+  EXPECT_EQ(pool.admit(0).charged_bytes, 1000u);
+  const KvBlockPool::Admission a1 = pool.admit(1);
+  EXPECT_EQ(a1.hit_blocks, 2u);
+  EXPECT_EQ(a1.hit_bytes, 384u);
+  EXPECT_EQ(a1.charged_bytes, 1000u - 384u);
+  // Release order pins the tail both times: request 0 frees only its 3
+  // private whole blocks, request 1 - the last pinner - the shared run too.
+  EXPECT_EQ(pool.release(0), 3u * 192);
+  EXPECT_EQ(pool.release(1), 3u * 192 + 2u * 192);
+  EXPECT_EQ(pool.resume(0).charged_bytes, 3u * 192 + 2u * 192);
+  EXPECT_EQ(pool.resume(1).charged_bytes, 3u * 192);
+  // Drain: a finish frees the private region (tail included) always, the
+  // shared region only at the last holder.
+  EXPECT_EQ(pool.finish(0), 616u);
+  EXPECT_EQ(pool.finish(1), 616u + 384u);
+}
+
+TEST(KvBlockPoolLedger, FinishWhileReleasedIsRejected) {
+  KvBlockPool pool = shared_pair(64, 640, 320);
+  (void)pool.admit(0);
+  (void)pool.release(0);
+  // The engine always resumes (and refetches) before finishing; the pool
+  // refuses the shortcut that would free host-tier bytes it never repinned.
+  EXPECT_THROW((void)pool.finish(0), std::logic_error);
+  (void)pool.resume(0);
+  EXPECT_EQ(pool.finish(0), 640u);
 }
 
 // ---------------------------------------------------------------------------

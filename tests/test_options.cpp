@@ -345,6 +345,74 @@ TEST(ParseCli, PagedEvictionFlagsCrossChecked) {
   EXPECT_FALSE(parse({"--refetch-cost=abc"}).ok());
 }
 
+TEST(ParseCli, KvShareFlagsParse) {
+  const ParseResult r = parse(
+      {"--op=batch", "--mode=continuous", "--seqs=512,512,256",
+       "--kv-share=on", "--prefix-groups=0,0,1", "--prefix-tokens=128,128,64"});
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_TRUE(r.options->batch_kv_share);
+  EXPECT_EQ(r.options->batch_prefix_groups,
+            (std::vector<std::uint64_t>{0, 0, 1}));
+  EXPECT_EQ(r.options->batch_prefix_tokens,
+            (std::vector<std::uint64_t>{128, 128, 64}));
+  // Broadcast + a 0-token private member.
+  EXPECT_TRUE(parse({"--op=batch", "--mode=continuous", "--seqs=512,512,256",
+                     "--kv-share=on", "--prefix-groups=0",
+                     "--prefix-tokens=128,128,0"})
+                  .ok());
+  // Sharing without groups is valid (everything private, counters zero).
+  const ParseResult plain =
+      parse({"--op=batch", "--mode=continuous", "--kv-share=on"});
+  ASSERT_TRUE(plain.ok()) << plain.error;
+  EXPECT_TRUE(plain.options->batch_kv_share);
+  // --kv-block-bytes gains a second consumer: the share granule.
+  EXPECT_TRUE(parse({"--op=batch", "--mode=continuous", "--kv-share=on",
+                     "--kv-block-bytes=4096"})
+                  .ok());
+  // Default is off.
+  const ParseResult off = parse({"--op=batch", "--mode=continuous"});
+  ASSERT_TRUE(off.ok());
+  EXPECT_FALSE(off.options->batch_kv_share);
+}
+
+TEST(ParseCli, KvShareFlagsCrossChecked) {
+  // Sharing is a serving-time construct: continuous only.
+  const ParseResult barrier =
+      parse({"--op=batch", "--mode=coscheduled", "--kv-share=on"});
+  ASSERT_FALSE(barrier.ok());
+  EXPECT_NE(barrier.error.find("--kv-share"), std::string::npos);
+  EXPECT_NE(barrier.error.find("continuous"), std::string::npos);
+  // Prefix identity without sharing is dead configuration.
+  EXPECT_FALSE(parse({"--op=batch", "--mode=continuous",
+                      "--prefix-groups=0,0"})
+                   .ok());
+  EXPECT_FALSE(parse({"--op=batch", "--mode=continuous",
+                      "--prefix-tokens=64"})
+                   .ok());
+  // The two prefix flags require each other.
+  EXPECT_FALSE(parse({"--op=batch", "--mode=continuous", "--kv-share=on",
+                      "--prefix-groups=0,0"})
+                   .ok());
+  EXPECT_FALSE(parse({"--op=batch", "--mode=continuous", "--kv-share=on",
+                      "--prefix-tokens=64,64"})
+                   .ok());
+  // Arity follows the batch size; malformed values are rejected.
+  EXPECT_FALSE(parse({"--op=batch", "--mode=continuous", "--seqs=64,128",
+                      "--kv-share=on", "--prefix-groups=0,0,0",
+                      "--prefix-tokens=16"})
+                   .ok());
+  EXPECT_FALSE(parse({"--kv-share=maybe"}).ok());
+  EXPECT_FALSE(parse({"--prefix-groups=a,b"}).ok());
+  // Group ids must leave room for the no-group sentinel.
+  EXPECT_FALSE(parse({"--op=batch", "--mode=continuous", "--kv-share=on",
+                      "--prefix-groups=4294967295", "--prefix-tokens=16"})
+                   .ok());
+  // --kv-block-bytes still needs at least one consumer.
+  EXPECT_FALSE(parse({"--op=batch", "--mode=continuous",
+                      "--kv-block-bytes=4096"})
+                   .ok());
+}
+
 TEST(ParseCli, ArrivalsAndStepsArityChecked) {
   // 3 entries vs 2 requests: rejected with both numbers in the message.
   const ParseResult r = parse({"--op=batch", "--mode=continuous",

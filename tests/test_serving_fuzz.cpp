@@ -33,6 +33,12 @@ constexpr std::uint64_t kPinnedSeeds[] = {
     // block (partial tails everywhere), 148 is a 5-request bursty SRF sweep
     // with 64-byte blocks, 171 pages a 4-request burst at 4 KiB blocks.
     57, 93, 148, 171,
+    // prefix-sharing draws through the shared-byte conservation contract:
+    // 41 shares a 5-request FCFS burst across TWO prefix groups over paged
+    // 128-byte blocks (peer refetch closes only batch-wide), 185 shares one
+    // group across three simultaneous arrivals under a tight paged budget
+    // (co-resident pins refuse swaps at eviction time).
+    41, 185,
 };
 
 class PinnedSeed : public ::testing::TestWithParam<std::uint64_t> {};

@@ -89,6 +89,14 @@ int run_batch(const CliOptions& opt) {
     spec.arrival_cycle = pick(opt.batch_arrivals, i, 0);
     spec.decode_steps =
         static_cast<std::uint32_t>(pick(opt.batch_steps, i, 1));
+    // Prefix identity (only meaningful under --kv-share=on; a 0-token
+    // entry keeps the request fully private).
+    const std::uint64_t prefix = pick(opt.batch_prefix_tokens, i, 0);
+    if (opt.batch_kv_share && prefix != 0) {
+      spec.prefix_group =
+          static_cast<std::uint32_t>(pick(opt.batch_prefix_groups, i, 0));
+      spec.prefix_tokens = prefix;
+    }
     specs.push_back(spec);
   }
   scenario::DecodePassConfig pass_cfg;
@@ -102,6 +110,7 @@ int run_batch(const CliOptions& opt) {
   pass_cfg.serving.kv_evict = opt.batch_kv_evict;
   pass_cfg.serving.kv_block_bytes = opt.batch_kv_block_bytes;
   pass_cfg.serving.refetch_cost = opt.batch_refetch_cost;
+  pass_cfg.serving.kv_share = opt.batch_kv_share;
 
   // Batch/pass construction validates the scenario (duplicate request ids,
   // zero lengths, a request whose peak KV alone exceeds --kv-budget, ...):
@@ -119,7 +128,7 @@ int run_batch(const CliOptions& opt) {
             << "batch:   " << batch->size() << " requests, "
             << pass_cfg.num_layers << " layers, " << pass->schedule().size()
             << " operator runs, mode=" << to_string(pass_cfg.mode) << "\n";
-  if (!pass_cfg.serving.unconditional()) {
+  if (!pass_cfg.serving.unconditional() || pass_cfg.serving.kv_share) {
     std::cout << "serving: admit=" << to_string(pass_cfg.serving.policy)
               << " kv-budget=";
     if (pass_cfg.serving.kv_budget_bytes == 0) {
@@ -131,6 +140,7 @@ int run_batch(const CliOptions& opt) {
               << batch->total_peak_kv_bytes(pass_cfg.num_layers) << "B)"
               << " preempt=" << (pass_cfg.serving.preempt ? "on" : "off")
               << " kv-evict=" << to_string(pass_cfg.serving.kv_evict)
+              << " kv-share=" << (pass_cfg.serving.kv_share ? "on" : "off")
               << "\n";
   }
   std::cout << "\n";
