@@ -3,7 +3,6 @@
 
 #include <cstdlib>
 #include <fstream>
-#include <future>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -165,18 +164,19 @@ inline std::vector<std::vector<SimStats>> run_grid(
 /// pre-sized slot i, so the output is bit-identical to the serial loop
 /// regardless of which worker finishes first - the same contract as
 /// run_experiments and run_fuzz_sweep. Each point must itself be a
-/// single-threaded deterministic run (every System is).
+/// single-threaded deterministic run (every System is). On failure the
+/// TaskGroup rethrows the lowest-indexed point's exception, matching what
+/// the serial loop would have thrown first.
 template <typename Fn>
 auto run_points_parallel(std::size_t n, Fn&& fn, std::size_t threads = 0) {
   using R = std::invoke_result_t<Fn&, std::size_t>;
   std::vector<R> out(n);
   ThreadPool pool(threads);
-  std::vector<std::future<void>> futures;
-  futures.reserve(n);
+  TaskGroup group(n);
   for (std::size_t i = 0; i < n; ++i) {
-    futures.push_back(pool.submit([&out, &fn, i] { out[i] = fn(i); }));
+    group.run(pool, i, [&out, &fn, i] { out[i] = fn(i); });
   }
-  for (auto& f : futures) f.get();
+  group.wait();
   return out;
 }
 

@@ -108,45 +108,93 @@ SimConfig SimConfig::table5() {
   return cfg;
 }
 
-void SimConfig::validate() const {
+// Per-block validation: each config struct owns its internal consistency
+// checks (the llamcat_lint `config-validate` rule pins that every *Config
+// declares one); SimConfig::validate() composes them and keeps only the
+// cross-block constraints.
+
+void CoreConfig::validate() const {
   auto fail = [](const std::string& msg) {
-    throw std::invalid_argument("SimConfig: " + msg);
+    throw std::invalid_argument("CoreConfig: " + msg);
   };
-  if (core.num_cores == 0) fail("num_cores == 0");
-  if (core.num_inst_windows == 0) fail("num_inst_windows == 0");
-  if (core.inst_window_depth == 0) fail("inst_window_depth == 0");
-  if (!is_pow2(l1.size_bytes) || l1.size_bytes % (l1.assoc * kLineBytes) != 0)
-    fail("L1 geometry not a power-of-two set count");
-  if (!is_pow2(llc.num_slices)) fail("num_slices must be a power of two");
-  const std::uint64_t llc_sets = llc.size_bytes / (llc.assoc * kLineBytes);
-  if (llc_sets % llc.num_slices != 0) fail("LLC sets not divisible by slices");
-  if (llc.mshr_entries == 0 || llc.mshr_targets == 0) fail("MSHR dims == 0");
-  if (llc.req_q_size == 0 || llc.resp_q_size == 0) fail("LLC queue size == 0");
-  if (llc.bypass.keep_probability < 0.0 || llc.bypass.keep_probability > 1.0)
-    fail("bypass keep_probability outside [0, 1]");
-  if (llc.bypass.policy == BypassPolicy::kReuseHistory &&
-      llc.bypass.table_entries == 0)
-    fail("bypass table_entries == 0");
-  if (llc.bypass.region_log2 < 6 || llc.bypass.region_log2 > 30)
-    fail("bypass region_log2 outside [6, 30]");
-  if (llc.bypass.keep_threshold > 3)
-    fail("bypass keep_threshold > 3 (2-bit counters)");
-  if (dram.num_channels == 0 || !is_pow2(dram.num_channels))
+  if (num_cores == 0) fail("num_cores == 0");
+  if (num_inst_windows == 0) fail("num_inst_windows == 0");
+  if (inst_window_depth == 0) fail("inst_window_depth == 0");
+}
+
+void L1Config::validate() const {
+  if (!is_pow2(size_bytes) || size_bytes % (assoc * kLineBytes) != 0) {
+    throw std::invalid_argument(
+        "L1Config: L1 geometry not a power-of-two set count");
+  }
+}
+
+void BypassConfig::validate() const {
+  auto fail = [](const std::string& msg) {
+    throw std::invalid_argument("BypassConfig: " + msg);
+  };
+  if (keep_probability < 0.0 || keep_probability > 1.0)
+    fail("keep_probability outside [0, 1]");
+  if (policy == BypassPolicy::kReuseHistory && table_entries == 0)
+    fail("table_entries == 0");
+  if (region_log2 < 6 || region_log2 > 30)
+    fail("region_log2 outside [6, 30]");
+  if (keep_threshold > 3) fail("keep_threshold > 3 (2-bit counters)");
+}
+
+void LlcConfig::validate() const {
+  auto fail = [](const std::string& msg) {
+    throw std::invalid_argument("LlcConfig: " + msg);
+  };
+  if (!is_pow2(num_slices)) fail("num_slices must be a power of two");
+  const std::uint64_t sets = size_bytes / (assoc * kLineBytes);
+  if (sets % num_slices != 0) fail("LLC sets not divisible by slices");
+  if (mshr_entries == 0 || mshr_targets == 0) fail("MSHR dims == 0");
+  if (req_q_size == 0 || resp_q_size == 0) fail("LLC queue size == 0");
+  bypass.validate();
+}
+
+void ArbConfig::validate() const {
+  // Depth 0 disables the corresponding FIFO, which every policy tolerates;
+  // the hook exists so a future constraint fails loudly here.
+}
+
+void DramConfig::validate() const {
+  auto fail = [](const std::string& msg) {
+    throw std::invalid_argument("DramConfig: " + msg);
+  };
+  if (num_channels == 0 || !is_pow2(num_channels))
     fail("channels must be a power of two");
-  if (!is_pow2(dram.ranks_per_channel) || !is_pow2(dram.bankgroups_per_rank) ||
-      !is_pow2(dram.banks_per_bankgroup) || !is_pow2(dram.rows_per_bank))
+  if (!is_pow2(ranks_per_channel) || !is_pow2(bankgroups_per_rank) ||
+      !is_pow2(banks_per_bankgroup) || !is_pow2(rows_per_bank))
     fail("DRAM geometry must be powers of two");
-  if (dram.row_bytes % kLineBytes != 0) fail("row_bytes not line-aligned");
-  if (dram.dram_hz <= 0 || core_hz <= 0) fail("clock <= 0");
-  if (dram.dram_hz > core_hz) fail("model assumes dram_hz <= core_hz");
-  if (throttle.max_gear > 4) fail("max_gear > 4 (Table 1 defines 5 gears)");
-  if (!(throttle.tcs_low < throttle.tcs_normal &&
-        throttle.tcs_normal < throttle.tcs_high && throttle.tcs_high <= 1.0))
+  if (row_bytes % kLineBytes != 0) fail("row_bytes not line-aligned");
+  if (dram_hz <= 0) fail("clock <= 0");
+}
+
+void ThrottleConfig::validate() const {
+  auto fail = [](const std::string& msg) {
+    throw std::invalid_argument("ThrottleConfig: " + msg);
+  };
+  if (max_gear > 4) fail("max_gear > 4 (Table 1 defines 5 gears)");
+  if (!(tcs_low < tcs_normal && tcs_normal < tcs_high && tcs_high <= 1.0))
     fail("t_cs thresholds must be increasing and <= 1");
-  if (throttle.sub_period == 0 || throttle.sampling_period == 0)
-    fail("throttle periods == 0");
-  if (throttle.sampling_period % throttle.sub_period != 0)
+  if (sub_period == 0 || sampling_period == 0) fail("throttle periods == 0");
+  if (sampling_period % sub_period != 0)
     fail("sampling_period must be a multiple of sub_period");
+}
+
+void SimConfig::validate() const {
+  core.validate();
+  l1.validate();
+  llc.validate();
+  arb.validate();
+  noc.validate();
+  dram.validate();
+  throttle.validate();
+  if (core_hz <= 0) throw std::invalid_argument("SimConfig: clock <= 0");
+  if (dram.dram_hz > core_hz)
+    throw std::invalid_argument("SimConfig: model assumes dram_hz <= core_hz");
 }
 
 std::string SimConfig::summary() const {

@@ -56,6 +56,9 @@ struct BypassConfig {
   std::uint32_t region_log2 = 12;
   /// Minimum counter value for fills from the region to be kept.
   std::uint32_t keep_threshold = 1;
+
+  /// Throws std::invalid_argument when fields are inconsistent.
+  void validate() const;
 };
 
 /// LLC request-selection policy (paper §4.1/§4.3 + baselines §6.2.3,
@@ -180,6 +183,9 @@ struct CoreConfig {
   std::uint32_t store_buffer_size = 64;  // posted write-through stores
   TbDispatch tb_dispatch = TbDispatch::kStaticBlocked;
   RequestDispatch request_dispatch = RequestDispatch::kShared;
+
+  /// Throws std::invalid_argument when fields are inconsistent.
+  void validate() const;
 };
 
 struct L1Config {
@@ -196,6 +202,9 @@ struct L1Config {
   WriteHitPolicy write_hit = WriteHitPolicy::kWriteThrough;
   WriteMissPolicy write_miss = WriteMissPolicy::kWriteNoAllocate;
   FillPolicy fill = FillPolicy::kAllocOnFill;
+
+  /// Throws std::invalid_argument when the cache geometry is inconsistent.
+  void validate() const;
 };
 
 struct LlcConfig {
@@ -220,17 +229,29 @@ struct LlcConfig {
   double resp_q_high_water = 0.75;
   /// Fill-bypass manager (paper Fig 4 step 5; kNone in the evaluation).
   BypassConfig bypass;
+
+  /// Throws std::invalid_argument when fields are inconsistent
+  /// (delegates to bypass.validate() for the bypass block).
+  void validate() const;
 };
 
 struct ArbConfig {
   ArbPolicy policy = ArbPolicy::kFcfs;
   std::uint32_t hit_buffer_depth = 32;  // recent-hit FIFO (paper Fig 4/5)
   std::uint32_t sent_reqs_depth = 16;   // in-flight-lookup FIFO
+
+  /// Throws std::invalid_argument when fields are inconsistent.
+  void validate() const;
 };
 
 struct NocConfig {
   std::uint32_t req_latency = 10;   // core -> slice, cycles
   std::uint32_t resp_latency = 10;  // slice -> core, cycles
+
+  /// Every representable latency pair is modelable today (0 = ideal NoC,
+  /// used by unit tests); the hook exists so a future constraint fails
+  /// loudly here instead of deep in a run.
+  void validate() const {}
 };
 
 /// DDR5-3200, 4 channels x 4 ranks, 8Gb x16 devices (Table 5). A channel is
@@ -277,6 +298,9 @@ struct DramConfig {
   std::uint32_t tRTW = 12;   // read->write turnaround on the bus
   std::uint32_t tRFC = 472;  // 295 ns
   std::uint32_t tREFI = 6240;  // 3.9 us
+
+  /// Throws std::invalid_argument when the DRAM geometry is inconsistent.
+  void validate() const;
 };
 
 /// Two-level dynamic multi-gear throttling (ours) + baseline parameters.
@@ -314,6 +338,9 @@ struct ThrottleConfig {
   // LCS baseline: max_tb = clamp(round(windows * (1 - lcs_scale * stall
   // fraction of the first TB)), 1, windows).
   double lcs_scale = 1.0;
+
+  /// Throws std::invalid_argument when fields are inconsistent.
+  void validate() const;
 };
 
 /// Top-level simulation configuration.

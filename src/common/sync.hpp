@@ -1,0 +1,80 @@
+// Annotated locking primitives: llamcat::Mutex / MutexLock / CondVar.
+//
+// libstdc++'s std::mutex carries no thread-safety attributes, so members
+// can't be GUARDED_BY a std::mutex - clang's analysis needs a type marked
+// CAPABILITY. These thin wrappers add the annotations and nothing else:
+// same storage, same calls, zero-cost under gcc. The llamcat_lint
+// `raw-mutex` rule pins that simulation code uses these instead of the
+// std:: primitives, so every new piece of shared state lands inside the
+// machine-checked contract.
+//
+// CondVar::wait(Mutex&) REQUIRES the mutex, matching the standard's
+// precondition. Predicate re-check loops stay at the call site
+// (`while (!pred) cv.wait(mu);`) rather than taking a lambda - clang
+// analyzes lambda bodies as separate functions, so a predicate lambda
+// reading GUARDED_BY state would warn even though the mutex is held.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.hpp"
+
+namespace llamcat {
+
+/// std::mutex with the CAPABILITY annotation, so members can be
+/// GUARDED_BY(mu) and functions can REQUIRES(mu).
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ACQUIRE() { mu_.lock(); }
+  void unlock() RELEASE() { mu_.unlock(); }
+
+  /// The wrapped primitive, for CondVar's adopt/release dance only.
+  // lint:allow(raw-mutex): exposing the wrapped primitive is this class's job
+  std::mutex& native() { return mu_; }
+
+ private:
+  std::mutex mu_;  // lint:allow(raw-mutex): the one wrapped instance every other file locks through
+};
+
+/// RAII lock for a Mutex (std::lock_guard with SCOPED_CAPABILITY).
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable over Mutex. wait() REQUIRES the mutex held, exactly
+/// like the std::condition_variable precondition it forwards to.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, blocks, and reacquires `mu` before
+  /// returning. Callers loop on their predicate as usual.
+  void wait(Mutex& mu) REQUIRES(mu) NO_THREAD_SAFETY_ANALYSIS {
+    std::unique_lock<std::mutex> lk(mu.native(), std::adopt_lock);  // lint:allow(raw-mutex): adopt/release shim inside the wrapper itself
+    cv_.wait(lk);
+    lk.release();  // the caller still logically holds mu
+  }
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;  // lint:allow(raw-mutex): the one wrapped instance every other file waits through
+};
+
+}  // namespace llamcat

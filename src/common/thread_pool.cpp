@@ -1,6 +1,8 @@
 #include "common/thread_pool.hpp"
 
 #include <algorithm>
+#include <stdexcept>
+#include <utility>
 
 namespace llamcat {
 
@@ -16,24 +18,67 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stopping_ = true;
   }
   cv_.notify_all();
   for (auto& w : workers_) w.join();
 }
 
+void ThreadPool::post(std::function<void()> fn) {
+  {
+    MutexLock lock(mu_);
+    jobs_.push(std::move(fn));
+  }
+  cv_.notify_one();
+}
+
 void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> job;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stopping_ || !jobs_.empty(); });
+      MutexLock lock(mu_);
+      while (!stopping_ && jobs_.empty()) cv_.wait(mu_);
       if (stopping_ && jobs_.empty()) return;
       job = std::move(jobs_.front());
       jobs_.pop();
     }
     job();
+  }
+}
+
+TaskGroup::TaskGroup(std::size_t slots)
+    : pending_(slots), errors_(slots) {}
+
+void TaskGroup::run(ThreadPool& pool, std::size_t slot,
+                    std::function<void()> fn) {
+  pool.post([this, slot, fn = std::move(fn)] {
+    std::exception_ptr error;
+    try {
+      fn();
+    } catch (...) {
+      error = std::current_exception();
+    }
+    finish(slot, std::move(error));
+  });
+}
+
+void TaskGroup::finish(std::size_t slot, std::exception_ptr error) {
+  MutexLock lock(mu_);
+  errors_[slot] = std::move(error);
+  // Notify while still holding the lock: the moment it is released, wait()
+  // can observe pending_ == 0, return, and the caller may destroy this
+  // group - so the condition variable must not be touched after unlock.
+  if (--pending_ == 0) cv_.notify_all();
+}
+
+void TaskGroup::wait() {
+  MutexLock lock(mu_);
+  while (pending_ != 0) cv_.wait(mu_);
+  // All jobs are done; rethrow the first (lowest-slot) failure. The lock is
+  // still held, but no job can contend for it anymore.
+  for (std::exception_ptr& e : errors_) {
+    if (e) std::rethrow_exception(e);
   }
 }
 

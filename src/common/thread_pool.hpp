@@ -1,15 +1,23 @@
 // Fixed-size thread pool used to run independent simulations in parallel
-// (each simulation itself is single-threaded and deterministic).
+// (each simulation itself is single-threaded and deterministic), plus the
+// TaskGroup latch the sweep drivers use to join a batch of slot-indexed
+// jobs with deterministic exception propagation.
+//
+// Both classes are built on the annotated primitives in common/sync.hpp,
+// so clang -Wthread-safety machine-checks every access to the queue and
+// the latch counters.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "common/sync.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace llamcat {
 
@@ -22,6 +30,10 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
+  /// Schedules `fn` with no result channel. Pair with a TaskGroup (or
+  /// other external completion signal) to join and observe exceptions.
+  void post(std::function<void()> fn) EXCLUDES(mu_);
+
   /// Schedules `fn` and returns a future for its result.
   template <typename Fn>
   auto submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn>> {
@@ -29,24 +41,52 @@ class ThreadPool {
     auto task =
         std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
     std::future<R> fut = task->get_future();
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      jobs_.push([task] { (*task)(); });
-    }
-    cv_.notify_one();
+    post([task] { (*task)(); });
     return fut;
   }
 
   [[nodiscard]] std::size_t size() const { return workers_.size(); }
 
  private:
-  void worker_loop();
+  void worker_loop() EXCLUDES(mu_);
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> jobs_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool stopping_ = false;
+  Mutex mu_;
+  CondVar cv_;
+  std::queue<std::function<void()>> jobs_ GUARDED_BY(mu_);
+  bool stopping_ GUARDED_BY(mu_) = false;
+};
+
+/// Joins a fixed-size batch of pool jobs. Each job writes its own disjoint
+/// output slot (no lock needed for the payload); the group only counts
+/// completions and collects per-slot exceptions. wait() rethrows the
+/// exception from the lowest-indexed failed slot, so a parallel sweep
+/// fails with the same exception the sequential loop would have thrown
+/// first - error behavior stays independent of thread scheduling.
+class TaskGroup {
+ public:
+  /// `slots` is the number of run() calls that will be issued.
+  explicit TaskGroup(std::size_t slots);
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Schedules `fn` on `pool` as the job for `slot` (each slot exactly
+  /// once). Exceptions from `fn` are captured into the slot.
+  void run(ThreadPool& pool, std::size_t slot, std::function<void()> fn);
+
+  /// Blocks until every slot has completed, then rethrows the
+  /// lowest-indexed captured exception, if any.
+  void wait() EXCLUDES(mu_);
+
+ private:
+  void finish(std::size_t slot, std::exception_ptr error) EXCLUDES(mu_);
+
+  Mutex mu_;
+  CondVar cv_;
+  std::size_t pending_ GUARDED_BY(mu_);
+  /// Slot-indexed; written once by the owning job, read after the latch.
+  std::vector<std::exception_ptr> errors_ GUARDED_BY(mu_);
 };
 
 }  // namespace llamcat

@@ -1,0 +1,92 @@
+// llamcat_lint: in-repo determinism & concurrency static analysis.
+//
+// The repo's verification story (golden byte-identity rows, digest-based
+// determinism suites, bit-identical parallel sweeps) rests on rules that no
+// general-purpose tool checks: iteration order must never feed stats, no
+// pointer-derived ordering, no ambient wall-clock or RNG in simulation
+// paths, every *Config validates itself. This module turns those rules into
+// a lightweight, LLVM-free checker: a real lexer (comments, strings, raw
+// strings, preprocessor lines handled) followed by per-file token analysis
+// with a small declared-symbol table. It is deliberately heuristic - docs/
+// static-analysis.md spells out exactly what each rule does and does not
+// see - and every rule is suppressible in place with a trailing allow
+// directive naming the rule and a mandatory reason (exact syntax in
+// docs/static-analysis.md; this comment avoids spelling a live directive
+// because the tool lints its own source).
+//
+// A suppression without a reason is itself a violation
+// (`allow-without-reason`), as is one naming an unknown rule
+// (`unknown-rule`) or one that no longer suppresses anything
+// (`unused-suppression`), so the suppression inventory cannot rot.
+//
+// The rule catalog in docs/static-analysis.md and the fixture corpus in
+// tests/lint_fixtures/ are kept in lockstep with `rules()` by
+// tests/test_lint.cpp and tools/check_doc_links.sh.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace llamcat::lint {
+
+/// One checkable rule. `name` is the stable kebab-case id used by allow
+/// and expect directives, --list-rules and the docs.
+struct Rule {
+  std::string_view name;
+  std::string_view summary;
+};
+
+/// The full rule catalog, in stable documentation order.
+[[nodiscard]] const std::vector<Rule>& rules();
+
+/// True when `name` is a known rule id.
+[[nodiscard]] bool is_rule(std::string_view name);
+
+/// One finding: `rule` fired at `file`:`line`.
+struct Violation {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+/// A fixture expectation: expect-directive markers are parsed out of
+/// comments so the fixture corpus can annotate its intended violations
+/// in place. The CLI ignores them; tests/test_lint.cpp compares them
+/// against the actual findings exactly.
+struct Expectation {
+  int line = 0;
+  std::string rule;
+};
+
+/// Result of linting one translation unit.
+struct FileReport {
+  /// Active violations (not suppressed). Non-empty => lint fails.
+  std::vector<Violation> violations;
+  /// Violations matched by a reasoned `lint:allow` - reported so tooling
+  /// can count honored suppressions and tests can pin them.
+  std::vector<Violation> suppressed;
+  /// Fixture `lint:expect` markers found in the file.
+  std::vector<Expectation> expectations;
+};
+
+/// Lints `content` (reported as `file`). `context` is an optional companion
+/// source whose declarations seed the symbol table but which is not itself
+/// analyzed - the CLI passes foo.hpp as context when linting foo.cpp so
+/// members declared in the header (the normal C++ split) keep their
+/// container kinds across the file boundary.
+[[nodiscard]] FileReport lint_source(std::string_view file,
+                                     std::string_view content,
+                                     std::string_view context = {});
+
+/// Reads and lints one file from disk (companion header resolved
+/// automatically for .cpp inputs). Throws std::runtime_error on I/O error.
+[[nodiscard]] FileReport lint_file(const std::string& path);
+
+/// Expands files/directories (recursively, .cpp/.hpp/.cc/.h, sorted so the
+/// report order is deterministic) into a flat file list.
+[[nodiscard]] std::vector<std::string> collect_inputs(
+    const std::vector<std::string>& paths);
+
+}  // namespace llamcat::lint

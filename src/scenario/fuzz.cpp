@@ -1,6 +1,5 @@
 #include "scenario/fuzz.hpp"
 
-#include <future>
 #include <sstream>
 #include <stdexcept>
 
@@ -328,15 +327,16 @@ std::vector<FuzzResult> run_fuzz_sweep(std::uint64_t base_seed,
     return results;
   }
   // Each seed writes its own pre-sized slot, so the result vector is
-  // identical to the serial sweep no matter which worker finishes first.
+  // identical to the serial sweep no matter which worker finishes first;
+  // the TaskGroup rethrows the lowest seed's exception, matching the
+  // serial loop's failure order.
   ThreadPool pool(jobs);
-  std::vector<std::future<void>> futures;
-  futures.reserve(n);
+  TaskGroup group(n);
   for (std::uint64_t i = 0; i < n; ++i) {
-    futures.push_back(pool.submit(
-        [&results, base_seed, i] { results[i] = run_fuzz_seed(base_seed + i); }));
+    group.run(pool, i,
+              [&results, base_seed, i] { results[i] = run_fuzz_seed(base_seed + i); });
   }
-  for (auto& f : futures) f.get();
+  group.wait();
   return results;
 }
 

@@ -106,6 +106,7 @@ KvBlockPool::Admission KvBlockPool::admit(std::size_t i) {
   const std::uint64_t nshared = shared_blocks(i);
   for (std::uint64_t b = 0; b < nshared; ++b) {
     Shard& shard = shard_of(block_key(group, b));
+    MutexLock lock(shard.mu);
     ++shard.lookups;
     ++a.lookup_blocks;
     auto [it, inserted] = shard.table.try_emplace(block_key(group, b));
@@ -145,7 +146,9 @@ KvBlockPool::Admission KvBlockPool::resume(std::size_t i) {
   const std::uint32_t group = layouts_[i].prefix_group;
   const std::uint64_t nshared = shared_blocks(i);
   for (std::uint64_t b = 0; b < nshared; ++b) {
-    Entry& e = shard_of(block_key(group, b)).table.at(block_key(group, b));
+    Shard& shard = shard_of(block_key(group, b));
+    MutexLock lock(shard.mu);
+    Entry& e = shard.table.at(block_key(group, b));
     if (!e.resident) {
       e.resident = true;
       ++a.refetch_blocks;
@@ -168,7 +171,9 @@ std::uint64_t KvBlockPool::release(std::size_t i) {
   const std::uint32_t group = layouts_[i].prefix_group;
   const std::uint64_t nshared = shared_blocks(i);
   for (std::uint64_t b = 0; b < nshared; ++b) {
-    Entry& e = shard_of(block_key(group, b)).table.at(block_key(group, b));
+    Shard& shard = shard_of(block_key(group, b));
+    MutexLock lock(shard.mu);
+    Entry& e = shard.table.at(block_key(group, b));
     // Active implies every owned block is pinned, and a pinned block is
     // resident (a refetch precedes every re-pin).
     if (e.pins == 0 || !e.resident) {
@@ -206,6 +211,7 @@ std::uint64_t KvBlockPool::finish(std::size_t i) {
   const std::uint64_t nshared = shared_blocks(i);
   for (std::uint64_t b = 0; b < nshared; ++b) {
     Shard& shard = shard_of(block_key(group, b));
+    MutexLock lock(shard.mu);
     auto it = shard.table.find(block_key(group, b));
     Entry& e = it->second;
     if (e.pins == 0 || !e.resident) {
@@ -235,6 +241,7 @@ std::uint64_t KvBlockPool::admit_cost(std::size_t i) const {
   const std::uint64_t nshared = shared_blocks(i);
   for (std::uint64_t b = 0; b < nshared; ++b) {
     const Shard& shard = shard_of(block_key(group, b));
+    MutexLock lock(shard.mu);
     const auto it = shard.table.find(block_key(group, b));
     // Absent (allocate) and host-tier (refetch) blocks charge; resident
     // ones are free hits.
@@ -251,6 +258,7 @@ std::uint64_t KvBlockPool::resume_cost(std::size_t i) const {
   const std::uint64_t nshared = shared_blocks(i);
   for (std::uint64_t b = 0; b < nshared; ++b) {
     const Shard& shard = shard_of(block_key(group, b));
+    MutexLock lock(shard.mu);
     const auto it = shard.table.find(block_key(group, b));
     if (it != shard.table.end() && !it->second.resident) {
       cost += cfg_.block_bytes;
@@ -266,6 +274,7 @@ std::uint64_t KvBlockPool::releasable_blocks(std::size_t i) const {
   const std::uint64_t nshared = shared_blocks(i);
   for (std::uint64_t b = 0; b < nshared; ++b) {
     const Shard& shard = shard_of(block_key(group, b));
+    MutexLock lock(shard.mu);
     const auto it = shard.table.find(block_key(group, b));
     // Sole pinner: releasing would swap the block. A peer's pin refuses it.
     if (it != shard.table.end() && it->second.resident &&
@@ -278,13 +287,19 @@ std::uint64_t KvBlockPool::releasable_blocks(std::size_t i) const {
 
 std::uint64_t KvBlockPool::total_lookups() const {
   std::uint64_t n = 0;
-  for (const Shard& s : shards_) n += s.lookups;
+  for (const Shard& s : shards_) {
+    MutexLock lock(s.mu);
+    n += s.lookups;
+  }
   return n;
 }
 
 std::uint64_t KvBlockPool::total_hits() const {
   std::uint64_t n = 0;
-  for (const Shard& s : shards_) n += s.hits;
+  for (const Shard& s : shards_) {
+    MutexLock lock(s.mu);
+    n += s.hits;
+  }
   return n;
 }
 

@@ -16,9 +16,10 @@
 //
 // Structure follows RocksDB's sharded_cache/clock_cache split: a power-of-two
 // shard array, the hash's high bits select the shard, and each shard owns an
-// independent table plus its own lookup/hit/insert counters (the simulator
-// is single-threaded, so shards buy structural fidelity and O(1) per-shard
-// stats, not locking).
+// independent table plus its own lookup/hit/insert counters behind a
+// shard-local annotated Mutex (common/sync.hpp). The serving engine is
+// single-threaded today, so the locks are uncontended; they exist so clang
+// -Wthread-safety machine-checks the shard contract from day one.
 //
 // Block-level state machine. Every tracked unit is in exactly one state:
 //
@@ -55,6 +56,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/sync.hpp"
+#include "common/thread_annotations.hpp"
 #include "common/types.hpp"
 
 namespace llamcat::scenario {
@@ -176,12 +179,17 @@ class KvBlockPool {
     bool resident = true;
   };
   /// One hash shard (sharded_cache idiom): its slice of the table plus its
-  /// own counters.
+  /// own counters, behind a shard-local lock. The serving engine is
+  /// single-threaded today, so the lock is uncontended - it completes the
+  /// sharded_cache structure and puts the shard's state under the
+  /// clang -Wthread-safety contract, so a future concurrent admission
+  /// sweep cannot touch a table without holding its shard's mutex.
   struct Shard {
-    std::unordered_map<std::uint64_t, Entry> table;
-    std::uint64_t lookups = 0;
-    std::uint64_t hits = 0;
-    std::uint64_t inserts = 0;
+    mutable Mutex mu;
+    std::unordered_map<std::uint64_t, Entry> table GUARDED_BY(mu);
+    std::uint64_t lookups GUARDED_BY(mu) = 0;
+    std::uint64_t hits GUARDED_BY(mu) = 0;
+    std::uint64_t inserts GUARDED_BY(mu) = 0;
   };
   enum class ReqState : std::uint8_t { kNew, kActive, kReleased, kFinished };
 

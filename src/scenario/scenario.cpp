@@ -250,12 +250,17 @@ void BatchStats::print(std::ostream& os) const {
      << std::defaultfloat;
 }
 
+void DecodePassConfig::validate() const {
+  if (num_layers == 0) {
+    throw std::invalid_argument("DecodePassConfig: num_layers == 0");
+  }
+  serving.validate();
+}
+
 DecodePass::DecodePass(RequestBatch batch, DecodePassConfig pass_cfg,
                        const SimConfig& cfg)
     : batch_(std::move(batch)), pass_cfg_(pass_cfg), cfg_(cfg) {
-  if (pass_cfg_.num_layers == 0) {
-    throw std::invalid_argument("DecodePass: zero layers");
-  }
+  pass_cfg_.validate();
   if (pass_cfg_.mode != ExecutionMode::kContinuous) {
     for (const RequestSpec& req : batch_.requests()) {
       if (req.arrival_cycle != 0) {
@@ -265,7 +270,6 @@ DecodePass::DecodePass(RequestBatch batch, DecodePassConfig pass_cfg,
       }
     }
   }
-  pass_cfg_.serving.validate();
   if ((!pass_cfg_.serving.unconditional() || pass_cfg_.serving.kv_share) &&
       pass_cfg_.mode != ExecutionMode::kContinuous) {
     throw std::invalid_argument(
@@ -510,9 +514,11 @@ BatchStats DecodePass::run_coscheduled(bool verbose) const {
         if (verbose) std::cerr << "[coscheduled] " << name << "\n";
 
         System sys(cfg_, src, &src);
+        // lint:allow(wallclock): verbose-mode wave wall timing; never feeds sim state
         const auto t0 = std::chrono::steady_clock::now();
         SimStats wave = sys.run();
         const std::chrono::duration<double> dt =
+            // lint:allow(wallclock): verbose-mode wave wall timing; never feeds sim state
             std::chrono::steady_clock::now() - t0;
 
         shift_slices(wave, base);
@@ -1069,9 +1075,11 @@ BatchStats DecodePass::run_continuous(bool verbose) const {
       publish_hint();
     };
 
+    // lint:allow(wallclock): verbose-mode segment wall timing; never feeds sim state
     const auto t0 = std::chrono::steady_clock::now();
     SimStats seg = sys.run(hook);
     const std::chrono::duration<double> dt =
+        // lint:allow(wallclock): verbose-mode segment wall timing; never feeds sim state
         std::chrono::steady_clock::now() - t0;
 
     // Drain boundary: requests that ran out of chain with no co-resident

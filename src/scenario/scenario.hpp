@@ -161,6 +161,10 @@ struct DecodePassConfig {
   /// throws InvariantViolation on the cycle an invariant breaks. Stats are
   /// unaffected either way. LLAMCAT_AUDIT=1 in the environment forces it on.
   bool audit = false;
+
+  /// Throws std::invalid_argument on an inconsistent pass shape; delegates
+  /// the serving-policy checks to `serving.validate()`.
+  void validate() const;
 };
 
 /// One operator instance in the pass's schedule.

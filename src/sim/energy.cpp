@@ -1,6 +1,7 @@
 #include "sim/energy.hpp"
 
 #include <iomanip>
+#include <stdexcept>
 
 namespace llamcat {
 
@@ -8,6 +9,19 @@ namespace {
 constexpr double kPicojoule = 1e-12;
 constexpr double kMilliwatt = 1e-3;
 }  // namespace
+
+void EnergyConfig::validate() const {
+  const double fields[] = {dram_act_pre_pj, dram_rd_pj,  dram_wr_pj,
+                           dram_ref_pj,     dram_static_mw_per_channel,
+                           l1_access_pj,    llc_tag_pj,  llc_data_pj,
+                           mshr_pj,         noc_req_pj,  noc_resp_pj};
+  for (const double f : fields) {
+    if (f < 0.0) {
+      throw std::invalid_argument(
+          "EnergyConfig: per-operation energies must be >= 0");
+    }
+  }
+}
 
 double EnergyReport::dram_pj_per_byte(const SimStats& stats) const {
   const double bytes = static_cast<double>(

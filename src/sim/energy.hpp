@@ -45,6 +45,10 @@ struct EnergyConfig {
   double noc_req_pj = 15.0;
   /// One 64-byte response message.
   double noc_resp_pj = 70.0;
+
+  /// Throws std::invalid_argument if any per-operation energy is negative
+  /// (zeroing a term to exclude it from the comparison is legitimate).
+  void validate() const;
 };
 
 /// Energy breakdown of one run, in joules.

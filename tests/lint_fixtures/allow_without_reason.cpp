@@ -1,0 +1,28 @@
+// Fixture: the allow-without-reason meta rule. A suppression with no
+// ': <reason>' text is indistinguishable from a silenced bug, so it is
+// itself a violation - and it suppresses nothing, so the underlying
+// finding stays active too.
+#include <unordered_map>
+
+std::unordered_map<int, int> table;
+
+int count_everything() {
+  int n = 0;
+  // lint:expect(allow-without-reason) lint:allow(unordered-iteration)
+  for (const auto& [k, v] : table) {  // lint:expect(unordered-iteration)
+    n += v;
+  }
+  return n;
+}
+
+// Honored suppression: the meta rule itself can be silenced with a reason
+// (e.g. a fixture or doc snippet that must show the bad form verbatim).
+int count_tolerated() {
+  int n = 0;
+  // lint:allow(allow-without-reason): next line shows the bad form on purpose
+  // lint:allow(unordered-iteration)
+  for (const auto& [k, v] : table) {  // lint:expect(unordered-iteration)
+    n += v;
+  }
+  return n;
+}

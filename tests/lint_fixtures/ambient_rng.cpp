@@ -1,0 +1,22 @@
+// Fixture: the ambient-rng rule. The simulator's randomness flows from
+// seeded Xoshiro256 instances; rand()/random_device pull from process
+// state or the environment and are unreproducible by construction.
+#include <cstdlib>
+#include <random>
+
+int noisy_choice(int n) {
+  return rand() % n;  // lint:expect(ambient-rng)
+}
+
+unsigned hardware_seed() {
+  std::random_device rd;  // lint:expect(ambient-rng)
+  return rd();
+}
+
+// Honored suppression: a demo tool may want a fresh seed per invocation,
+// as long as the seed itself is printed for replay.
+unsigned demo_seed() {
+  // lint:allow(ambient-rng): demo-only seed; printed so any run can be replayed
+  std::random_device rd;
+  return rd();
+}

@@ -1,0 +1,28 @@
+// Fixture: the config-validate rule. Every *Config struct must declare
+// validate() so bad values fail loudly at construction instead of
+// corrupting a run thousands of cycles later.
+#include <cstdint>
+#include <stdexcept>
+
+struct RetryConfig {  // lint:expect(config-validate)
+  std::uint32_t max_attempts = 3;
+  std::uint32_t backoff_cycles = 100;
+};
+
+// Clean: declaring validate() satisfies the rule.
+struct WindowConfig {
+  std::uint32_t depth = 8;
+  void validate() const {
+    if (depth == 0) throw std::invalid_argument("WindowConfig: depth == 0");
+  }
+};
+
+// Clean: forward declarations are not definitions.
+struct DeferredConfig;
+
+// Honored suppression: a config mirrored from an external schema that is
+// validated by its owner at the ingestion boundary.
+// lint:allow(config-validate): mirrored external schema; owner validates at ingestion
+struct MirroredConfig {
+  std::uint32_t raw_flags = 0;
+};

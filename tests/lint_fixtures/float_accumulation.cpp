@@ -1,0 +1,26 @@
+// Fixture: the float-accumulation rule (float/double compound-assigned
+// inside an unordered iteration - rounding then depends on hash order).
+#include <unordered_map>
+
+std::unordered_map<int, double> weight_by_id;
+
+// Caught: the sum's rounding error depends on visit order, so the "same"
+// stat differs across library versions / ASLR even with identical data.
+double total_weight() {
+  double total = 0.0;
+  for (const auto& [id, w] : weight_by_id) {  // lint:expect(unordered-iteration)
+    total += w;  // lint:expect(float-accumulation)
+  }
+  return total;
+}
+
+// Honored suppression: both rules silenced with reasons on their lines.
+double total_weight_tolerated() {
+  double acc = 0.0;
+  // lint:allow(unordered-iteration): diagnostic-only estimate; never printed or digested
+  for (const auto& [id, w] : weight_by_id) {
+    // lint:allow(float-accumulation): diagnostic-only estimate; tolerance covers reorder error
+    acc += w;
+  }
+  return acc;
+}

@@ -1,0 +1,19 @@
+// Fixture: the pointer-keyed-container rule. Ordered containers keyed by a
+// pointer sort by allocation address; unordered ones hash it. Either way
+// the layout follows the allocator, not the data, so any traversal or tie
+// break leaks ASLR into results.
+#include <map>
+#include <set>
+
+struct Node {
+  int id;
+};
+
+std::map<const Node*, int> rank_by_node;  // lint:expect(pointer-keyed-container)
+
+std::set<Node*> live_nodes;  // lint:expect(pointer-keyed-container)
+
+// Honored suppression: identity sets that are only ever membership-tested
+// (never iterated, never compared) are address-keyed on purpose.
+// lint:allow(pointer-keyed-container): membership-only identity set; never iterated
+std::set<const Node*> seen_nodes;

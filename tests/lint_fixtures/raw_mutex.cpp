@@ -1,0 +1,23 @@
+// Fixture: the raw-mutex rule. std:: locking primitives carry no clang
+// thread-safety annotations, so state they guard is invisible to
+// -Wthread-safety. Simulation code uses llamcat::Mutex / MutexLock /
+// CondVar (common/sync.hpp), which wrap the same primitives and keep the
+// GUARDED_BY contracts machine-checked.
+#include <mutex>
+
+struct UncheckedQueue {
+  std::mutex mu;  // lint:expect(raw-mutex)
+  int pending = 0;
+};
+
+void bump(UncheckedQueue& q) {
+  std::scoped_lock lock(q.mu);  // lint:expect(raw-mutex)
+  ++q.pending;
+}
+
+// Honored suppression: code interfacing with a third-party API that hands
+// out std primitives has nothing to annotate.
+struct ExternalHandle {
+  // lint:allow(raw-mutex): third-party callback API hands us its std::mutex
+  std::mutex* borrowed = nullptr;
+};

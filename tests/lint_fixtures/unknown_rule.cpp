@@ -1,0 +1,12 @@
+// Fixture: the unknown-rule meta rule. A directive naming a rule id that
+// does not exist is a typo or a leftover from a removed rule; either way
+// it silences nothing and must be fixed or deleted.
+
+// lint:expect(unknown-rule) lint:allow(determinizm): misspelled rule id
+int misspelled = 0;
+
+// Honored suppression: grandfathering a directive for a rule that is being
+// renamed across a multi-repo migration.
+// lint:allow(unknown-rule): rule renamed upstream; directive updated in the follow-up sync
+// lint:allow(legacy-ordering): kept until the rename lands
+int migrating = 1;

@@ -1,0 +1,32 @@
+// Fixture: the unordered-iteration rule (range-for and iterator forms).
+// Not compiled - linted by test_lint against the expect markers.
+#include <cstdint>
+#include <iostream>
+#include <unordered_map>
+
+std::unordered_map<std::uint64_t, std::uint64_t> hits_by_set;
+
+// Caught: a range-for over an unordered table feeding printed output walks
+// in hash order, which varies across libstdc++ versions and ASLR.
+void dump_rows() {
+  for (const auto& [set, hits] : hits_by_set) {  // lint:expect(unordered-iteration)
+    std::cout << set << " " << hits << "\n";
+  }
+}
+
+// Caught: the explicit iterator spelling of the same bug.
+void first_row() {
+  auto it = hits_by_set.begin();  // lint:expect(unordered-iteration)
+  if (it != hits_by_set.end()) std::cout << it->first << "\n";
+}
+
+// Honored suppression: a hash-order walk that only computes an
+// order-independent summary is legitimate, and says why in place.
+std::uint64_t max_hits() {
+  std::uint64_t best = 0;
+  // lint:allow(unordered-iteration): max() is order-independent; no row order escapes
+  for (const auto& [set, hits] : hits_by_set) {
+    if (hits > best) best = hits;
+  }
+  return best;
+}

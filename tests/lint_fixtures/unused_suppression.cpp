@@ -1,0 +1,12 @@
+// Fixture: the unused-suppression meta rule. A reasoned allow that no
+// longer matches any finding on its line is dead weight - it hides the
+// next real violation someone introduces there, so it must be deleted.
+
+// lint:expect(unused-suppression) lint:allow(wallclock): nothing here reads a clock anymore
+int refactored_away = 0;
+
+// Honored suppression: a pre-armed allow kept deliberately (e.g. a line
+// that alternates under an #ifdef), silenced with a reason one line up.
+// lint:allow(unused-suppression): timing path is compiled out in this configuration
+// lint:allow(wallclock): guards the timing read in the profiled build
+int sometimes_timed = 1;

@@ -1,0 +1,240 @@
+// llamcat_lint self-tests: the fixture corpus, directive semantics, and the
+// docs <-> rule-catalog lockstep.
+//
+// Every fixture in tests/lint_fixtures/ annotates its intended violations
+// in place with expect markers; this suite lints each fixture and compares
+// the (line, rule) sets exactly - an analyzer change that fires a rule on a
+// new line, stops firing, or fires twice turns up here as a diff against
+// the fixture's own annotations. Coverage assertions then pin the PR
+// contract: every rule in the catalog has at least one caught violation
+// and at least one honored suppression somewhere in the corpus, and every
+// rule id is documented in docs/static-analysis.md.
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "lint/lint.hpp"
+
+namespace lint = llamcat::lint;
+
+namespace {
+
+using LineRule = std::pair<int, std::string>;
+
+std::vector<LineRule> violation_keys(const lint::FileReport& r) {
+  std::vector<LineRule> keys;
+  for (const auto& v : r.violations) keys.emplace_back(v.line, v.rule);
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+std::vector<LineRule> expectation_keys(const lint::FileReport& r) {
+  std::vector<LineRule> keys;
+  for (const auto& e : r.expectations) keys.emplace_back(e.line, e.rule);
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+std::vector<std::string> fixture_files() {
+  std::vector<std::string> files;
+  for (const auto& e :
+       std::filesystem::directory_iterator(LLAMCAT_LINT_FIXTURE_DIR)) {
+    if (e.path().extension() == ".cpp") files.push_back(e.path().string());
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+}  // namespace
+
+TEST(LintRules, CatalogIsStable) {
+  const auto& rules = lint::rules();
+  ASSERT_GE(rules.size(), 8u);
+  std::set<std::string> names;
+  for (const auto& r : rules) {
+    EXPECT_TRUE(names.insert(std::string(r.name)).second)
+        << "duplicate rule id " << r.name;
+    EXPECT_FALSE(r.summary.empty()) << r.name << " has no summary";
+    // Stable kebab-case ids: lowercase letters and single dashes.
+    for (const char c : r.name) {
+      EXPECT_TRUE((c >= 'a' && c <= 'z') || c == '-')
+          << "rule id " << r.name << " is not kebab-case";
+    }
+    EXPECT_TRUE(lint::is_rule(r.name));
+  }
+  EXPECT_FALSE(lint::is_rule("no-such-rule"));
+}
+
+// Each fixture's actual findings must equal its own expect annotations,
+// line for line, rule for rule.
+TEST(LintFixtures, ExpectationsMatchExactly) {
+  const auto files = fixture_files();
+  ASSERT_FALSE(files.empty());
+  for (const std::string& f : files) {
+    const lint::FileReport report = lint::lint_file(f);
+    EXPECT_FALSE(report.expectations.empty())
+        << f << " has no expect annotations";
+    EXPECT_EQ(violation_keys(report), expectation_keys(report)) << f;
+  }
+}
+
+// Every rule has >= 1 caught violation and >= 1 honored suppression
+// somewhere in the corpus - the fixtures demonstrate both the bug and the
+// sanctioned escape hatch for each rule.
+TEST(LintFixtures, EveryRuleCaughtAndSuppressed) {
+  std::map<std::string, int> caught;
+  std::map<std::string, int> suppressed;
+  for (const std::string& f : fixture_files()) {
+    const lint::FileReport report = lint::lint_file(f);
+    EXPECT_FALSE(report.suppressed.empty())
+        << f << " demonstrates no honored suppression";
+    for (const auto& v : report.violations) ++caught[v.rule];
+    for (const auto& v : report.suppressed) ++suppressed[v.rule];
+  }
+  for (const auto& r : lint::rules()) {
+    const std::string name(r.name);
+    EXPECT_GE(caught[name], 1) << "no fixture triggers " << name;
+    EXPECT_GE(suppressed[name], 1)
+        << "no fixture demonstrates a suppressed " << name;
+  }
+}
+
+// The rule catalog and docs/static-analysis.md stay in lockstep: every rule
+// id appears in the doc as `backticked` text (check_doc_links.sh enforces
+// the same invariant build-free in CI).
+TEST(LintDocs, EveryRuleDocumented) {
+  const std::string doc = slurp(LLAMCAT_STATIC_ANALYSIS_DOC);
+  ASSERT_FALSE(doc.empty()) << "cannot read " << LLAMCAT_STATIC_ANALYSIS_DOC;
+  for (const auto& r : lint::rules()) {
+    const std::string needle = "`" + std::string(r.name) + "`";
+    EXPECT_NE(doc.find(needle), std::string::npos)
+        << "rule " << r.name << " is not documented in static-analysis.md";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Directive semantics on synthetic sources (lint_source, no files).
+// ---------------------------------------------------------------------------
+
+TEST(LintDirectives, SameLineAndLineAboveSuppress) {
+  const char* same_line =
+      "#include <ctime>\n"
+      "long f() { return time(nullptr); }  // lint:allow(wallclock): report\n";
+  auto r = lint::lint_source("t.cpp", same_line);
+  EXPECT_TRUE(r.violations.empty());
+  ASSERT_EQ(r.suppressed.size(), 1u);
+  EXPECT_EQ(r.suppressed[0].rule, "wallclock");
+
+  const char* line_above =
+      "// lint:allow(wallclock): report row only\n"
+      "long f() { return time(nullptr); }\n";
+  r = lint::lint_source("t.cpp", line_above);
+  EXPECT_TRUE(r.violations.empty());
+  ASSERT_EQ(r.suppressed.size(), 1u);
+}
+
+TEST(LintDirectives, TwoLinesAboveDoesNotSuppress) {
+  const char* src =
+      "// lint:allow(wallclock): too far away to apply\n"
+      "\n"
+      "long f() { return time(nullptr); }\n";
+  const auto r = lint::lint_source("t.cpp", src);
+  // The wallclock finding stays active and the distant allow is unused.
+  std::set<std::string> active;
+  for (const auto& v : r.violations) active.insert(v.rule);
+  EXPECT_TRUE(active.count("wallclock"));
+  EXPECT_TRUE(active.count("unused-suppression"));
+}
+
+TEST(LintDirectives, ReasonlessAllowSuppressesNothing) {
+  const char* src =
+      "// lint:allow(wallclock)\n"
+      "long f() { return time(nullptr); }\n";
+  const auto r = lint::lint_source("t.cpp", src);
+  std::set<std::string> active;
+  for (const auto& v : r.violations) active.insert(v.rule);
+  EXPECT_TRUE(active.count("wallclock"));
+  EXPECT_TRUE(active.count("allow-without-reason"));
+  EXPECT_TRUE(r.suppressed.empty());
+}
+
+TEST(LintDirectives, UnknownRuleNameIsFlagged) {
+  const char* src = "// lint:allow(not-a-rule): some reason\nint x = 0;\n";
+  const auto r = lint::lint_source("t.cpp", src);
+  ASSERT_EQ(r.violations.size(), 1u);
+  EXPECT_EQ(r.violations[0].rule, "unknown-rule");
+}
+
+TEST(LintDirectives, MultiRuleAllowCoversBothFindings) {
+  const char* src =
+      "#include <unordered_map>\n"
+      "std::unordered_map<int, double> m;\n"
+      "double f() {\n"
+      "  double s = 0.0;\n"
+      "  // lint:allow(unordered-iteration, float-accumulation): tolerant\n"
+      "  for (const auto& kv : m) s += kv.second;\n"
+      "  return s;\n"
+      "}\n";
+  const auto r = lint::lint_source("t.cpp", src);
+  EXPECT_TRUE(r.violations.empty()) << r.violations.size();
+  EXPECT_EQ(r.suppressed.size(), 2u);
+}
+
+// Comments and string literals must not trigger code rules: tokens inside
+// them never reach the analyzer.
+TEST(LintLexer, CommentsAndStringsAreInert) {
+  const char* src =
+      "// calling rand() here would be bad\n"
+      "const char* s = \"time(nullptr) inside a string\";\n"
+      "const char* r = R\"(std::mutex in a raw string)\";\n";
+  const auto rep = lint::lint_source("t.cpp", src);
+  EXPECT_TRUE(rep.violations.empty());
+}
+
+// The companion-header context seeds the symbol table: a member declared
+// unordered in the .hpp keeps its container kind in the .cpp.
+TEST(LintContext, CompanionHeaderSeedsSymbols) {
+  const char* header =
+      "#include <unordered_map>\n"
+      "struct Pool { std::unordered_map<int, int> table; void dump(); };\n";
+  const char* source =
+      "void Pool::dump() {\n"
+      "  for (const auto& kv : table) { (void)kv; }\n"
+      "}\n";
+  const auto with_ctx = lint::lint_source("pool.cpp", source, header);
+  ASSERT_EQ(with_ctx.violations.size(), 1u);
+  EXPECT_EQ(with_ctx.violations[0].rule, "unordered-iteration");
+
+  // Without the header the member's type is unknown - no finding, which is
+  // exactly why lint_file resolves companions automatically.
+  const auto without_ctx = lint::lint_source("pool.cpp", source);
+  EXPECT_TRUE(without_ctx.violations.empty());
+}
+
+TEST(LintReport, ViolationsAreSortedByLineThenRule) {
+  const char* src =
+      "#include <cstdlib>\n"
+      "#include <ctime>\n"
+      "long f() { return time(nullptr); }\n"
+      "int g() { return rand(); }\n";
+  const auto r = lint::lint_source("t.cpp", src);
+  ASSERT_EQ(r.violations.size(), 2u);
+  EXPECT_EQ(r.violations[0].line, 3);
+  EXPECT_EQ(r.violations[0].rule, "wallclock");
+  EXPECT_EQ(r.violations[1].line, 4);
+  EXPECT_EQ(r.violations[1].rule, "ambient-rng");
+}

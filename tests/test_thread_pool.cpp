@@ -1,0 +1,145 @@
+// Direct unit tests for ThreadPool and TaskGroup (common/thread_pool.hpp):
+// completion, exception propagation order, pool reuse across sweeps, and
+// the jobs=1 vs jobs=N bit-identity contract of run_fuzz_sweep.
+//
+// Everything here also runs under the TSan CI job, so these tests double
+// as the race harness for the pool's queue and the TaskGroup latch.
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.hpp"
+#include "scenario/fuzz.hpp"
+
+namespace llamcat {
+namespace {
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::atomic<int> count{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 64; ++i) {
+    futures.push_back(pool.submit([&count] { ++count; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(count.load(), 64);
+}
+
+TEST(ThreadPool, SubmitReturnsValues) {
+  ThreadPool pool(2);
+  auto f1 = pool.submit([] { return 41 + 1; });
+  auto f2 = pool.submit([] { return std::string("ok"); });
+  EXPECT_EQ(f1.get(), 42);
+  EXPECT_EQ(f2.get(), "ok");
+}
+
+TEST(ThreadPool, SubmitPropagatesExceptions) {
+  ThreadPool pool(2);
+  auto f = pool.submit(
+      []() -> int { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ZeroSelectsHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPool, DrainsQueueOnDestruction) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 16; ++i) {
+      pool.post([&count] { ++count; });
+    }
+    // Destructor joins after the queue drains: no submitted job is lost.
+  }
+  EXPECT_EQ(count.load(), 16);
+}
+
+TEST(TaskGroup, WaitsForAllSlots) {
+  ThreadPool pool(4);
+  TaskGroup group(32);
+  std::vector<int> out(32, 0);
+  for (std::size_t i = 0; i < 32; ++i) {
+    group.run(pool, i, [&out, i] { out[i] = static_cast<int>(i) + 1; });
+  }
+  group.wait();
+  EXPECT_EQ(std::accumulate(out.begin(), out.end(), 0), 32 * 33 / 2);
+}
+
+// wait() rethrows the LOWEST-slot failure regardless of completion order -
+// the same exception the sequential loop would have thrown first, so error
+// behavior stays independent of thread scheduling.
+TEST(TaskGroup, RethrowsLowestSlotException) {
+  for (int round = 0; round < 8; ++round) {
+    ThreadPool pool(4);
+    TaskGroup group(8);
+    for (std::size_t i = 0; i < 8; ++i) {
+      group.run(pool, i, [i] {
+        if (i == 2 || i == 6) {
+          throw std::runtime_error("slot " + std::to_string(i));
+        }
+      });
+    }
+    try {
+      group.wait();
+      FAIL() << "wait() swallowed the failures";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "slot 2");
+    }
+  }
+}
+
+// Destroying a group the instant wait() returns must be safe: finish()
+// notifies while still holding the latch mutex, so the last worker never
+// touches the condition variable after wait() can observe pending_ == 0.
+// TSan caught the notify-after-unlock version of finish() through exactly
+// this create/wait/destroy cycle; the tight loop keeps the window hot.
+TEST(TaskGroup, SafeToDestroyImmediatelyAfterWait) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 256; ++round) {
+    TaskGroup group(4);
+    for (std::size_t i = 0; i < 4; ++i) {
+      group.run(pool, i, [] {});
+    }
+    group.wait();
+  }
+}
+
+TEST(TaskGroup, PoolIsReusableAcrossGroups) {
+  ThreadPool pool(3);
+  for (int sweep = 0; sweep < 4; ++sweep) {
+    TaskGroup group(16);
+    std::atomic<int> count{0};
+    for (std::size_t i = 0; i < 16; ++i) {
+      group.run(pool, i, [&count] { ++count; });
+    }
+    group.wait();
+    EXPECT_EQ(count.load(), 16);
+  }
+}
+
+// The parallel-sweep determinism contract: run_fuzz_sweep fills the same
+// slots with the same results no matter how many workers execute it.
+TEST(FuzzSweep, ParallelMatchesSerial) {
+  const std::uint64_t kSeed = 20250808;
+  const std::uint64_t kN = 6;
+  const auto serial = scenario::run_fuzz_sweep(kSeed, kN, /*jobs=*/1);
+  const auto parallel = scenario::run_fuzz_sweep(kSeed, kN, /*jobs=*/4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].seed, parallel[i].seed);
+    EXPECT_EQ(serial[i].digest, parallel[i].digest) << "seed slot " << i;
+    EXPECT_EQ(serial[i].violations, parallel[i].violations);
+  }
+}
+
+}  // namespace
+}  // namespace llamcat

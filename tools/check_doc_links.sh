@@ -3,7 +3,10 @@
 # documentation points at a file that does not exist. External links
 # (http/https/mailto) and pure in-page anchors are skipped; a fragment on
 # a relative link ("docs/metrics.md#foo") is checked against the file
-# part. Run from the repo root; CI runs it on every push.
+# part. Also keeps the llamcat_lint rule catalog and
+# docs/static-analysis.md in lockstep, build-free (the compiled
+# counterpart of the same check lives in tests/test_lint.cpp). Run from
+# the repo root; CI runs it on every push, before the build.
 set -u
 
 fail=0
@@ -29,8 +32,36 @@ for doc in $docs; do
   done < <(grep -o '\[[^]]*\]([^)]*)' "$doc" | sed 's/^.*](\([^)]*\))$/\1/')
 done
 
+# --- lint rule catalog <-> docs lockstep ------------------------------------
+# Rule ids are declared one per line in src/lint/lint.cpp as {"rule-id",
+# and documented as | `rule-id` | rows in the static-analysis catalog
+# table. Both directions are checked: an undocumented rule and a
+# documented-but-removed rule each fail.
+lint_src="src/lint/lint.cpp"
+lint_doc="docs/static-analysis.md"
+if [ -f "$lint_src" ] && [ -f "$lint_doc" ]; then
+  src_rules=$(sed -n 's/^ *{"\([a-z-]*\)",.*$/\1/p' "$lint_src" | sort)
+  doc_rules=$(sed -n 's/^| `\([a-z-]*\)` |.*$/\1/p' "$lint_doc" | sort)
+  for r in $src_rules; do
+    if ! printf '%s\n' "$doc_rules" | grep -qx "$r"; then
+      echo "lint rule '$r' is in $lint_src but not in $lint_doc's catalog"
+      fail=1
+    fi
+  done
+  for r in $doc_rules; do
+    if ! printf '%s\n' "$src_rules" | grep -qx "$r"; then
+      echo "lint rule '$r' is documented in $lint_doc but absent from $lint_src"
+      fail=1
+    fi
+  done
+  [ -n "$src_rules" ] || { echo "no lint rules found in $lint_src"; fail=1; }
+else
+  echo "missing $lint_src or $lint_doc"
+  fail=1
+fi
+
 if [ "$fail" -ne 0 ]; then
   echo "docs link check FAILED"
   exit 1
 fi
-echo "docs link check OK"
+echo "docs link check OK (links + lint rule catalog)"
