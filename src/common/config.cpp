@@ -102,6 +102,23 @@ std::string to_string(KvEvictPolicy p) {
   return "?";
 }
 
+std::string to_string(TrafficProcess p) {
+  switch (p) {
+    case TrafficProcess::kPoisson: return "poisson";
+    case TrafficProcess::kBursty: return "bursty";
+    case TrafficProcess::kDiurnal: return "diurnal";
+  }
+  return "?";
+}
+
+std::string to_string(TrafficDist d) {
+  switch (d) {
+    case TrafficDist::kUniform: return "uniform";
+    case TrafficDist::kLognormal: return "lognormal";
+  }
+  return "?";
+}
+
 SimConfig SimConfig::table5() {
   SimConfig cfg;  // defaults in the struct definitions *are* Table 5
   cfg.validate();

@@ -150,6 +150,29 @@ enum class KvEvictPolicy : std::uint8_t {
   kColdBlocks,  // swap cold blocks to the host tier, refetch at resume
 };
 
+/// Arrival process of the open-loop traffic generator
+/// (scenario/traffic.hpp). kPoisson draws i.i.d. exponential inter-arrival
+/// gaps; kBursty alternates dense on-phases with long off-gaps (on-off /
+/// MMPP-flavored); kDiurnal modulates the Poisson rate with a
+/// piecewise-linear day-cycle multiplier. Lives in the shared vocabulary
+/// header for the same layering reason as AdmitPolicy (the CLI option
+/// layer must not depend upward on the scenario layer).
+enum class TrafficProcess : std::uint8_t {
+  kPoisson,
+  kBursty,
+  kDiurnal,
+};
+
+/// Sampling distribution for per-request sizes (sequence length, decode
+/// steps) in the traffic generator. kUniform draws uniformly over the
+/// configured [min, max]; kLognormal draws a clamped lognormal whose
+/// log-space median is the geometric midpoint of the range (the heavy-tail
+/// shape real seq-len mixes show).
+enum class TrafficDist : std::uint8_t {
+  kUniform,
+  kLognormal,
+};
+
 /// Thread-throttling controller (paper §4.2 + baselines §6.2.3).
 enum class ThrottlePolicy : std::uint8_t {
   kNone,    // "unoptimized"
@@ -165,6 +188,8 @@ std::string to_string(RequestDispatch d);
 std::string to_string(ExecutionMode m);
 std::string to_string(AdmitPolicy p);
 std::string to_string(KvEvictPolicy p);
+std::string to_string(TrafficProcess p);
+std::string to_string(TrafficDist d);
 std::string to_string(BypassPolicy p);
 std::string to_string(ReplPolicy p);
 std::string to_string(InsertPolicy p);

@@ -1,0 +1,119 @@
+// Deterministic, platform-portable transcendental helpers for the workload
+// generators. std::log/std::exp delegate to the host libm, whose results
+// are NOT bit-identical across implementations (glibc vs musl vs MSVCRT) -
+// a trace generated on one platform would diverge from the same seed on
+// another. These routines use only IEEE-754 basic operations (+, -, *, /)
+// in a fixed evaluation order plus exact exponent manipulation, so every
+// conforming platform produces the same bits for the same input. They trade
+// the last couple of ULPs for that stability, which is far more accuracy
+// than any sampling distribution here needs.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+namespace llamcat {
+
+namespace detail {
+
+/// Exact decomposition x = m * 2^e with m in [1, 2) for finite x > 0.
+/// Subnormals are first scaled up by 2^52 (an exact multiply), so the
+/// full positive range decomposes without special cases.
+struct Frexp1To2 {
+  double mantissa = 1.0;
+  int exponent = 0;
+};
+
+inline Frexp1To2 split_mantissa(double x) {
+  Frexp1To2 out;
+  std::uint64_t bits = std::bit_cast<std::uint64_t>(x);
+  int bias_adjust = 0;
+  if ((bits >> 52) == 0) {  // subnormal: scale into the normal range
+    x *= 0x1.0p52;          // exact (power-of-two scale)
+    bits = std::bit_cast<std::uint64_t>(x);
+    bias_adjust = 52;
+  }
+  const int raw_exp = static_cast<int>((bits >> 52) & 0x7FF);
+  out.exponent = raw_exp - 1023 - bias_adjust;
+  // Force the exponent field to 1023: mantissa in [1, 2), exactly.
+  bits = (bits & 0x000FFFFFFFFFFFFFULL) | 0x3FF0000000000000ULL;
+  out.mantissa = std::bit_cast<double>(bits);
+  return out;
+}
+
+}  // namespace detail
+
+/// ln(2) to double precision (the correctly-rounded constant).
+inline constexpr double kDetLn2 = 0.6931471805599453;
+
+/// Natural logarithm, deterministic across platforms. Requires x > 0 and
+/// finite; callers in the sampling layer guarantee that (uniform draws are
+/// mapped away from 0 before the log). Accuracy: < 1e-14 relative.
+inline double det_log(double x) {
+  const detail::Frexp1To2 f = detail::split_mantissa(x);
+  // ln(m) for m in [1, 2) via the atanh series: with s = (m-1)/(m+1),
+  // ln(m) = 2*(s + s^3/3 + s^5/5 + ...). |s| < 1/3, so the odd series
+  // converges fast; 8 terms give ~1e-16 worst case at m near 2.
+  const double s = (f.mantissa - 1.0) / (f.mantissa + 1.0);
+  const double s2 = s * s;
+  // Horner evaluation in a fixed order (no FMA contraction surprises: each
+  // op is individually rounded per IEEE, identically everywhere).
+  double poly = 1.0 / 15.0;
+  poly = poly * s2 + 1.0 / 13.0;
+  poly = poly * s2 + 1.0 / 11.0;
+  poly = poly * s2 + 1.0 / 9.0;
+  poly = poly * s2 + 1.0 / 7.0;
+  poly = poly * s2 + 1.0 / 5.0;
+  poly = poly * s2 + 1.0 / 3.0;
+  poly = poly * s2 + 1.0;
+  return 2.0 * s * poly + static_cast<double>(f.exponent) * kDetLn2;
+}
+
+/// e^x, deterministic across platforms. Clamps the result range to
+/// [~5e-324, inf) implicitly via ldexp-style scaling; callers here only
+/// ever pass |x| < ~750. Accuracy: < 1e-14 relative.
+inline double det_exp(double x) {
+  // Range reduction: x = k*ln2 + r with |r| <= ln2/2, e^x = 2^k * e^r.
+  // Truncation + adjust instead of round-to-nearest keeps the reduction
+  // free of platform rounding-mode dependence.
+  double kf = x / kDetLn2;
+  int k = static_cast<int>(kf);  // trunc toward zero, exact for |kf| < 2^31
+  double r = x - static_cast<double>(k) * kDetLn2;
+  if (r > 0.5 * kDetLn2) {
+    k += 1;
+    r -= kDetLn2;
+  } else if (r < -0.5 * kDetLn2) {
+    k -= 1;
+    r += kDetLn2;
+  }
+  // e^r by the Taylor series; |r| <= 0.347, 13 terms reach ~1e-17.
+  double poly = 1.0 / 6227020800.0;  // 1/13!
+  poly = poly * r + 1.0 / 479001600.0;
+  poly = poly * r + 1.0 / 39916800.0;
+  poly = poly * r + 1.0 / 3628800.0;
+  poly = poly * r + 1.0 / 362880.0;
+  poly = poly * r + 1.0 / 40320.0;
+  poly = poly * r + 1.0 / 5040.0;
+  poly = poly * r + 1.0 / 720.0;
+  poly = poly * r + 1.0 / 120.0;
+  poly = poly * r + 1.0 / 24.0;
+  poly = poly * r + 1.0 / 6.0;
+  poly = poly * r + 0.5;
+  poly = poly * r + 1.0;
+  poly = poly * r + 1.0;
+  // Scale by 2^k exactly via exponent arithmetic (two steps so extreme k
+  // still lands in range before the final scale).
+  const auto pow2 = [](int e) {
+    return std::bit_cast<double>(
+        static_cast<std::uint64_t>(1023 + e) << 52);
+  };
+  if (k > 1000) k = 1000;  // overflow clamp: caller range never hits this
+  if (k < -1000) return 0.0;
+  const int half = k / 2;
+  return poly * pow2(half) * pow2(k - half);
+}
+
+/// x^y for x > 0, deterministic across platforms (exp(y * ln x)).
+inline double det_pow(double x, double y) { return det_exp(y * det_log(x)); }
+
+}  // namespace llamcat

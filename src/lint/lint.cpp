@@ -245,7 +245,12 @@ Lexed lex(std::string_view src) {
     }
     if (std::isdigit(static_cast<unsigned char>(c))) {
       std::size_t j = i + 1;
+      // A '\'' between digit characters is a C++14 digit separator
+      // (20'000), not a char-literal open - swallowing one as a literal
+      // would blind every rule until the next stray apostrophe.
       while (j < n && (ident_char(src[j]) || src[j] == '.' ||
+                       (src[j] == '\'' && j + 1 < n &&
+                        ident_char(src[j + 1])) ||
                        ((src[j] == '+' || src[j] == '-') &&
                         (src[j - 1] == 'e' || src[j - 1] == 'E')))) {
         ++j;

@@ -158,7 +158,11 @@ std::string batch_stats_digest(const BatchStats& s) {
        << " last=" << r.slice.last_complete_cycle
        << " llc=" << r.slice.llc_lookups << "/" << r.slice.llc_hits << "/"
        << r.slice.llc_misses << " dram=" << r.slice.dram_reads << "/"
-       << r.slice.dram_writes << "\n";
+       << r.slice.dram_writes << " ttft=" << r.ttft() << " steps=";
+    for (std::size_t k = 0; k < r.step_finish_cycles.size(); ++k) {
+      os << (k == 0 ? "" : ",") << r.step_finish_cycles[k];
+    }
+    os << "\n";
   }
   os << "segments=" << s.per_op.size() << ":";
   for (const auto& op : s.per_op) {
@@ -201,6 +205,7 @@ std::string FuzzScenario::summary() const {
     }
     os << ")";
   }
+  if (open_loop) os << ", open-loop[" << traffic.summary() << "]";
   return os.str();
 }
 
@@ -235,6 +240,50 @@ FuzzScenario draw_scenario(std::uint64_t seed) {
       static constexpr std::uint64_t kShareBlocks[] = {64, 192, 256, 4096};
       sc.pass_cfg.serving.kv_block_bytes =
           kShareBlocks[rng.below(std::size(kShareBlocks))];
+    }
+  }
+  // Open-loop draws: a third of the scenarios swap the hand-rolled batch
+  // for a generated arrival process (traffic.hpp). Drawn strictly after
+  // every pre-existing knob - the corpus contract again - so every
+  // pre-open-loop pinned seed replays its original scenario unchanged.
+  if (rng.below(3) == 0) {
+    sc.open_loop = true;
+    TrafficConfig tc;
+    tc.seed = rng();
+    tc.num_requests = 2 + static_cast<std::uint32_t>(rng.below(4));
+    static constexpr TrafficProcess kProcs[] = {TrafficProcess::kPoisson,
+                                                TrafficProcess::kBursty,
+                                                TrafficProcess::kDiurnal};
+    tc.process = kProcs[rng.below(std::size(kProcs))];
+    // Gaps span idle machines (huge gap) down to near-simultaneous bursts.
+    static constexpr Cycle kGaps[] = {500, 5'000, 20'000, 80'000};
+    tc.mean_gap = kGaps[rng.below(std::size(kGaps))];
+    tc.seq_dist = rng.below(2) == 0 ? TrafficDist::kUniform
+                                    : TrafficDist::kLognormal;
+    tc.seq_min = 32;
+    tc.seq_max = 32 * (2 + rng.below(9));  // 64..320
+    tc.steps_min = 1;
+    tc.steps_max = 1 + static_cast<std::uint32_t>(rng.below(3));
+    if (sc.pass_cfg.serving.kv_share) {
+      tc.prefix_groups = 1 + static_cast<std::uint32_t>(rng.below(2));
+      tc.share_pct = 75;
+    }
+    sc.traffic = tc;
+    sc.requests = generate_traffic(tc);
+    // The budget drawn above sized itself against the discarded hand-rolled
+    // batch; re-draw it against the generated one so it stays in the
+    // always-admissible-but-usually-tight band.
+    if (sc.pass_cfg.serving.kv_budget_bytes != 0) {
+      const RequestBatch open_batch(sc.model, sc.requests);
+      std::uint64_t max_peak = 0;
+      for (const RequestSpec& r : open_batch.requests()) {
+        max_peak = std::max(
+            max_peak, open_batch.peak_kv_bytes(r, sc.pass_cfg.num_layers));
+      }
+      const std::uint64_t total =
+          open_batch.total_peak_kv_bytes(sc.pass_cfg.num_layers);
+      sc.pass_cfg.serving.kv_budget_bytes =
+          max_peak + rng.below(total - max_peak + 1);
     }
   }
   return sc;
@@ -307,6 +356,38 @@ FuzzResult run_fuzz_seed(std::uint64_t seed) {
             "share neutrality: kv_share with an unlimited budget and no "
             "paged eviction changed the timing: " +
             first_diff(t1, t4));
+      }
+    }
+    // Closed-vs-open equivalence: record the generated workload as a trace,
+    // replay it as a fixed batch, and demand the replay reproduce the
+    // open-loop run's digest byte for byte - the trace format must carry
+    // everything the engine's timing depends on.
+    if (sc.open_loop) {
+      // Open-loop contract: arrival ordering, TTFT/step-landmark
+      // monotonicity, SLO partition sums. The SLO itself is arbitrary for
+      // the partition property; half the makespan splits the batch into
+      // non-degenerate buckets on most draws.
+      const AuditReport open_report =
+          audit_open_loop(sc.requests, s1, s1.makespan / 2);
+      for (const std::string& v : open_report.violations) {
+        out.violations.push_back("open-loop: " + v);
+      }
+
+      const std::string trace = trace_to_string(sc.requests);
+      const std::vector<RequestSpec> replayed = trace_from_string(trace);
+      const RequestBatch replay_batch(sc.model, replayed);
+      const BatchStats s5 = DecodePass(replay_batch, sc.pass_cfg, sc.cfg).run();
+      const std::string d5 = batch_stats_digest(s5);
+      if (d1 != d5) {
+        out.violations.push_back(
+            "trace replay: the recorded trace replayed as a fixed batch "
+            "diverges from the generating open-loop run: " +
+            first_diff(d1, d5));
+      }
+      // And the artifact itself must be byte-stable through a round-trip.
+      if (trace_to_string(replayed) != trace) {
+        out.violations.push_back(
+            "trace stability: write -> read -> write changed bytes");
       }
     }
   } catch (const InvariantViolation& e) {

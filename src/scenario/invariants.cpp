@@ -476,6 +476,23 @@ AuditReport audit_batch(const RequestBatch& batch,
           r.slice.last_complete_cycle, ")");
     max_finish = std::max(max_finish, r.finish_cycle);
 
+    // -- step-finish landmarks (the TTFT/TBT clock) --------------------------
+    check(r.step_finish_cycles.size() == r.decode_steps, "request ", r.id,
+          ": recorded ", r.step_finish_cycles.size(),
+          " step-finish landmarks for ", r.decode_steps, " decode steps");
+    Cycle prev_step = r.slice.first_dispatch_cycle;
+    for (std::size_t k = 0; k < r.step_finish_cycles.size(); ++k) {
+      check(r.step_finish_cycles[k] >= prev_step, "request ", r.id,
+            ": step ", k, " finished at ", r.step_finish_cycles[k],
+            ", before the previous landmark (", prev_step, ")");
+      prev_step = r.step_finish_cycles[k];
+    }
+    if (!r.step_finish_cycles.empty()) {
+      check(r.step_finish_cycles.back() == r.finish_cycle, "request ", r.id,
+            ": last step finished at ", r.step_finish_cycles.back(),
+            " but the request finished at ", r.finish_cycle);
+    }
+
     // -- queue accounting --------------------------------------------------
     const Cycle wait = r.admit_cycle - r.arrival_cycle;
     check(r.queued_cycles >= wait, "request ", r.id, ": queued cycles (",
@@ -597,6 +614,88 @@ AuditReport audit_batch(const RequestBatch& batch,
         ") before the last finish (", max_finish, ")");
   check(stats.makespan >= stats.total.cycles, "makespan (", stats.makespan,
         ") below the machine-active cycle count (", stats.total.cycles, ")");
+  return report;
+}
+
+SloReport slo_accounting(const BatchStats& stats, Cycle slo_ttft_cycles) {
+  SloReport out;
+  for (const RequestStats& r : stats.per_request) {
+    if (r.finish_cycle > 0) ++out.finished;
+    // kNeverCycle (a non-streamed or landmark-corrupt row) is > any SLO, so
+    // a garbage row lands in `violated` and the audit's partition check
+    // still balances against `finished` - it cannot vanish.
+    if (r.ttft() <= slo_ttft_cycles) {
+      ++out.attained;
+      out.goodput_tokens += r.decode_steps;
+    } else {
+      ++out.violated;
+    }
+  }
+  return out;
+}
+
+AuditReport audit_open_loop(const std::vector<RequestSpec>& requests,
+                            const BatchStats& stats, Cycle slo_ttft_cycles) {
+  AuditReport report;
+  Checker check(report);
+
+  check(stats.mode == ExecutionMode::kContinuous,
+        "open-loop contract applies to kContinuous runs only (mode is ",
+        static_cast<int>(stats.mode), ")");
+  check(stats.per_request.size() == requests.size(), "per_request has ",
+        stats.per_request.size(), " rows for a workload of ",
+        requests.size());
+  if (stats.mode != ExecutionMode::kContinuous ||
+      stats.per_request.size() != requests.size()) {
+    return report;
+  }
+
+  // 5. The source emits in arrival order.
+  for (std::size_t i = 1; i < requests.size(); ++i) {
+    check(requests[i].arrival_cycle >= requests[i - 1].arrival_cycle,
+          "request ", requests[i].id, " arrives at ",
+          requests[i].arrival_cycle, ", before its predecessor (",
+          requests[i - 1].arrival_cycle,
+          ") - an open-loop source emits in arrival order");
+  }
+
+  // 6. TTFT landmarks well-formed and monotone per request.
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const RequestStats& r = stats.per_request[i];
+    check(r.admit_cycle >= requests[i].arrival_cycle, "request ", r.id,
+          ": admitted (", r.admit_cycle, ") before arrival (",
+          requests[i].arrival_cycle, ")");
+    check(r.ttft() != kNeverCycle, "request ", r.id,
+          ": TTFT is the kNeverCycle sentinel in a continuous run");
+    check(r.slice.first_dispatch_cycle >= requests[i].arrival_cycle,
+          "request ", r.id, ": first dispatch (",
+          r.slice.first_dispatch_cycle, ") before arrival (",
+          requests[i].arrival_cycle, ")");
+    check(r.step_finish_cycles.size() == r.decode_steps, "request ", r.id,
+          ": ", r.step_finish_cycles.size(), " step-finish landmarks for ",
+          r.decode_steps, " decode steps");
+    Cycle prev = r.slice.first_dispatch_cycle;
+    for (std::size_t k = 0; k < r.step_finish_cycles.size(); ++k) {
+      check(r.step_finish_cycles[k] >= prev, "request ", r.id, ": step ", k,
+            " landmark ", r.step_finish_cycles[k],
+            " moves backwards (previous ", prev, ")");
+      prev = r.step_finish_cycles[k];
+    }
+    if (!r.step_finish_cycles.empty()) {
+      check(r.step_finish_cycles.back() == r.finish_cycle, "request ", r.id,
+            ": last step landmark ", r.step_finish_cycles.back(),
+            " != finish (", r.finish_cycle, ")");
+    }
+  }
+
+  // 7. SLO-goodput accounting sums.
+  const SloReport slo = slo_accounting(stats, slo_ttft_cycles);
+  check(slo.attained + slo.violated == slo.finished,
+        "SLO buckets do not partition the finished set: attained (",
+        slo.attained, ") + violated (", slo.violated, ") != finished (",
+        slo.finished, ")");
+  check(slo.finished == requests.size(), "only ", slo.finished, " of ",
+        requests.size(), " requests finished (dropped request)");
   return report;
 }
 

@@ -167,4 +167,38 @@ struct AuditReport {
                                       const DecodePassConfig& pass_cfg,
                                       const BatchStats& stats);
 
+/// SLO/goodput accounting over a finished continuous run: a request attains
+/// the SLO iff its TTFT (arrival -> first dispatch) is within
+/// `slo_ttft_cycles`; goodput is the tokens those requests produced. The
+/// counts partition the batch - attained + violated == finished is an
+/// audited invariant (audit_open_loop), not an assumption.
+struct SloReport {
+  std::uint64_t finished = 0;
+  std::uint64_t attained = 0;        // finished with TTFT <= the SLO
+  std::uint64_t violated = 0;        // finished with TTFT  > the SLO
+  std::uint64_t goodput_tokens = 0;  // decode tokens of attained requests
+};
+
+[[nodiscard]] SloReport slo_accounting(const BatchStats& stats,
+                                       Cycle slo_ttft_cycles);
+
+/// Open-loop additions to the contract, for workloads that came from an
+/// arrival-process source (scenario/traffic.hpp) or a recorded trace:
+///
+///  5. The source emits in arrival order: arrival cycles are nondecreasing
+///     in request-id order, and no request is admitted before its arrival.
+///  6. TTFT landmarks are well-formed and monotone: every request
+///     dispatched at or after its arrival, and its per-step finish cycles
+///     are nondecreasing, one per decode step, ending exactly at the
+///     finish landmark.
+///  7. SLO-goodput accounting sums: attained + violated == finished ==
+///     the whole batch (an unfinished or landmark-corrupt row cannot hide
+///     inside either bucket).
+///
+/// Complements audit_batch (which keeps holding for these runs); callers
+/// run both.
+[[nodiscard]] AuditReport audit_open_loop(
+    const std::vector<RequestSpec>& requests, const BatchStats& stats,
+    Cycle slo_ttft_cycles);
+
 }  // namespace llamcat::scenario

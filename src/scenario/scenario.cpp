@@ -140,6 +140,28 @@ Cycle BatchStats::latency_percentile(double p) const {
   return percentile_nearest_rank(std::move(latencies), p);
 }
 
+Cycle BatchStats::ttft_percentile(double p) const {
+  if (mode != ExecutionMode::kContinuous || per_request.empty()) {
+    return kNeverCycle;
+  }
+  std::vector<Cycle> ttfts;
+  ttfts.reserve(per_request.size());
+  for (const RequestStats& r : per_request) ttfts.push_back(r.ttft());
+  return percentile_nearest_rank(std::move(ttfts), p);
+}
+
+Cycle BatchStats::tbt_percentile(double p) const {
+  if (mode != ExecutionMode::kContinuous) return kNeverCycle;
+  std::vector<Cycle> gaps;
+  for (const RequestStats& r : per_request) {
+    for (std::size_t k = 1; k < r.step_finish_cycles.size(); ++k) {
+      gaps.push_back(r.step_finish_cycles[k] - r.step_finish_cycles[k - 1]);
+    }
+  }
+  if (gaps.empty()) return kNeverCycle;
+  return percentile_nearest_rank(std::move(gaps), p);
+}
+
 std::uint64_t BatchStats::total_preemptions() const {
   std::uint64_t n = 0;
   for (const RequestStats& r : per_request) n += r.preemptions;
@@ -225,6 +247,10 @@ void BatchStats::print(std::ostream& os) const {
     os << "makespan          " << makespan << "\n"
        << "latency_p50       " << latency_percentile(50.0) << "\n"
        << "latency_p99       " << latency_percentile(99.0) << "\n"
+       << "ttft_p50          " << ttft_percentile(50.0) << "\n"
+       << "ttft_p99          " << ttft_percentile(99.0) << "\n"
+       << "tbt_p50           " << tbt_percentile(50.0) << "\n"
+       << "tbt_p99           " << tbt_percentile(99.0) << "\n"
        << "queue_wait        " << total_queue_wait() << "\n"
        << "preemptions       " << total_preemptions() << "\n";
     if (paged) {
@@ -1041,6 +1067,17 @@ BatchStats DecodePass::run_continuous(bool verbose) const {
       for (std::size_t i = 0; i < reqs.size(); ++i) {
         if (!st[i].running || st[i].finished) continue;
         if (seg_enq[i] == 0 || seg_completed(i) != seg_enq[i]) continue;
+        // The op at cursor-1 just completed. If it closes a decode step,
+        // stamp the step-finish landmark (the TBT clock) now, BEFORE the
+        // advance/preempt/finish decision: a preempted request's completed
+        // operator still ended its step at this cycle.
+        {
+          const ScheduledOp& done = schedule_[chains[i][st[i].cursor - 1]];
+          if (st[i].cursor == chains[i].size() ||
+              schedule_[chains[i][st[i].cursor]].step != done.step) {
+            out.per_request[i].step_finish_cycles.push_back(global);
+          }
+        }
         if (st[i].cursor < chains[i].size()) {
           if (policy.config().preempt &&
               policy.should_preempt(remaining_work(i), running_work(i),
@@ -1082,9 +1119,26 @@ BatchStats DecodePass::run_continuous(bool verbose) const {
         // lint:allow(wallclock): verbose-mode segment wall timing; never feeds sim state
         std::chrono::steady_clock::now() - t0;
 
-    // Drain boundary: requests that ran out of chain with no co-resident
-    // work finish here, with the drain included in their latency (their
-    // final stage ends exactly like a one-request wave).
+    // Drain boundary: every op enqueued this segment has completed by now.
+    // A still-running request with segment work (seg_enq != 0) therefore
+    // just completed its op at cursor-1 without the hook seeing it (it was
+    // alone, or the completion coincided with the drain) - if that op
+    // closes a decode step, the step ends at the segment boundary, exactly
+    // where the finish landmark below lands. Requests the hook already
+    // advanced moved their cursor past the recorded op, so nothing is
+    // stamped twice; a request that only waited out a refetch here has
+    // seg_enq == 0 and is skipped.
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+      if (!st[i].running || st[i].finished || seg_enq[i] == 0) continue;
+      const ScheduledOp& done = schedule_[chains[i][st[i].cursor - 1]];
+      if (st[i].cursor == chains[i].size() ||
+          schedule_[chains[i][st[i].cursor]].step != done.step) {
+        out.per_request[i].step_finish_cycles.push_back(base + seg.cycles);
+      }
+    }
+    // Requests that ran out of chain with no co-resident work finish here,
+    // with the drain included in their latency (their final stage ends
+    // exactly like a one-request wave).
     for (std::size_t i = 0; i < reqs.size(); ++i) {
       if (st[i].running && !st[i].finished &&
           st[i].cursor == chains[i].size()) {

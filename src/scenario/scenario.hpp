@@ -222,6 +222,11 @@ struct RequestStats {
   /// budget bytes that dedup saved it.
   std::uint64_t prefix_hit_blocks = 0;
   std::uint64_t prefix_hit_bytes = 0;
+  /// Stream cycle each decode step's last operator completed (kContinuous
+  /// only; size == decode_steps once the request finished, and the final
+  /// entry equals finish_cycle). Consecutive gaps are the request's
+  /// inter-token times - the TBT percentiles pool them batch-wide.
+  std::vector<Cycle> step_finish_cycles;
 
   /// End-to-end latency in stream time (equals stats.cycles when streamed);
   /// kNeverCycle for barrier-mode results, which have no stream landmarks.
@@ -231,6 +236,13 @@ struct RequestStats {
   /// Queue wait before first admission (kNeverCycle when not streamed).
   [[nodiscard]] Cycle admission_wait() const {
     return streamed ? admit_cycle - arrival_cycle : kNeverCycle;
+  }
+  /// Time-to-first-token: arrival to the first operator's dispatch into the
+  /// live machine - queue wait plus admission/refetch holds plus dispatch
+  /// lag, but none of the decode service time that latency() folds in.
+  [[nodiscard]] Cycle ttft() const {
+    return streamed ? slice.first_dispatch_cycle - arrival_cycle
+                    : kNeverCycle;
   }
 
   /// `decode_steps` tokens are produced per request per pass.
@@ -269,6 +281,15 @@ struct BatchStats {
   /// so this returns kNeverCycle there instead of aggregating garbage
   /// 0-cycle rows into a policy-comparison table.
   [[nodiscard]] Cycle latency_percentile(double p) const;
+  /// Nearest-rank percentile over per-request TTFT (arrival -> first
+  /// dispatch): the queue-bound component that latency_percentile used to
+  /// conflate with service time. kNeverCycle outside kContinuous.
+  [[nodiscard]] Cycle ttft_percentile(double p) const;
+  /// Nearest-rank percentile over the batch-wide pool of per-step
+  /// inter-token gaps (TBT): the service-bound component. kNeverCycle
+  /// outside kContinuous or when no request decoded more than one step
+  /// (a single step yields no inter-token gap).
+  [[nodiscard]] Cycle tbt_percentile(double p) const;
   /// Serving-policy totals across the batch (0 under policy none).
   [[nodiscard]] std::uint64_t total_preemptions() const;
   [[nodiscard]] Cycle total_queue_wait() const;

@@ -145,6 +145,20 @@ std::optional<ModelShape> model_from_string(std::string_view s) {
   return std::nullopt;
 }
 
+std::optional<TrafficProcess> traffic_process_from_string(
+    std::string_view s) {
+  if (s == "poisson") return TrafficProcess::kPoisson;
+  if (s == "bursty") return TrafficProcess::kBursty;
+  if (s == "diurnal") return TrafficProcess::kDiurnal;
+  return std::nullopt;
+}
+
+std::optional<TrafficDist> traffic_dist_from_string(std::string_view s) {
+  if (s == "uniform" || s == "U") return TrafficDist::kUniform;
+  if (s == "lognormal" || s == "LN") return TrafficDist::kLognormal;
+  return std::nullopt;
+}
+
 std::optional<PolicyCombo> policy_combo_from_string(std::string_view s) {
   PolicyCombo combo;
   const std::size_t plus = s.find('+');
@@ -239,6 +253,31 @@ batch scenario (--op=batch)
   --req-dispatch=R   request-aware core dispatch for fused sources:
                      shared (default) | interleave | partitioned
 
+open-loop traffic (--op=batch --mode=continuous; scenario/traffic.hpp)
+  --traffic=P        generate the request list from a seeded arrival
+                     process instead of hand-building it: poisson | bursty
+                     | diurnal (--requests supplies the count; conflicts
+                     with --seqs/--arrivals/--steps/--prefix-*)
+  --traffic-seed=N   generator seed, independent of --seed (default 1)
+  --traffic-gap=N    mean inter-arrival gap in cycles (default 20000; the
+                     offered-load knob: rate = 1/gap)
+  --traffic-seq=L,H  sequence-length range (default 64,512; both multiples
+                     of the 32-token mapper granule)
+  --traffic-seq-dist=D  uniform (default) | lognormal (clamped, log-space
+                     median at the geometric midpoint of the range)
+  --traffic-sigma=F  lognormal log-space sigma (default 0.5)
+  --traffic-steps=L,H   decode-steps range (default 1,4)
+  --traffic-groups=N Zipf-popular prefix groups (default 0 = private batch;
+                     takes effect under --kv-share=on)
+  --traffic-zipf=F   Zipf skew of group popularity (default 1.0)
+  --traffic-share-pct=N  percent of requests carrying a prefix group
+                     (default 75)
+
+trace record/replay (versioned text format; docs/workloads.md)
+  --trace-out=PATH   record the request list this run used as a trace
+  --trace-in=PATH    replay a recorded trace as the batch (replaces
+                     --traffic and every per-request workload flag)
+
 policy
   --policy=COMBO     throttle+arbitration, e.g. dynmg+BMA, dyncta, unopt+MA,
                      BMA (bare arbitration = unopt+ARB; default unopt+fcfs)
@@ -259,6 +298,9 @@ machine overrides (defaults are the paper's Table 5)
 output
   --csv=PATH         append-style CSV export of the run
   --json=PATH        JSON export (includes every counter)
+  --digest           batch only: print nothing but the canonical
+                     batch_stats_digest (two runs are equivalent iff their
+                     digests match - the scripted replay check)
   --counters         print every merged component counter
   --energy           print the energy-model breakdown
   --verbose          progress to stderr
@@ -276,6 +318,8 @@ ParseResult parse_cli_options(const std::vector<std::string_view>& args) {
     result.error = msg;
     return result;
   };
+  // Last --traffic-* knob seen, for the "requires --traffic" diagnostic.
+  const char* traffic_knob = nullptr;
 
   for (const std::string_view arg : args) {
     if (arg == "--help" || arg == "-h") {
@@ -292,6 +336,10 @@ ParseResult parse_cli_options(const std::vector<std::string_view>& args) {
     }
     if (arg == "--preempt") {
       opt.batch_preempt = true;
+      continue;
+    }
+    if (arg == "--digest") {
+      opt.digest_only = true;
       continue;
     }
     if (arg == "--energy") {
@@ -441,6 +489,82 @@ ParseResult parse_cli_options(const std::vector<std::string_view>& args) {
                     "token counts; 0 keeps a request private)");
       }
       opt.batch_prefix_tokens = *v;
+    } else if (key == "traffic") {
+      const auto p = traffic_process_from_string(val);
+      if (!p) {
+        return fail("unknown traffic process: \"" + std::string(val) +
+                    "\" (expect poisson, bursty or diurnal)");
+      }
+      opt.traffic = true;
+      opt.traffic_process = *p;
+    } else if (key == "traffic-seed") {
+      const auto v = parse_uint<std::uint64_t>(val);
+      if (!v) return fail("bad --traffic-seed");
+      opt.traffic_seed = *v;
+      traffic_knob = "--traffic-seed";
+    } else if (key == "traffic-gap") {
+      const auto v = parse_uint<std::uint64_t>(val);
+      if (!v || *v == 0) {
+        return fail("bad --traffic-gap: \"" + std::string(val) +
+                    "\" (expect a positive mean inter-arrival gap in "
+                    "cycles)");
+      }
+      opt.traffic_gap = *v;
+      traffic_knob = "--traffic-gap";
+    } else if (key == "traffic-seq") {
+      const auto v = parse_uint_list(val);
+      if (!v || v->size() != 2 || (*v)[0] > (*v)[1]) {
+        return fail("bad --traffic-seq: \"" + std::string(val) +
+                    "\" (expect LO,HI with LO <= HI, e.g. 64,512)");
+      }
+      opt.traffic_seq_min = (*v)[0];
+      opt.traffic_seq_max = (*v)[1];
+      traffic_knob = "--traffic-seq";
+    } else if (key == "traffic-seq-dist") {
+      const auto d = traffic_dist_from_string(val);
+      if (!d) {
+        return fail("unknown traffic-seq-dist: \"" + std::string(val) +
+                    "\" (expect uniform or lognormal)");
+      }
+      opt.traffic_seq_dist = *d;
+      traffic_knob = "--traffic-seq-dist";
+    } else if (key == "traffic-sigma") {
+      const auto v = parse_double(val);
+      if (!v || *v <= 0.0) return fail("bad --traffic-sigma");
+      opt.traffic_sigma = *v;
+      traffic_knob = "--traffic-sigma";
+    } else if (key == "traffic-steps") {
+      const auto v = parse_uint_list(val);
+      if (!v || v->size() != 2 || (*v)[0] > (*v)[1] ||
+          (*v)[1] > 0xFFFFFFFFull) {
+        return fail("bad --traffic-steps: \"" + std::string(val) +
+                    "\" (expect LO,HI with LO <= HI, e.g. 1,4)");
+      }
+      opt.traffic_steps_min = static_cast<std::uint32_t>((*v)[0]);
+      opt.traffic_steps_max = static_cast<std::uint32_t>((*v)[1]);
+      traffic_knob = "--traffic-steps";
+    } else if (key == "traffic-groups") {
+      const auto v = parse_uint<std::uint32_t>(val);
+      if (!v) return fail("bad --traffic-groups");
+      opt.traffic_groups = *v;
+      traffic_knob = "--traffic-groups";
+    } else if (key == "traffic-zipf") {
+      const auto v = parse_double(val);
+      if (!v || *v < 0.0) return fail("bad --traffic-zipf");
+      opt.traffic_zipf = *v;
+      traffic_knob = "--traffic-zipf";
+    } else if (key == "traffic-share-pct") {
+      const auto v = parse_uint<std::uint32_t>(val);
+      if (!v || *v > 100) {
+        return fail("bad --traffic-share-pct: \"" + std::string(val) +
+                    "\" (expect a percentage 0..100)");
+      }
+      opt.traffic_share_pct = *v;
+      traffic_knob = "--traffic-share-pct";
+    } else if (key == "trace-out") {
+      opt.trace_out_path = std::string(val);
+    } else if (key == "trace-in") {
+      opt.trace_in_path = std::string(val);
     } else if (key == "interleave") {
       const auto f = fuse_order_from_string(val);
       if (!f) return fail("unknown interleave: " + std::string(val));
@@ -511,6 +635,41 @@ ParseResult parse_cli_options(const std::vector<std::string_view>& args) {
   }
 
   opt.cfg.llc.size_bytes = llc_mb << 20;
+
+  // Open-loop traffic / trace replay cross-checks.
+  if (opt.traffic && !opt.trace_in_path.empty()) {
+    return fail("--traffic and --trace-in conflict (generate a workload or "
+                "replay one, not both; record a generated one with "
+                "--trace-out)");
+  }
+  if (!opt.traffic && traffic_knob != nullptr) {
+    return fail(std::string(traffic_knob) +
+                " requires --traffic=<process> (it shapes the generated "
+                "workload)");
+  }
+  if (opt.traffic || !opt.trace_in_path.empty()) {
+    const char* source = opt.traffic ? "--traffic" : "--trace-in";
+    if (opt.op != "batch" || opt.batch_mode != ExecutionMode::kContinuous) {
+      return fail(std::string(source) +
+                  " requires --op=batch --mode=continuous (an open-loop "
+                  "workload is a stream of timed arrivals)");
+    }
+    if (!opt.batch_seq_lens.empty() || !opt.batch_arrivals.empty() ||
+        !opt.batch_steps.empty() || !opt.batch_prefix_groups.empty() ||
+        !opt.batch_prefix_tokens.empty()) {
+      return fail(std::string(source) +
+                  " conflicts with --seqs/--arrivals/--steps/--prefix-* "
+                  "(the workload source supplies every per-request field)");
+    }
+  }
+  if (!opt.trace_out_path.empty() && opt.op != "batch") {
+    return fail("--trace-out requires --op=batch (only batch runs have a "
+                "request list to record)");
+  }
+  if (opt.digest_only && opt.op != "batch") {
+    return fail("--digest requires --op=batch (the digest is defined over a "
+                "batch run's stats)");
+  }
 
   // Cross-field batch-scenario checks: catch arity mismatches and
   // mode-dependent flags here, with the flag names in the message, instead

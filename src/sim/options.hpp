@@ -29,6 +29,8 @@ std::optional<KvEvictPolicy> kv_evict_policy_from_string(std::string_view s);
 std::optional<ReplPolicy> repl_policy_from_string(std::string_view s);
 std::optional<BypassPolicy> bypass_policy_from_string(std::string_view s);
 std::optional<ModelShape> model_from_string(std::string_view s);
+std::optional<TrafficProcess> traffic_process_from_string(std::string_view s);
+std::optional<TrafficDist> traffic_dist_from_string(std::string_view s);
 
 /// "dynmg+BMA" / "dyncta" / "unopt+MA" -> (throttle, arbitration) pair.
 struct PolicyCombo {
@@ -87,6 +89,32 @@ struct CliOptions {
   /// require --kv-share=on and each other.
   std::vector<std::uint64_t> batch_prefix_groups;
   std::vector<std::uint64_t> batch_prefix_tokens;
+  /// Open-loop workload generation (scenario/traffic.hpp): --traffic=P
+  /// replaces the hand-built request list with a generated one
+  /// (--requests supplies the count). The remaining knobs mirror
+  /// TrafficConfig; the option layer stores them raw so it does not depend
+  /// on the scenario layer.
+  bool traffic = false;
+  TrafficProcess traffic_process = TrafficProcess::kPoisson;
+  std::uint64_t traffic_seed = 1;
+  std::uint64_t traffic_gap = 20'000;
+  TrafficDist traffic_seq_dist = TrafficDist::kUniform;
+  std::uint64_t traffic_seq_min = 64;
+  std::uint64_t traffic_seq_max = 512;
+  double traffic_sigma = 0.5;
+  std::uint32_t traffic_steps_min = 1;
+  std::uint32_t traffic_steps_max = 4;
+  std::uint32_t traffic_groups = 0;
+  double traffic_zipf = 1.0;
+  std::uint32_t traffic_share_pct = 75;
+  /// Trace record/replay (scenario/traffic.hpp): --trace-out records the
+  /// request list the run used; --trace-in replays a recorded trace as the
+  /// batch (replacing every workload flag).
+  std::string trace_out_path;  // empty = no trace export
+  std::string trace_in_path;   // empty = no replay
+  /// --digest: print only the canonical batch_stats_digest (for scripted
+  /// replay-equivalence checks: two runs match iff their digests do).
+  bool digest_only = false;
   std::string csv_path;      // empty = no CSV export
   std::string json_path;     // empty = no JSON export
   bool print_counters = false;

@@ -17,6 +17,15 @@ struct WindowConfig {
   }
 };
 
+// Clean: a digit separator in a default is not a char-literal open; the
+// validate() after it must still be seen (lexer regression guard).
+struct GapConfig {
+  std::uint64_t gap_cycles = 20'000;
+  void validate() const {
+    if (gap_cycles == 0) throw std::invalid_argument("GapConfig: gap == 0");
+  }
+};
+
 // Clean: forward declarations are not definitions.
 struct DeferredConfig;
 

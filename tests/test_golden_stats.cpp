@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "scenario/scenario.hpp"
+#include "scenario/traffic.hpp"
 #include "sim/experiment.hpp"
 
 namespace llamcat {
@@ -181,6 +182,33 @@ std::vector<MeasuredRow> measure_all_policy_pairs() {
                       s.makespan, s.total.dram_reads,
                       s.total.thread_blocks});
     }
+  }
+  // Open-loop rows: a seeded Poisson workload from the traffic generator
+  // (scenario/traffic.hpp) through the streaming engine per headline policy
+  // pair, pinning the generator's draws (arrival clock, seq/steps samples)
+  // and the engine's handling of generated mid-flight arrivals in one row.
+  // Any unintended change to the sampler or the arrival bookkeeping moves
+  // these without touching the hand-built rows above.
+  scenario::TrafficConfig ol_traffic;
+  ol_traffic.num_requests = 4;
+  ol_traffic.seed = 3;
+  ol_traffic.mean_gap = 10'000;
+  ol_traffic.seq_min = 32;
+  ol_traffic.seq_max = 160;
+  ol_traffic.steps_min = 1;
+  ol_traffic.steps_max = 3;
+  const scenario::RequestBatch open_loop(
+      tiny_model(), scenario::generate_traffic(ol_traffic));
+  scenario::DecodePassConfig ol_cfg;
+  ol_cfg.num_layers = 1;
+  ol_cfg.include_gemv = false;
+  ol_cfg.mode = scenario::ExecutionMode::kContinuous;
+  for (const auto& [thr, arb] : headline_pairs) {
+    const SimConfig cfg = with_policies(base, thr, arb);
+    const scenario::BatchStats s =
+        scenario::DecodePass(open_loop, ol_cfg, cfg).run();
+    rows.push_back({"ol/poisson/" + to_string(thr) + "/" + to_string(arb),
+                    s.makespan, s.total.dram_reads, s.total.thread_blocks});
   }
   return rows;
 }

@@ -466,9 +466,110 @@ TEST(ParseCli, UsageMentionsEveryFlag) {
         "--energy", "--verbose", "--requests", "--layers", "--seqs",
         "--no-gemv", "--mode", "--interleave", "--req-dispatch",
         "--arrivals", "--steps", "--admit-policy", "--kv-budget", "--preempt",
-        "--kv-evict", "--kv-block-bytes", "--refetch-cost"}) {
+        "--kv-evict", "--kv-block-bytes", "--refetch-cost", "--traffic",
+        "--traffic-seed", "--traffic-gap", "--traffic-seq",
+        "--traffic-seq-dist", "--traffic-sigma", "--traffic-steps",
+        "--traffic-groups", "--traffic-zipf", "--traffic-share-pct",
+        "--trace-out", "--trace-in", "--digest"}) {
     EXPECT_NE(usage.find(flag), std::string::npos) << flag;
   }
+}
+
+// ------------------------------------------------------- open-loop flags --
+
+TEST(OptionVocabulary, TrafficEnums) {
+  EXPECT_EQ(traffic_process_from_string("poisson"), TrafficProcess::kPoisson);
+  EXPECT_EQ(traffic_process_from_string("bursty"), TrafficProcess::kBursty);
+  EXPECT_EQ(traffic_process_from_string("diurnal"), TrafficProcess::kDiurnal);
+  EXPECT_FALSE(traffic_process_from_string("uniform").has_value());
+  EXPECT_EQ(traffic_dist_from_string("uniform"), TrafficDist::kUniform);
+  EXPECT_EQ(traffic_dist_from_string("lognormal"), TrafficDist::kLognormal);
+  EXPECT_EQ(traffic_dist_from_string("LN"), TrafficDist::kLognormal);
+  EXPECT_FALSE(traffic_dist_from_string("poisson").has_value());
+}
+
+TEST(ParseCli, TrafficFlagsParse) {
+  const ParseResult r = parse(
+      {"--op=batch", "--mode=continuous", "--traffic=bursty", "--requests=16",
+       "--traffic-seed=9", "--traffic-gap=40000", "--traffic-seq=32,320",
+       "--traffic-seq-dist=lognormal", "--traffic-sigma=0.7",
+       "--traffic-steps=2,5", "--traffic-groups=3", "--traffic-zipf=1.5",
+       "--traffic-share-pct=60", "--kv-share=on"});
+  ASSERT_TRUE(r.ok()) << r.error;
+  const CliOptions& opt = *r.options;
+  EXPECT_TRUE(opt.traffic);
+  EXPECT_EQ(opt.traffic_process, TrafficProcess::kBursty);
+  EXPECT_EQ(opt.batch_requests, 16u);
+  EXPECT_EQ(opt.traffic_seed, 9u);
+  EXPECT_EQ(opt.traffic_gap, 40'000u);
+  EXPECT_EQ(opt.traffic_seq_min, 32u);
+  EXPECT_EQ(opt.traffic_seq_max, 320u);
+  EXPECT_EQ(opt.traffic_seq_dist, TrafficDist::kLognormal);
+  EXPECT_DOUBLE_EQ(opt.traffic_sigma, 0.7);
+  EXPECT_EQ(opt.traffic_steps_min, 2u);
+  EXPECT_EQ(opt.traffic_steps_max, 5u);
+  EXPECT_EQ(opt.traffic_groups, 3u);
+  EXPECT_DOUBLE_EQ(opt.traffic_zipf, 1.5);
+  EXPECT_EQ(opt.traffic_share_pct, 60u);
+}
+
+TEST(ParseCli, TrafficFlagsCrossChecked) {
+  // --traffic needs the continuous batch engine.
+  EXPECT_FALSE(parse({"--traffic=poisson"}).ok());
+  EXPECT_FALSE(parse({"--op=batch", "--traffic=poisson"}).ok());
+  // A --traffic-* knob without --traffic names itself in the error.
+  const ParseResult knob =
+      parse({"--op=batch", "--mode=continuous", "--traffic-gap=100"});
+  ASSERT_FALSE(knob.ok());
+  EXPECT_NE(knob.error.find("--traffic-gap"), std::string::npos);
+  EXPECT_NE(knob.error.find("requires --traffic"), std::string::npos);
+  // The generator replaces the hand-built per-request flags.
+  EXPECT_FALSE(parse({"--op=batch", "--mode=continuous", "--traffic=poisson",
+                      "--seqs=64,128"})
+                   .ok());
+  EXPECT_FALSE(parse({"--op=batch", "--mode=continuous", "--traffic=poisson",
+                      "--arrivals=0,5"})
+                   .ok());
+  EXPECT_FALSE(parse({"--op=batch", "--mode=continuous", "--traffic=poisson",
+                      "--steps=2"})
+                   .ok());
+  // Malformed values.
+  EXPECT_FALSE(parse({"--op=batch", "--mode=continuous", "--traffic=waves"})
+                   .ok());
+  EXPECT_FALSE(parse({"--op=batch", "--mode=continuous", "--traffic=poisson",
+                      "--traffic-gap=0"})
+                   .ok());
+  EXPECT_FALSE(parse({"--op=batch", "--mode=continuous", "--traffic=poisson",
+                      "--traffic-seq=512,64"})
+                   .ok());
+  EXPECT_FALSE(parse({"--op=batch", "--mode=continuous", "--traffic=poisson",
+                      "--traffic-seq=64"})
+                   .ok());
+  EXPECT_FALSE(parse({"--op=batch", "--mode=continuous", "--traffic=poisson",
+                      "--traffic-share-pct=101"})
+                   .ok());
+}
+
+TEST(ParseCli, TraceFlagsCrossChecked) {
+  EXPECT_TRUE(parse({"--op=batch", "--mode=continuous", "--traffic=poisson",
+                     "--trace-out=t.trace"})
+                  .ok());
+  EXPECT_TRUE(
+      parse({"--op=batch", "--mode=continuous", "--trace-in=t.trace"}).ok());
+  // Replay and generation are mutually exclusive workload sources.
+  const ParseResult both = parse({"--op=batch", "--mode=continuous",
+                                  "--traffic=poisson", "--trace-in=t.trace"});
+  ASSERT_FALSE(both.ok());
+  EXPECT_NE(both.error.find("conflict"), std::string::npos);
+  // Replay replaces the per-request flags and needs the continuous engine.
+  EXPECT_FALSE(parse({"--trace-in=t.trace"}).ok());
+  EXPECT_FALSE(parse({"--op=batch", "--mode=continuous", "--trace-in=t.trace",
+                      "--seqs=64,128"})
+                   .ok());
+  EXPECT_FALSE(parse({"--trace-out=t.trace"}).ok());
+  // --digest is defined over batch runs only.
+  EXPECT_TRUE(parse({"--op=batch", "--digest"}).ok());
+  EXPECT_FALSE(parse({"--digest"}).ok());
 }
 
 }  // namespace

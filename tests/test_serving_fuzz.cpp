@@ -71,6 +71,20 @@ TEST_P(PinnedSeed, DrawIsAPureFunctionOfTheSeed) {
 INSTANTIATE_TEST_SUITE_P(Corpus, PinnedSeed,
                          ::testing::ValuesIn(kPinnedSeeds));
 
+// Seeds 4, 8 and 12 of the corpus draw the open-loop branch (generated
+// traffic replaces the hand-rolled batch), so the pinned sweep above
+// already replays the generator -> engine -> open-loop audit -> trace
+// replay equivalence path on every CI run. Pin the fact itself: if the
+// draw procedure ever shifts these seeds back to closed-loop, the corpus
+// silently loses that coverage - fail loudly instead.
+TEST(FuzzDraw, PinnedCorpusKeepsOpenLoopDraws) {
+  for (const std::uint64_t seed : {4u, 8u, 12u}) {
+    const FuzzScenario sc = draw_scenario(seed);
+    EXPECT_TRUE(sc.open_loop) << "seed " << seed << " (" << sc.summary()
+                              << ") no longer draws open-loop";
+  }
+}
+
 // Distinct seeds must draw distinct scenarios (the sweep is not fuzzing one
 // scenario 200 times). Spot-check a window.
 TEST(FuzzDraw, NeighboringSeedsDiffer) {

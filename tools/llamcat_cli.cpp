@@ -15,13 +15,18 @@
 //   llamcat_cli --op=batch --mode=continuous --seqs=4096,512,512 \
 //       --arrivals=0,10000,20000 --admit-policy=srf --kv-budget=18874368 \
 //       --preempt --kv-evict=cold-blocks --refetch-cost=2 --no-gemv
+//   llamcat_cli --op=batch --mode=continuous --traffic=poisson \
+//       --requests=8 --traffic-gap=50000 --trace-out=run.trace
+//   llamcat_cli --op=batch --mode=continuous --trace-in=run.trace --digest
 #include <fstream>
 #include <iostream>
 #include <optional>
 #include <stdexcept>
 #include <vector>
 
+#include "scenario/fuzz.hpp"
 #include "scenario/scenario.hpp"
+#include "scenario/traffic.hpp"
 #include "sim/energy.hpp"
 #include "sim/experiment.hpp"
 #include "sim/options.hpp"
@@ -68,7 +73,36 @@ int export_results(const CliOptions& opt,
   return 0;
 }
 
-int run_batch(const CliOptions& opt) {
+/// Builds the request list from whichever workload source the flags chose:
+/// a recorded trace (--trace-in), the open-loop generator (--traffic), or
+/// the hand-built per-request flags. Throws std::invalid_argument (with a
+/// flag-nameable message) on a malformed trace or traffic shape.
+std::vector<scenario::RequestSpec> build_batch_specs(const CliOptions& opt) {
+  if (!opt.trace_in_path.empty()) {
+    std::ifstream in(opt.trace_in_path);
+    if (!in) {
+      throw std::invalid_argument("cannot open --trace-in file " +
+                                  opt.trace_in_path);
+    }
+    return scenario::read_trace(in);
+  }
+  if (opt.traffic) {
+    scenario::TrafficConfig tc;
+    tc.num_requests = opt.batch_requests;
+    tc.seed = opt.traffic_seed;
+    tc.process = opt.traffic_process;
+    tc.mean_gap = opt.traffic_gap;
+    tc.seq_dist = opt.traffic_seq_dist;
+    tc.seq_min = opt.traffic_seq_min;
+    tc.seq_max = opt.traffic_seq_max;
+    tc.seq_sigma = opt.traffic_sigma;
+    tc.steps_min = opt.traffic_steps_min;
+    tc.steps_max = opt.traffic_steps_max;
+    tc.prefix_groups = opt.traffic_groups;
+    tc.zipf_s = opt.traffic_zipf;
+    tc.share_pct = opt.traffic_share_pct;
+    return scenario::generate_traffic(tc);
+  }
   std::vector<std::uint64_t> seq_lens = opt.batch_seq_lens;
   if (seq_lens.empty()) {
     seq_lens.assign(opt.batch_requests, opt.seq_len);
@@ -99,6 +133,10 @@ int run_batch(const CliOptions& opt) {
     }
     specs.push_back(spec);
   }
+  return specs;
+}
+
+int run_batch(const CliOptions& opt) {
   scenario::DecodePassConfig pass_cfg;
   pass_cfg.num_layers = opt.batch_layers;
   pass_cfg.include_gemv = opt.batch_gemv;
@@ -112,17 +150,36 @@ int run_batch(const CliOptions& opt) {
   pass_cfg.serving.refetch_cost = opt.batch_refetch_cost;
   pass_cfg.serving.kv_share = opt.batch_kv_share;
 
-  // Batch/pass construction validates the scenario (duplicate request ids,
-  // zero lengths, a request whose peak KV alone exceeds --kv-budget, ...):
+  // Workload-source expansion and batch/pass construction both validate
+  // the scenario (malformed traces, off-granule traffic shapes, duplicate
+  // request ids, a request whose peak KV alone exceeds --kv-budget, ...):
   // report those as configuration errors, not simulation failures.
   std::optional<scenario::RequestBatch> batch;
   std::optional<scenario::DecodePass> pass;
   try {
+    std::vector<scenario::RequestSpec> specs = build_batch_specs(opt);
+    if (!opt.trace_out_path.empty()) {
+      std::ofstream out(opt.trace_out_path);
+      if (!out) {
+        std::cerr << "cannot open " << opt.trace_out_path << "\n";
+        return 1;
+      }
+      scenario::write_trace(out, specs);
+      if (!opt.digest_only)
+        std::cout << "wrote " << opt.trace_out_path << "\n";
+    }
     batch.emplace(opt.model, std::move(specs));
     pass.emplace(*batch, pass_cfg, opt.cfg);
   } catch (const std::invalid_argument& e) {
     std::cerr << "error: invalid batch scenario: " << e.what() << "\n";
     return 2;
+  }
+  if (opt.digest_only) {
+    // Nothing but the canonical digest: the scripted equivalence check
+    // compares this output byte for byte across runs.
+    const scenario::BatchStats stats = pass->run(0, opt.verbose);
+    std::cout << scenario::batch_stats_digest(stats);
+    return export_results(opt, stats.per_op);
   }
   std::cout << "machine: " << opt.cfg.summary() << "\n"
             << "batch:   " << batch->size() << " requests, "
